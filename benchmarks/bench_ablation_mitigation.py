@@ -1,0 +1,132 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these probe *why* the headline results hold:
+
+* knowledge-based vs random RSA placement (Section 3.4.4's two modes),
+* write-read-verify iteration count vs residual accuracy,
+* retention drift vs periodic refresh (the time axis the paper's
+  snapshot evaluation omits),
+* DNN vs oracle-emission HMM baseline (the pre-DNN state of the art).
+"""
+
+import numpy as np
+
+from repro.basecaller import HMMBasecaller, default_model, evaluate_accuracy
+from repro.core import deploy, get_bundle
+from repro.crossbar import (
+    CrossbarBank,
+    DriftConfig,
+    WriteReadVerify,
+)
+from repro.genomics import dataset_reads
+from repro.nn import QuantizedModel, get_quant_config
+
+
+def _deployed_accuracy(reads, sram_fraction=0.0, use_knowledge=True,
+                       seed=0):
+    model = default_model()
+    QuantizedModel(model, get_quant_config("FPP 16-16"))
+    deployed = deploy(model, get_bundle("measured"), crossbar_size=64,
+                      write_variation=0.10, seed=seed)
+    if sram_fraction:
+        deployed.assign_sram(sram_fraction, use_knowledge=use_knowledge)
+    accuracy = evaluate_accuracy(model, reads).mean_percent
+    deployed.release()
+    return accuracy
+
+
+def test_ablation_rsa_placement(benchmark):
+    """Knowledge-based RSA placement must beat random placement."""
+    reads = dataset_reads("D1", num_reads=5, seed_offset=1)
+
+    def run():
+        rows = {}
+        for label, knowledge in (("random", False), ("knowledge", True)):
+            rows[label] = np.mean([
+                _deployed_accuracy(reads, sram_fraction=0.05,
+                                   use_knowledge=knowledge, seed=s)
+                for s in range(2)
+            ])
+        rows["none"] = np.mean([
+            _deployed_accuracy(reads, sram_fraction=0.0, seed=s)
+            for s in range(2)
+        ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  no RSA: {rows['none']:.2f}%  random 5%: "
+          f"{rows['random']:.2f}%  knowledge 5%: {rows['knowledge']:.2f}%")
+    assert rows["knowledge"] >= rows["random"] - 1.0
+    assert rows["knowledge"] > rows["none"]
+
+
+def test_ablation_wrv_iterations(benchmark):
+    """More WRV iterations → smaller residual VMM error, more pulses."""
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal((64, 64)) * 0.2
+    x = rng.standard_normal((16, 64))
+    reference = x @ weights
+    bundle = get_bundle("write_only")
+    config = bundle.crossbar_config(64, write_variation=0.30)
+
+    def run():
+        errors = {}
+        for iterations in (1, 3, 5, 8):
+            scheme = WriteReadVerify(iterations=iterations)
+            bank = CrossbarBank(weights, config,
+                                np.random.default_rng(1), programming=scheme)
+            rel = np.abs(bank.vmm(x) - reference).mean() / np.abs(reference).mean()
+            errors[iterations] = (rel, scheme.pulses_per_cell())
+        return errors
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for iterations, (rel, pulses) in errors.items():
+        print(f"  WRV x{iterations}: rel err {rel:.4f}, "
+              f"{pulses:.0f} pulses/cell")
+    rels = [errors[i][0] for i in (1, 3, 5, 8)]
+    assert rels == sorted(rels, reverse=True)
+    pulses = [errors[i][1] for i in (1, 3, 5, 8)]
+    assert pulses == sorted(pulses)
+
+
+def test_ablation_retention_drift(benchmark):
+    """Unrefreshed arrays decay over time; the decay is monotone."""
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal((64, 64)) * 0.2
+    x = rng.standard_normal((16, 64))
+    reference = x @ weights
+    bundle = get_bundle("write_only")
+    config = bundle.crossbar_config(64, write_variation=0.05)
+    drift = DriftConfig(relaxation_per_decade=0.08)
+
+    def run():
+        errors = {}
+        for age_s in (0.0, 1e2, 1e4, 1e6):
+            bank = CrossbarBank(weights, config, np.random.default_rng(1))
+            if age_s:
+                bank.age(age_s, drift)
+            rel = np.abs(bank.vmm(x) - reference).mean() / np.abs(reference).mean()
+            errors[age_s] = rel
+        return errors
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for age, rel in errors.items():
+        print(f"  age {age:>9.0f}s: rel err {rel:.4f}")
+    series = list(errors.values())
+    assert series == sorted(series)
+
+
+def test_ablation_dnn_vs_hmm(benchmark):
+    """The trained DNN must beat the oracle-emission HMM baseline."""
+    reads = dataset_reads("D1", num_reads=5, seed_offset=1)
+
+    def run():
+        dnn = evaluate_accuracy(default_model(), reads).mean_percent
+        hmm = HMMBasecaller().evaluate(reads)
+        return dnn, hmm
+
+    dnn, hmm = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  DNN: {dnn:.2f}%   HMM (oracle emissions): {hmm:.2f}%")
+    assert dnn > hmm

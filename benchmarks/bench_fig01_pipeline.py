@@ -1,0 +1,22 @@
+"""Fig. 1 — pipeline execution-time breakdown.
+
+Paper shape: basecalling dominates the end-to-end runtime (>40%).
+"""
+
+from repro.experiments import fig01_pipeline
+
+
+def test_fig01_pipeline(benchmark, record_result):
+    record = benchmark.pedantic(
+        lambda: fig01_pipeline.run(dataset="D1", num_reads=6),
+        rounds=1, iterations=1,
+    )
+    record_result(record)
+
+    fractions = {r["stage"]: r["fraction"] for r in record.rows}
+    print()
+    for stage, fraction in fractions.items():
+        print(f"  {stage:>16}: {100 * fraction:5.1f}%")
+    # The paper's headline observation.
+    assert fractions["basecalling"] > 0.40
+    assert fractions["basecalling"] == max(fractions.values())

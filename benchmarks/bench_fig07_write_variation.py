@@ -1,0 +1,38 @@
+"""Fig. 7 — accuracy vs write-variation rate, per dataset.
+
+Paper shapes: accuracy collapses monotonically with write variation —
+small loss below ~10%, catastrophic by 50%; exact loss is
+workload-dependent.
+"""
+
+import numpy as np
+
+from repro.experiments import fig07_write_variation
+
+
+def test_fig07_write_variation(benchmark, record_result):
+    rates = (0.0, 0.05, 0.10, 0.25, 0.50)
+    record = benchmark.pedantic(
+        lambda: fig07_write_variation.run(rates=rates, num_reads=5,
+                                          num_runs=2),
+        rounds=1, iterations=1,
+    )
+    record_result(record)
+
+    acc = {(r["dataset"], r["rate"]): r["accuracy"] for r in record.rows}
+    datasets = sorted({r["dataset"] for r in record.rows})
+    print()
+    print("  dataset | " + " | ".join(f"wv={r:<4}" for r in rates))
+    for d in datasets:
+        print(f"  {d:>7} | "
+              + " | ".join(f"{acc[(d, r)]:6.2f}" for r in rates))
+
+    for d in datasets:
+        # Catastrophic collapse at 50% write variation.
+        assert acc[(d, 0.0)] - acc[(d, 0.50)] > 20.0
+        # Small rates cost little.
+        assert acc[(d, 0.0)] - acc[(d, 0.05)] < 8.0
+        # Overall decreasing trend (allow small non-monotonic noise).
+        series = [acc[(d, r)] for r in rates]
+        assert series[0] > series[-1]
+        assert np.argmin(series) >= len(series) - 2

@@ -1,0 +1,38 @@
+"""Fig. 8 — non-idealities without enhancement, 64×64 crossbars.
+
+Paper shapes: combined non-idealities cost far more than any individual
+bundle; losses are non-additive; individual bundles differ.
+"""
+
+import numpy as np
+
+from repro.experiments import fig08_nonidealities
+
+
+def test_fig08_nonideal_64(benchmark, record_result):
+    record = benchmark.pedantic(
+        lambda: fig08_nonidealities.run(crossbar_size=64, num_reads=5,
+                                        num_runs=2),
+        rounds=1, iterations=1,
+    )
+    record_result(record)
+    _check_and_print(record, crossbar_size=64)
+
+
+def _check_and_print(record, crossbar_size):
+    acc = {(r["dataset"], r["bundle"]): r["accuracy"] for r in record.rows}
+    datasets = sorted({r["dataset"] for r in record.rows})
+    bundles = ["synaptic_wires", "sense_adc", "dac_driver", "combined",
+               "measured"]
+    print()
+    print("  dataset | " + " | ".join(f"{b:>14}" for b in bundles))
+    for d in datasets:
+        print(f"  {d:>7} | "
+              + " | ".join(f"{acc[(d, b)]:14.2f}" for b in bundles))
+
+    mean = {b: np.mean([acc[(d, b)] for d in datasets]) for b in bundles}
+    individuals = [mean["synaptic_wires"], mean["sense_adc"],
+                   mean["dac_driver"]]
+    # Combined worse than every individual bundle.
+    assert mean["combined"] < min(individuals)
+    assert mean["measured"] < min(individuals)

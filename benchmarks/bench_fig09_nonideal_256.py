@@ -1,0 +1,31 @@
+"""Fig. 9 — non-idealities without enhancement, 256×256 crossbars.
+
+Paper shapes: as Fig. 8, plus the larger crossbar loses more accuracy
+than 64×64 under the combined/measured configurations.
+"""
+
+import numpy as np
+
+from repro.experiments import fig08_nonidealities
+from bench_fig08_nonideal_64 import _check_and_print
+
+
+def test_fig09_nonideal_256(benchmark, record_result):
+    record = benchmark.pedantic(
+        lambda: fig08_nonidealities.run(crossbar_size=256, num_reads=5,
+                                        num_runs=2),
+        rounds=1, iterations=1,
+    )
+    record_result(record)
+    _check_and_print(record, crossbar_size=256)
+
+    # Cross-size comparison (paper observation 5): run the 64×64
+    # combined configuration and verify the larger crossbar is worse.
+    small = fig08_nonidealities.run(crossbar_size=64, num_reads=5,
+                                    num_runs=2, bundles=("combined",))
+    small_mean = np.mean([r["accuracy"] for r in small.rows])
+    large_mean = np.mean([r["accuracy"] for r in record.rows
+                          if r["bundle"] == "combined"])
+    print(f"\n  combined 64x64: {small_mean:.2f}%  "
+          f"256x256: {large_mean:.2f}%")
+    assert large_mean < small_mean + 2.0

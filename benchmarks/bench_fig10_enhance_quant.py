@@ -1,0 +1,45 @@
+"""Fig. 10 — enhancement techniques on the quantized basecaller.
+
+Paper shape: quantization-aware retraining recovers (nearly) the FP
+baseline down to 8-bit precision; below 4 bits recovery is partial.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10_enhance_quant
+
+
+def test_fig10_enhance_quant(benchmark, record_result):
+    # Representative technique subset at bench scale; the full grid runs
+    # via `python -m repro.experiments.fig10_enhance_quant`.
+    record = benchmark.pedantic(
+        lambda: fig10_enhance_quant.run(
+            num_reads=4, datasets=("D1", "D2"),
+            techniques=("vat", "rvw", "rsa_kd")),
+        rounds=1, iterations=1,
+    )
+    record_result(record)
+
+    acc: dict[tuple[str, str], list[float]] = {}
+    for row in record.rows:
+        acc.setdefault((row["quant"], row["technique"]), []).append(
+            row["accuracy"])
+    mean = {k: float(np.mean(v)) for k, v in acc.items()}
+    base = record.settings["baseline_accuracy"]
+    base_mean = float(np.mean(list(base.values())))
+
+    print()
+    quants = record.settings["quant_configs"]
+    techs = record.settings["techniques"]
+    print("  quant     | " + " | ".join(f"{t:>7}" for t in techs))
+    for q in quants:
+        print(f"  {q:>9} | "
+              + " | ".join(f"{mean[(q, t)]:7.2f}" for t in techs))
+    print(f"  FP32 baseline: {base_mean:.2f}%")
+
+    # Retrained 16-bit designs recover to near the baseline.
+    best_16 = max(mean[("FPP 16-16", t)] for t in techs)
+    assert best_16 > base_mean - 12.0
+    # Extreme quantization cannot be fully recovered.
+    best_42 = max(mean[("FPP 4-2", t)] for t in techs)
+    assert best_42 < best_16

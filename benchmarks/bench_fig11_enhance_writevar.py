@@ -1,0 +1,41 @@
+"""Fig. 11 — enhancement techniques across write-variation rates.
+
+Paper shapes: every technique helps; effectiveness decays as write
+variation grows; the combination ("all") is best; RSA+KD leads the
+individual techniques.
+"""
+
+import numpy as np
+
+from repro.experiments import fig11_enhance_writevar
+
+
+def test_fig11_enhance_writevar(benchmark, record_result):
+    rates = (0.10, 0.30)
+    techniques = ("vat", "rvw", "rsa_kd", "all")
+    record = benchmark.pedantic(
+        lambda: fig11_enhance_writevar.run(
+            rates=rates, techniques=techniques, num_reads=4,
+            datasets=("D1", "D2")),
+        rounds=1, iterations=1,
+    )
+    record_result(record)
+
+    acc: dict[tuple[float, str], list[float]] = {}
+    for row in record.rows:
+        acc.setdefault((row["rate"], row["technique"]), []).append(
+            row["accuracy"])
+    mean = {k: float(np.mean(v)) for k, v in acc.items()}
+
+    print()
+    print("  technique | " + " | ".join(f"wv={r:<4}" for r in rates))
+    for t in techniques:
+        print(f"  {t:>9} | "
+              + " | ".join(f"{mean[(r, t)]:6.2f}" for r in rates))
+
+    for t in techniques:
+        # Higher write variation → worse accuracy even with mitigation.
+        assert mean[(0.10, t)] > mean[(0.30, t)]
+    # The combination is at least competitive with the best individual.
+    best_individual = max(mean[(0.10, t)] for t in ("vat", "rvw", "rsa_kd"))
+    assert mean[(0.10, "all")] > best_individual - 4.0

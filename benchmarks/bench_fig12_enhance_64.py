@@ -1,0 +1,38 @@
+"""Fig. 12 — enhancement vs non-idealities, 64×64 crossbars.
+
+Paper shapes: every technique improves over no mitigation; gains are
+non-additive; the combined stack ("all") leads.
+"""
+
+from repro.experiments import fig12_enhance_nonideal
+
+
+def test_fig12_enhance_64(benchmark, record_result):
+    bundles = ("synaptic_wires", "combined", "measured")
+    techniques = ("none", "vat", "rvw", "rsa_kd", "all")
+    record = benchmark.pedantic(
+        lambda: fig12_enhance_nonideal.run(
+            crossbar_size=64, bundles=bundles, techniques=techniques,
+            num_reads=4, datasets=("D1", "D2")),
+        rounds=1, iterations=1,
+    )
+    record_result(record)
+    _check_and_print(record, bundles, techniques)
+
+
+def _check_and_print(record, bundles, techniques):
+    acc = {(r["bundle"], r["technique"]): r["accuracy"]
+           for r in record.rows}
+    print()
+    print("  bundle         | " + " | ".join(f"{t:>7}" for t in techniques))
+    for b in bundles:
+        print(f"  {b:>14} | "
+              + " | ".join(f"{acc[(b, t)]:7.2f}" for t in techniques))
+
+    for b in bundles:
+        # Mitigation must beat no mitigation.
+        best = max(acc[(b, t)] for t in techniques if t != "none")
+        assert best > acc[(b, "none")]
+        # The full stack is competitive with the best individual.
+        assert acc[(b, "all")] > acc[(b, "none")]
+    return acc

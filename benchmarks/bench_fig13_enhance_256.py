@@ -1,0 +1,27 @@
+"""Fig. 13 — enhancement vs non-idealities, 256×256 crossbars.
+
+Paper shapes: as Fig. 12; additionally, enhancement recovers *more*
+absolute accuracy on the larger crossbar, whose unmitigated loss is
+higher.
+"""
+
+from repro.experiments import fig12_enhance_nonideal
+from bench_fig12_enhance_64 import _check_and_print
+
+
+def test_fig13_enhance_256(benchmark, record_result):
+    bundles = ("synaptic_wires", "combined", "measured")
+    techniques = ("none", "vat", "rvw", "rsa_kd", "all")
+    record = benchmark.pedantic(
+        lambda: fig12_enhance_nonideal.run(
+            crossbar_size=256, bundles=bundles, techniques=techniques,
+            num_reads=4, datasets=("D1", "D2")),
+        rounds=1, iterations=1,
+    )
+    record_result(record)
+    acc = _check_and_print(record, bundles, techniques)
+
+    # Recovery (all − none) should be substantial on the big crossbar.
+    recovery = acc[("measured", "all")] - acc[("measured", "none")]
+    print(f"\n  measured recovery (all - none): {recovery:.2f} points")
+    assert recovery > 0.0

@@ -1,0 +1,31 @@
+"""Fig. 14 — throughput of SwordfishAccel variants vs Bonito-GPU.
+
+Paper numbers: Ideal 413.6×, R-V-W 0.7×, RSA 5.24×, RSA+KD 25.7× the
+GPU baseline.  The analytical model is calibrated on the real Bonito's
+dimensions; this bench asserts the measured ratios land in those bands.
+"""
+
+from repro.experiments import fig14_throughput
+
+
+def test_fig14_throughput(benchmark, record_result):
+    record = benchmark.pedantic(fig14_throughput.run, rounds=1,
+                                iterations=1)
+    record_result(record)
+
+    speedups = {}
+    for row in record.rows:
+        speedups.setdefault(row["variant"], row["speedup_vs_gpu"])
+
+    print()
+    print(f"  bonito-gpu: {record.settings['gpu_kbps']:.1f} Kbp/s (1.0x)")
+    paper = {"ideal": 413.6, "rvw": 0.7, "rsa": 5.24, "rsa_kd": 25.7}
+    for variant, ratio in speedups.items():
+        print(f"  {variant:>7}: {ratio:8.2f}x   (paper: {paper[variant]}x)")
+
+    assert 250 < speedups["ideal"] < 700
+    assert 0.3 < speedups["rvw"] < 1.5
+    assert 2.5 < speedups["rsa"] < 11
+    assert 13 < speedups["rsa_kd"] < 52
+    assert (speedups["ideal"] > speedups["rsa_kd"] > speedups["rsa"]
+            > speedups["rvw"])

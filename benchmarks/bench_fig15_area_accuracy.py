@@ -1,0 +1,31 @@
+"""Fig. 15 — accuracy vs area of Realistic-SwordfishAccel-RSA+KD.
+
+Paper shapes: accuracy rises with the SRAM fraction and saturates
+around 5%; area grows steadily with the SRAM fraction.
+"""
+
+from repro.experiments import fig15_area_accuracy
+
+
+def test_fig15_area_accuracy(benchmark, record_result):
+    record = benchmark.pedantic(
+        lambda: fig15_area_accuracy.run(
+            sizes=(64,), fractions=(0.0, 0.01, 0.05, 0.10),
+            num_reads=4, datasets=("D1", "D2")),
+        rounds=1, iterations=1,
+    )
+    record_result(record)
+
+    rows = sorted(record.rows, key=lambda r: r["sram_percent"])
+    print()
+    print("  SRAM % | accuracy % | area mm² | RSA overhead mm²")
+    for r in rows:
+        print(f"  {r['sram_percent']:6.1f} | {r['accuracy']:10.2f} | "
+              f"{r['area_mm2']:8.2f} | {r['rsa_overhead_mm2']:8.3f}")
+    print(f"  FP baseline: {record.settings['baseline_accuracy']:.2f}%")
+
+    areas = [r["area_mm2"] for r in rows]
+    assert areas == sorted(areas)            # area grows with SRAM
+    assert rows[0]["rsa_overhead_mm2"] == 0.0
+    # More SRAM → better accuracy overall (0% vs 10%).
+    assert rows[-1]["accuracy"] > rows[0]["accuracy"]

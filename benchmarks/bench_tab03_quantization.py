@@ -1,0 +1,33 @@
+"""Table 3 — accuracy after quantization over D1–D4.
+
+Paper shapes: FPP 16-16 is lossless vs the FP baseline; FPP 8-8 loses
+little; aggressive (≤4-bit) activations lose progressively more; the
+effect is workload-dependent.
+"""
+
+from repro.experiments import tab03_quantization
+
+
+def test_tab03_quantization(benchmark, record_result):
+    record = benchmark.pedantic(
+        lambda: tab03_quantization.run(num_reads=6),
+        rounds=1, iterations=1,
+    )
+    record_result(record)
+
+    acc = {(r["dataset"], r["config"]): r["accuracy"] for r in record.rows}
+    datasets = record.settings["datasets"]
+    configs = ["DFP 32-32", "FPP 16-16", "FPP 8-8", "FPP 8-4", "FPP 4-8",
+               "FPP 4-4", "FPP 4-2"]
+    print()
+    print("  dataset | " + " | ".join(f"{c:>9}" for c in configs))
+    for d in datasets:
+        print(f"  {d:>7} | "
+              + " | ".join(f"{acc[(d, c)]:9.2f}" for c in configs))
+
+    for d in datasets:
+        # 16-bit lossless (paper: identical to baseline).
+        assert abs(acc[(d, "FPP 16-16")] - acc[(d, "DFP 32-32")]) < 1.5
+        # Monotone-ish degradation toward extreme quantization.
+        assert acc[(d, "FPP 8-8")] >= acc[(d, "FPP 4-4")] - 1.0
+        assert acc[(d, "FPP 4-4")] > acc[(d, "FPP 4-2")]

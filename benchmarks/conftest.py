@@ -1,0 +1,36 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Each benchmark regenerates one paper table/figure through the
+corresponding :mod:`repro.experiments` runner, at a reduced default
+scale (reads/repetitions) so the full harness completes on one CPU
+core.  ``SWORDFISH_SCALE`` (see ``repro.experiments.common``) scales
+the workloads up toward paper scale.
+
+The first run trains and caches the shared basecaller baseline
+(~6 minutes); subsequent runs load it from ``SWORDFISH_CACHE``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.basecaller import default_model
+from repro.core import ExperimentRecord, save_record
+
+RESULTS_DIR = "benchmarks/results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def ensure_baseline():
+    """Train/load the shared baseline once before any benchmark."""
+    default_model()
+
+
+@pytest.fixture()
+def record_result():
+    """Persist an ExperimentRecord under benchmarks/results/."""
+
+    def _save(record: ExperimentRecord):
+        return save_record(record, RESULTS_DIR)
+
+    return _save

@@ -1,0 +1,71 @@
+"""Extending Swordfish: a custom device corner and sensitivity sweep.
+
+Swordfish is a *framework*: every non-ideality magnitude is a plain
+dataclass field, so studying a new device corner is a few lines.  Here
+we model a hypothetical low-yield ReRAM lot — heavy stuck-at faults and
+strong programming nonlinearity — and sweep how basecalling accuracy
+responds, with and without knowledge-based RSA remapping.
+
+Run:  python examples/custom_nonideality.py
+"""
+
+from dataclasses import replace
+
+from repro.basecaller import default_model, evaluate_accuracy
+from repro.core import (
+    NonidealityBundle,
+    PAPER_CALIBRATION,
+    deploy,
+    render_table,
+)
+from repro.genomics import dataset_reads
+from repro.nn import QuantizedModel, get_quant_config
+
+
+def main() -> None:
+    reads = dataset_reads("D2", num_reads=5, seed_offset=1)
+
+    rows = []
+    for stuck_rate in (0.000, 0.005, 0.02, 0.05):
+        # A custom calibration: everything from the paper's defaults,
+        # but a faulty lot with elevated stuck cells and nonlinearity.
+        calibration = replace(
+            PAPER_CALIBRATION,
+            stuck_lrs=stuck_rate,
+            stuck_hrs=stuck_rate,
+            device_nonlinearity=2.0,
+        )
+        bundle = NonidealityBundle(
+            name="measured",           # library mode → error maps known
+            synaptic=True, wires=True, sense_adc=True, dac_driver=True,
+            library_mode=True,
+        ).with_calibration(calibration)
+
+        accuracies = []
+        for sram_fraction in (0.0, 0.05):
+            model = default_model()
+            QuantizedModel(model, get_quant_config("FPP 16-16"))
+            deployed = deploy(model, bundle, crossbar_size=64,
+                              write_variation=0.10, seed=11)
+            if sram_fraction:
+                deployed.assign_sram(sram_fraction)  # knowledge-based
+            report = evaluate_accuracy(model, reads)
+            accuracies.append(report.mean_percent)
+            deployed.release()
+        rows.append([f"{100 * stuck_rate:.1f}%", *accuracies,
+                     accuracies[1] - accuracies[0]])
+
+    print(render_table(
+        "Low-yield ReRAM lot: stuck-at faults vs RSA remapping (D2)",
+        ["stuck rate", "no RSA %", "5% RSA %", "RSA gain"],
+        rows,
+    ))
+    print("\nKnowledge-based RSA targets exactly the stuck cells, so its "
+          "gain grows with the fault\nrate — until the faults outnumber "
+          "the 5% SRAM budget and the gain collapses.\nThat capacity "
+          "cliff is the kind of what-if question Swordfish exists to "
+          "answer.")
+
+
+if __name__ == "__main__":
+    main()

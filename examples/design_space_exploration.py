@@ -1,0 +1,61 @@
+"""Design-space exploration with the Swordfish façade.
+
+The paper's core workflow: ask, for each candidate design point
+(crossbar size × mitigation technique), what accuracy, throughput, and
+area a Bonito accelerator would achieve — then pick the Pareto point.
+
+Run:  python examples/design_space_exploration.py
+      (expects the cached baseline; run quickstart.py first)
+"""
+
+from repro.core import EnhanceConfig, Swordfish, SwordfishConfig, render_table
+
+
+def main() -> None:
+    framework = Swordfish()
+    # Small retraining budget keeps this demo to a few minutes.
+    enhance = EnhanceConfig(retrain_epochs=2, online_epochs=2,
+                            num_chunks=128)
+
+    rows = []
+    for size in (64, 256):
+        for technique in ("none", "rvw", "rsa_kd"):
+            config = SwordfishConfig(
+                quantization="FPP 16-16",
+                crossbar_size=size,
+                write_variation=0.10,
+                bundle="measured",
+                technique=technique,
+                datasets=("D1", "D2"),
+                reads_per_dataset=4,
+                enhance=enhance,
+            )
+            metrics = framework.run(config)
+            rows.append([
+                f"{size}x{size}",
+                technique,
+                metrics.mean_accuracy,
+                metrics.throughput.kbp_per_second,
+                metrics.speedup_vs_gpu,
+                metrics.area.total_mm2,
+                metrics.energy.nj_per_base,
+            ])
+            print(f"  evaluated {size}x{size} / {technique}")
+
+    print()
+    print(render_table(
+        "Swordfish design-space exploration (measured non-idealities, "
+        "10% write variation)",
+        ["crossbar", "technique", "accuracy %", "Kbp/s", "× vs GPU",
+         "area mm²", "nJ/base"],
+        rows,
+    ))
+    print("\nReading the table: 'none' is fast but inaccurate; 'rvw' "
+          "falls below the GPU's throughput\nfor little accuracy gain "
+          "under measured non-idealities; 'rsa_kd' buys the best\n"
+          "accuracy for a modest SRAM area premium — the paper's "
+          "recommended design point.")
+
+
+if __name__ == "__main__":
+    main()

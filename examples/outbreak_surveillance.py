@@ -1,0 +1,71 @@
+"""Outbreak surveillance: detect mutations in a sequenced isolate.
+
+The paper motivates fast basecalling with virus surveillance (Ebola,
+SARS-CoV-2).  This example runs that workload end-to-end on simulated
+data: a circulating strain acquires point mutations; we sequence it,
+basecall the squiggles, map reads back to the reference strain, build a
+consensus, and call the variants — then check how many of the true
+mutations were recovered.
+
+Run:  python examples/outbreak_surveillance.py
+"""
+
+import numpy as np
+
+from repro.basecaller import default_model
+from repro.genomics import BASES, random_genome, sample_reads
+from repro.pipeline import run_pipeline
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+
+    # Reference strain and a mutated isolate (20 SNPs).
+    reference = random_genome(8_000, gc_content=0.41, seed=909)
+    isolate = np.array(reference, copy=True)
+    true_sites = rng.choice(len(isolate), size=20, replace=False)
+    isolate[true_sites] = (isolate[true_sites]
+                           + rng.integers(1, 4, size=20)) % 4
+
+    # Sequence the isolate at ~8x coverage.
+    print("Sequencing the isolate (simulated MinION run)...")
+    reads = sample_reads(isolate, 400, rng, mean_length=150,
+                         id_prefix="isolate")
+
+    print("Running the analysis pipeline (basecall → map → consensus "
+          "→ variants)...")
+    model = default_model()
+    result = run_pipeline(model, reads, reference,
+                          min_coverage=3, min_agreement=0.6)
+
+    print(f"\n  mapped reads: {100 * result.mapped_fraction:.0f}%")
+    for timing in result.timings:
+        share = result.fractions()[timing.name]
+        print(f"  {timing.name:>16}: {timing.seconds:6.2f}s "
+              f"({100 * share:4.1f}%)")
+
+    called_sites = {pos for pos, _, _ in result.variants}
+    covered = result.consensus >= 0
+    detectable = {int(s) for s in true_sites if covered[s]}
+    found = called_sites & detectable
+    false_calls = called_sites - set(int(s) for s in true_sites)
+
+    print(f"\n  true mutations:            {len(true_sites)}")
+    print(f"  covered by reads:          {len(detectable)}")
+    print(f"  detected:                  {len(found)}")
+    print(f"  false positives:           {len(false_calls)}")
+
+    print("\nSample calls (position, ref → alt):")
+    for pos, ref, alt in result.variants[:8]:
+        marker = "TRUE" if pos in detectable else "fp  "
+        print(f"  [{marker}] {pos:6d}  {BASES[ref]} → {BASES[alt]}")
+
+    if detectable:
+        recall = len(found) / len(detectable)
+        print(f"\nRecall over covered sites: {100 * recall:.0f}% — "
+              "basecalling accuracy directly bounds variant recall, "
+              "which is why Swordfish treats accuracy as first-class.")
+
+
+if __name__ == "__main__":
+    main()

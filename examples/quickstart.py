@@ -1,0 +1,53 @@
+"""Quickstart: basecall simulated nanopore reads, then deploy the same
+network on a non-ideal memristor crossbar and watch the accuracy move.
+
+Run:  python examples/quickstart.py
+
+The first run trains the shared baseline basecaller (~6 minutes on one
+core) and caches it; later runs start instantly.
+"""
+
+from repro.basecaller import basecall_read, default_model, evaluate_accuracy
+from repro.core import deploy, get_bundle
+from repro.genomics import dataset_reads, decode_bases
+from repro.nn import QuantizedModel, get_quant_config
+
+
+def main() -> None:
+    print("Loading (or training) the Bonito-style baseline...")
+    model = default_model()
+    print(f"  model: {model}")
+
+    # --- 1. Plain software basecalling -------------------------------
+    reads = dataset_reads("D1", num_reads=5, seed_offset=1)
+    called = basecall_read(model, reads[0])
+    print("\nFirst 60 called bases :", decode_bases(called[:60]))
+    print("First 60 true bases   :", decode_bases(reads[0].bases[:60]))
+
+    report = evaluate_accuracy(model, reads)
+    print(f"\nSoftware (FP) read accuracy on D1: {report.mean_percent:.2f}%")
+
+    # --- 2. Quantize to the paper's FPP 16-16 deployment format ------
+    QuantizedModel(model, get_quant_config("FPP 16-16"))
+    report = evaluate_accuracy(model, reads)
+    print(f"FPP 16-16 read accuracy:           {report.mean_percent:.2f}%")
+
+    # --- 3. Deploy on a 64x64 memristor crossbar with all measured
+    #        non-idealities and 10% write variation -------------------
+    deployed = deploy(model, get_bundle("measured"), crossbar_size=64,
+                      write_variation=0.10, seed=0)
+    report = evaluate_accuracy(model, reads)
+    print(f"Deployed (measured non-idealities): {report.mean_percent:.2f}%")
+
+    # --- 4. Mitigate: remap the worst 5% of each tile to SRAM --------
+    deployed.assign_sram(0.05)
+    report = evaluate_accuracy(model, reads)
+    print(f"With 5% RSA SRAM remapping:         {report.mean_percent:.2f}%")
+
+    deployed.release()
+    print("\nDone.  See examples/design_space_exploration.py for the "
+          "full Swordfish workflow.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Swordfish reproduction: evaluating DNN basecalling on non-ideal
+memristor Computation-In-Memory (Shahroodi et al., MICRO 2023).
+
+Subpackages
+-----------
+``repro.nn``          NumPy autograd DNN substrate (layers, CTC, optim).
+``repro.genomics``    Synthetic nanopore sequencing substrate.
+``repro.basecaller``  Bonito-style CTC basecaller.
+``repro.crossbar``    Memristor crossbar with device/circuit non-idealities.
+``repro.arch``        PUMA-style timing/area/energy models + GPU baseline.
+``repro.core``        The Swordfish framework itself.
+``repro.pipeline``    Nanopore analysis pipeline (Fig. 1 breakdown).
+``repro.experiments`` One runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import nn, genomics, basecaller, crossbar, arch, core
+
+__all__ = ["nn", "genomics", "basecaller", "crossbar", "arch", "core",
+           "__version__"]

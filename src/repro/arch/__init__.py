@@ -1,0 +1,26 @@
+"""``repro.arch`` — PUMA-style accelerator architecture models.
+
+Analytical timing (throughput), area, and energy models of the
+memristor tile array, plus the GPU roofline baseline.
+"""
+
+from .config import ArchConfig, ComponentCosts
+from .timing import (
+    LayerStage,
+    AccelVariant,
+    VARIANTS,
+    ThroughputModel,
+    ThroughputEstimate,
+)
+from .area import AreaBreakdown, AreaModel
+from .energy import EnergyBreakdown, EnergyModel
+from .gpu_baseline import GPUConfig, gpu_throughput
+
+__all__ = [
+    "ArchConfig", "ComponentCosts",
+    "LayerStage", "AccelVariant", "VARIANTS",
+    "ThroughputModel", "ThroughputEstimate",
+    "AreaBreakdown", "AreaModel",
+    "EnergyBreakdown", "EnergyModel",
+    "GPUConfig", "gpu_throughput",
+]

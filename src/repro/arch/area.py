@@ -1,0 +1,92 @@
+"""Area model of SwordfishAccel (drives Fig. 15's accuracy/area tradeoff).
+
+Adds up the silicon of the analog tiles (memristor array + converters
++ sensing + control) and the RSA additions: near-crossbar SRAM for the
+remapped weights, mapping metadata in the controller, and the merge
+adders (Section 3.4.4 lists exactly these overhead sources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ArchConfig
+from .timing import LayerStage
+
+__all__ = ["AreaBreakdown", "AreaModel"]
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component areas in mm²."""
+
+    crossbars: float
+    converters: float
+    sensing: float
+    control: float
+    sram: float
+    metadata: float
+    merge_logic: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (self.crossbars + self.converters + self.sensing
+                + self.control + self.sram + self.metadata
+                + self.merge_logic)
+
+    @property
+    def rsa_overhead_mm2(self) -> float:
+        """Area added by the RSA mechanism alone."""
+        return self.sram + self.metadata + self.merge_logic
+
+
+class AreaModel:
+    """Area of one pipeline replica (scaled by replica count by callers)."""
+
+    def __init__(self, arch: ArchConfig):
+        self.arch = arch
+
+    def replica_area(self, stages: list[LayerStage],
+                     sram_fraction: float = 0.0,
+                     replicas: int = 1) -> AreaBreakdown:
+        """Area breakdown for ``replicas`` copies of the mapped network.
+
+        ``sram_fraction`` of each tile's weights live in near-crossbar
+        SRAM (16-bit words), with per-weight mapping metadata
+        (row+column address) and one merge adder per ADC group.
+        """
+        if not 0.0 <= sram_fraction <= 1.0:
+            raise ValueError("sram_fraction must be in [0, 1]")
+        arch = self.arch
+        costs = arch.costs
+        size = arch.crossbar_size
+        slices = arch.cells_per_weight // 2
+        tiles = sum(s.num_tiles for s in stages) * slices * replicas
+
+        cells_per_tile = size * size * 2          # differential pair
+        um2 = 1e-6                                # µm² → mm²
+
+        crossbars = tiles * cells_per_tile * costs.crossbar_um2_per_cell * um2
+        adcs_per_tile = -(-size // arch.adc_share)
+        converters = tiles * (adcs_per_tile * costs.adc_um2
+                              + size * costs.dac_um2_per_row) * um2
+        sensing = tiles * size * costs.sense_um2_per_col * um2
+        control = tiles * costs.control_um2_per_tile * um2
+
+        sram_cells = sram_fraction * size * size * tiles
+        sram_bits = sram_cells * arch.weight_bits
+        metadata_bits = sram_cells * 2 * 8        # row + col byte addresses
+        sram = sram_bits * costs.sram_um2_per_bit * um2
+        metadata = metadata_bits * costs.sram_um2_per_bit * um2
+        merge = (tiles * adcs_per_tile * 64 * costs.sram_um2_per_bit * um2
+                 if sram_fraction > 0 else 0.0)
+
+        return AreaBreakdown(
+            crossbars=crossbars,
+            converters=converters,
+            sensing=sensing,
+            control=control,
+            sram=sram,
+            metadata=metadata,
+            merge_logic=merge,
+        )

@@ -1,0 +1,108 @@
+"""PUMA-style architecture configuration.
+
+Geometry and device/circuit timing-energy-area constants for the
+memristor accelerator, following the PUMA paper's published
+configuration (Ankit et al., ASPLOS 2019) scaled to the paper's TSMC
+40 nm node with DeepScaleTool-style rules (Section 4.1).  Constants are
+per-component so the area/timing/energy models in this package can be
+recombined for any tile size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ComponentCosts", "ArchConfig"]
+
+
+@dataclass(frozen=True)
+class ComponentCosts:
+    """Latency (ns), energy (pJ), and area (µm²) per circuit component.
+
+    Derived from PUMA/ISAAC published numbers projected to 40 nm:
+
+    * crossbar read: one analog VMM settle+integrate pass,
+    * ADC: one 8-bit conversion (a tile column group shares one ADC),
+    * DAC: one input-vector drive (all rows in parallel),
+    * SRAM: one 32-bit near-crossbar access,
+    * memristor write: one programming pulse (per cell),
+    * digital: one vector ALU op over a tile-width vector.
+    """
+
+    crossbar_read_ns: float = 100.0
+    adc_conversion_ns: float = 8.0
+    dac_drive_ns: float = 4.0
+    sram_access_ns: float = 2.0
+    write_pulse_ns: float = 1_000.0
+    digital_op_ns: float = 2.0
+
+    crossbar_read_pj: float = 300.0
+    adc_conversion_pj: float = 16.0
+    dac_drive_pj: float = 4.0
+    sram_access_pj: float = 1.0
+    write_pulse_pj: float = 100.0
+    digital_op_pj: float = 2.0
+
+    crossbar_um2_per_cell: float = 0.06   # 1T1R cell @ 40 nm
+    adc_um2: float = 3_000.0
+    dac_um2_per_row: float = 20.0
+    sram_um2_per_bit: float = 0.60        # 6T cell + margin @ 40 nm
+    control_um2_per_tile: float = 8_000.0
+    sense_um2_per_col: float = 15.0
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """One accelerator design point.
+
+    ``adc_share`` columns share one ADC (conversions serialize across
+    the group); ``input_bits`` inputs are streamed bit-serially through
+    1-bit DACs as in ISAAC/PUMA, so one full VMM needs ``input_bits``
+    crossbar passes; ``total_tiles`` bounds how many pipeline replicas
+    fit on the chip.
+    """
+
+    crossbar_size: int = 64
+    adc_share: int = 8
+    input_bits: int = 16
+    weight_bits: int = 16
+    bits_per_cell: int = 2
+    # Multi-node PUMA deployment sized so ~34 Bonito pipeline replicas
+    # fit (each replica needs ~12.4k tiles at 16-bit weights on 64x64
+    # arrays); Fig. 14's ideal speedup assumes the array is saturated.
+    total_tiles: int = 425_984
+    digital_width: int = 64
+    costs: ComponentCosts = field(default_factory=ComponentCosts)
+
+    def __post_init__(self) -> None:
+        if self.crossbar_size < 2:
+            raise ValueError("crossbar size must be >= 2")
+        if self.adc_share < 1:
+            raise ValueError("adc_share must be >= 1")
+        if self.bits_per_cell < 1:
+            raise ValueError("bits_per_cell must be >= 1")
+
+    @property
+    def cells_per_weight(self) -> int:
+        """Memristor cell pairs needed to store one weight."""
+        pairs = -(-self.weight_bits // self.bits_per_cell)  # ceil division
+        return 2 * pairs  # differential pair per slice
+
+    def tile_vmm_latency_ns(self) -> float:
+        """Latency of one complete VMM on one tile.
+
+        Bit-serial input streaming: ``input_bits`` crossbar passes, each
+        followed by the shared-ADC conversion sweep of the columns.
+        """
+        c = self.costs
+        conversions = -(-self.crossbar_size // self.adc_share)
+        per_pass = (c.dac_drive_ns + c.crossbar_read_ns
+                    + conversions * c.adc_conversion_ns)
+        return self.input_bits * per_pass + c.digital_op_ns
+
+    def tile_vmm_energy_pj(self) -> float:
+        c = self.costs
+        per_pass = (c.dac_drive_pj * self.crossbar_size
+                    + c.crossbar_read_pj
+                    + c.adc_conversion_pj * self.crossbar_size / self.adc_share)
+        return self.input_bits * per_pass

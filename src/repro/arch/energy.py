@@ -1,0 +1,68 @@
+"""Energy model of SwordfishAccel inference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import ArchConfig
+from .timing import AccelVariant, LayerStage, VARIANTS
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-base energy in picojoules."""
+
+    analog_pj: float
+    sram_pj: float
+    verify_pj: float
+    digital_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.analog_pj + self.sram_pj + self.verify_pj + self.digital_pj
+
+    @property
+    def nj_per_base(self) -> float:
+        return self.total_pj / 1e3
+
+
+class EnergyModel:
+    """Energy per basecalled base for one mapped network."""
+
+    def __init__(self, arch: ArchConfig):
+        self.arch = arch
+
+    def per_base(self, stages: list[LayerStage],
+                 variant: str | AccelVariant,
+                 bases_per_frame: float) -> EnergyBreakdown:
+        if isinstance(variant, str):
+            variant = VARIANTS[variant]
+        if bases_per_frame <= 0:
+            raise ValueError("bases_per_frame must be positive")
+        arch = self.arch
+        costs = arch.costs
+        vmm_pj = arch.tile_vmm_energy_pj()
+        slices = arch.cells_per_weight // 2
+
+        analog = sram = verify = digital = 0.0
+        for stage in stages:
+            invocations = stage.rate
+            analog += invocations * stage.num_tiles * slices * vmm_pj
+            digital += invocations * stage.row_tiles * costs.digital_op_pj
+            if variant.sram_fraction > 0:
+                cells = variant.sram_fraction * arch.crossbar_size ** 2
+                sram += invocations * stage.num_tiles * cells * costs.sram_access_pj
+            if variant.verify_cells_per_frame > 0:
+                verify += invocations * variant.verify_cells_per_frame * (
+                    costs.sram_access_pj + costs.write_pulse_pj
+                )
+
+        scale = 1.0 / bases_per_frame
+        return EnergyBreakdown(
+            analog_pj=analog * scale,
+            sram_pj=sram * scale,
+            verify_pj=verify * scale,
+            digital_pj=digital * scale,
+        )

@@ -1,0 +1,55 @@
+"""Roofline model of the Bonito-GPU baseline (Fig. 14's reference bar).
+
+The paper measures Bonito on an NVIDIA V100.  We model the GPU's
+basecalling throughput with a utilization-corrected roofline: RNN-heavy
+basecallers are launch/latency-bound on small recurrent matmuls and
+achieve only a few percent of peak FLOPs (the paper's own profiling
+motivates this; nvprof studies of Bonito report single-digit SM
+efficiency on the LSTM stack).
+
+Only the *ratio* between this baseline and the SwordfishAccel variants
+matters for reproducing Fig. 14's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUConfig", "gpu_throughput"]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """V100-like device and achievable-efficiency parameters."""
+
+    peak_tflops: float = 14.0          # FP32 peak
+    lstm_efficiency: float = 0.03      # achieved fraction on small RNNs
+    conv_efficiency: float = 0.20      # convs vectorize better
+    overhead_fraction: float = 0.15    # host/IO, chunk stitching
+
+    def __post_init__(self) -> None:
+        if not 0 < self.lstm_efficiency <= 1:
+            raise ValueError("lstm_efficiency must be in (0, 1]")
+        if not 0 < self.conv_efficiency <= 1:
+            raise ValueError("conv_efficiency must be in (0, 1]")
+
+
+def gpu_throughput(conv_flops_per_base: float, lstm_flops_per_base: float,
+                   config: GPUConfig | None = None) -> float:
+    """Estimate Bonito-GPU throughput in bases/second.
+
+    ``*_flops_per_base`` are the network's multiply-accumulate counts
+    (×2 for FLOPs) per basecalled base, split by layer family since the
+    achievable efficiency differs strongly between them.
+    """
+    config = config or GPUConfig()
+    if conv_flops_per_base < 0 or lstm_flops_per_base < 0:
+        raise ValueError("FLOP counts must be non-negative")
+    if conv_flops_per_base + lstm_flops_per_base == 0:
+        raise ValueError("network has no work per base")
+
+    peak = config.peak_tflops * 1e12
+    conv_time = conv_flops_per_base / (peak * config.conv_efficiency)
+    lstm_time = lstm_flops_per_base / (peak * config.lstm_efficiency)
+    base_time = (conv_time + lstm_time) / (1.0 - config.overhead_fraction)
+    return 1.0 / base_time

@@ -1,0 +1,101 @@
+"""Basecalling: run the network over read signal and decode CTC output."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..genomics import Read
+from .model import BLANK, BonitoModel
+
+__all__ = ["basecall_signal", "basecall_read", "basecall_reads",
+           "basecall_chunked", "quality_from_logits"]
+
+
+def basecall_signal(model: BonitoModel, signal: np.ndarray,
+                    beam_width: int = 0) -> np.ndarray:
+    """Basecall one signal array; returns base codes ``0..3``.
+
+    ``beam_width=0`` uses greedy (best-path) decoding; larger values use
+    prefix beam search.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    with nn.no_grad():
+        logits = model(nn.Tensor(signal[None, :]))
+    log_probs = logits.log_softmax(axis=-1).data[0]
+    if beam_width and beam_width > 1:
+        labels = nn.beam_search_decode(log_probs, beam_width=beam_width,
+                                       blank=BLANK)
+    else:
+        labels = nn.greedy_decode(log_probs, blank=BLANK)
+    return labels.astype(np.int8) - 1  # CTC labels 1..4 -> base codes 0..3
+
+
+def basecall_read(model: BonitoModel, read: Read,
+                  beam_width: int = 0) -> np.ndarray:
+    """Basecall a simulated :class:`~repro.genomics.Read`."""
+    return basecall_signal(model, read.signal, beam_width=beam_width)
+
+
+def basecall_reads(model: BonitoModel, reads: list[Read],
+                   beam_width: int = 0) -> list[np.ndarray]:
+    """Basecall a list of reads (sequentially; batch=1 handles variable length)."""
+    return [basecall_read(model, read, beam_width=beam_width) for read in reads]
+
+
+def basecall_chunked(model: BonitoModel, signal: np.ndarray,
+                     chunk_samples: int = 1024, overlap: int = 128,
+                     beam_width: int = 0) -> np.ndarray:
+    """Basecall a long signal in overlapping chunks (Bonito's strategy).
+
+    Real basecallers bound memory/latency by slicing the signal into
+    fixed windows with overlap, decoding each, and stitching: frames in
+    the overlap region are trimmed symmetrically so every sample is
+    decoded by exactly one chunk's interior, where the network has full
+    bidirectional context.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if chunk_samples <= 2 * overlap:
+        raise ValueError("chunk_samples must exceed twice the overlap")
+    if len(signal) <= chunk_samples:
+        return basecall_signal(model, signal, beam_width=beam_width)
+
+    step = chunk_samples - overlap
+    pieces: list[np.ndarray] = []
+    start = 0
+    while start < len(signal):
+        stop = min(start + chunk_samples, len(signal))
+        chunk = signal[start:stop]
+        with nn.no_grad():
+            logits = model(nn.Tensor(chunk[None, :]))
+        log_probs = logits.log_softmax(axis=-1).data[0]
+
+        # Trim half the overlap worth of *frames* at stitched edges.
+        frames = log_probs.shape[0]
+        frames_per_sample = frames / len(chunk)
+        trim = int(round(overlap / 2 * frames_per_sample))
+        lo = trim if start > 0 else 0
+        hi = frames - trim if stop < len(signal) else frames
+        window = log_probs[lo:hi]
+
+        if beam_width and beam_width > 1:
+            labels = nn.beam_search_decode(window, beam_width=beam_width,
+                                           blank=BLANK)
+        else:
+            labels = nn.greedy_decode(window, blank=BLANK)
+        pieces.append(labels.astype(np.int8) - 1)
+        if stop == len(signal):
+            break
+        start += step
+    return np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int8)
+
+
+def quality_from_logits(log_probs: np.ndarray) -> np.ndarray:
+    """Phred-style per-frame quality from CTC posteriors.
+
+    Q = -10 log10(1 - p_max); used when exporting simulated basecalls to
+    FASTQ.
+    """
+    p_max = np.exp(log_probs).max(axis=-1)
+    error = np.clip(1.0 - p_max, 1e-6, 1.0)
+    return (-10.0 * np.log10(error)).astype(np.int64)

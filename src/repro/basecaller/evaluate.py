@@ -1,0 +1,52 @@
+"""Read-accuracy evaluation (the paper's primary metric)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genomics import Read, read_accuracy
+from .decode import basecall_read
+from .model import BonitoModel
+
+__all__ = ["AccuracyReport", "evaluate_accuracy"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Per-dataset accuracy summary."""
+
+    identities: np.ndarray        # per-read identity in [0, 1]
+    called_lengths: np.ndarray
+    true_lengths: np.ndarray
+
+    @property
+    def mean_percent(self) -> float:
+        """Mean read accuracy in percent (paper's headline number)."""
+        return float(self.identities.mean() * 100.0)
+
+    @property
+    def median_percent(self) -> float:
+        return float(np.median(self.identities) * 100.0)
+
+    @property
+    def total_bases(self) -> int:
+        """Total bases emitted (numerator of throughput accounting)."""
+        return int(self.called_lengths.sum())
+
+
+def evaluate_accuracy(model: BonitoModel, reads: list[Read],
+                      beam_width: int = 0) -> AccuracyReport:
+    """Basecall ``reads`` and align each call against its ground truth."""
+    if not reads:
+        raise ValueError("no reads to evaluate")
+    identities = np.empty(len(reads))
+    called_lengths = np.empty(len(reads), dtype=np.int64)
+    true_lengths = np.empty(len(reads), dtype=np.int64)
+    for i, read in enumerate(reads):
+        called = basecall_read(model, read, beam_width=beam_width)
+        identities[i] = read_accuracy(called, read.bases)
+        called_lengths[i] = len(called)
+        true_lengths[i] = len(read.bases)
+    return AccuracyReport(identities, called_lengths, true_lengths)

@@ -1,0 +1,168 @@
+"""HMM baseline basecaller (the pre-DNN state of the art).
+
+Before DNN basecallers, nanopore basecalling used hidden Markov models
+(e.g. Metrichor); the paper cites them as the accuracy baseline DNNs
+displaced (Section 2.2).  This module implements that baseline so the
+DNN-vs-HMM comparison can actually be run:
+
+* hidden states = the 4^k pore k-mers;
+* emissions = Gaussians from the same pore model the simulator uses
+  (level mean/stdv per k-mer) — i.e. the HMM gets the *true* generative
+  emission table, the strongest version of this baseline;
+* transitions = stay (dwell) with probability ``p_stay``, else advance
+  to one of the 4 overlapping successor k-mers;
+* decoding = exact Viterbi, vectorized over states.
+
+Despite the oracle emission table, the HMM underperforms the trained
+DNN because it cannot exploit long-range sequence context or adapt to
+drift — the gap that motivated DNN basecallers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genomics import PoreModel, Read, default_pore_model, normalize_signal
+
+__all__ = ["HMMBasecaller"]
+
+
+@dataclass
+class HMMBasecaller:
+    """Viterbi basecaller over pore-model k-mer states.
+
+    ``table_noise`` models the *estimation error* of the emission
+    table: a production HMM's k-mer levels come from finite
+    characterization data, not the true generative model.  Set it to
+    0.0 for the oracle-emission upper bound.
+    """
+
+    pore: PoreModel | None = None
+    p_stay: float | None = None
+    samples_per_base: float = 5.0
+    table_noise: float = 0.04
+    table_seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.pore is None:
+            self.pore = default_pore_model()
+        if self.p_stay is None:
+            # A geometric dwell of mean `samples_per_base` stays with
+            # probability 1 - 1/mean.
+            self.p_stay = 1.0 - 1.0 / self.samples_per_base
+        if not 0.0 < self.p_stay < 1.0:
+            raise ValueError("p_stay must be in (0, 1)")
+        if self.table_noise < 0:
+            raise ValueError("table_noise must be non-negative")
+        k = self.pore.k
+        num_states = 4 ** k
+        # Predecessors of state s=(c1..ck) are (x,c1..c_{k-1}) for x in
+        # ACGT: shift right in base-4.
+        states = np.arange(num_states)
+        suffix = states // 4                   # drop the last base
+        self._predecessors = (suffix[None, :]
+                              + np.arange(4)[:, None] * 4 ** (k - 1))
+        # Normalized emission parameters: the signal is med/MAD
+        # normalized, so normalize the level table the same way.
+        levels = self.pore.level_mean
+        med = np.median(levels)
+        mad = np.median(np.abs(levels - med)) * 1.4826
+        self._norm_means = (levels - med) / mad
+        if self.table_noise > 0:
+            table_rng = np.random.default_rng(self.table_seed)
+            self._norm_means = (self._norm_means
+                                + table_rng.standard_normal(num_states)
+                                * self.table_noise)
+        self._norm_stdvs = np.maximum(self.pore.level_stdv / mad, 1e-3)
+
+    @property
+    def num_states(self) -> int:
+        return 4 ** self.pore.k
+
+    # ------------------------------------------------------------------
+    def _emission_log_probs(self, signal: np.ndarray) -> np.ndarray:
+        """(T, S) Gaussian log-likelihood of each sample per k-mer."""
+        diff = (signal[:, None] - self._norm_means[None, :])
+        var = self._norm_stdvs[None, :] ** 2
+        return -0.5 * (diff ** 2 / var) - 0.5 * np.log(2 * np.pi * var)
+
+    def viterbi(self, signal: np.ndarray) -> np.ndarray:
+        """Most likely k-mer state path for a normalized signal."""
+        signal = np.asarray(signal, dtype=np.float64)
+        if signal.ndim != 1 or len(signal) == 0:
+            raise ValueError("signal must be a non-empty 1-D array")
+        emissions = self._emission_log_probs(signal)
+        time, num_states = emissions.shape
+        log_stay = np.log(self.p_stay)
+        log_move = np.log((1.0 - self.p_stay) / 4.0)
+
+        score = np.full(num_states, -np.log(num_states)) + emissions[0]
+        backptr = np.zeros((time, num_states), dtype=np.int32)
+        for t in range(1, time):
+            stay = score + log_stay
+            # Best of the 4 predecessors for each state.
+            pred_scores = score[self._predecessors] + log_move  # (4, S)
+            best_pred = pred_scores.argmax(axis=0)
+            move = pred_scores[best_pred, np.arange(num_states)]
+            take_move = move > stay
+            backptr[t] = np.where(
+                take_move,
+                self._predecessors[best_pred, np.arange(num_states)],
+                np.arange(num_states),
+            )
+            score = np.where(take_move, move, stay) + emissions[t]
+
+        path = np.empty(time, dtype=np.int64)
+        path[-1] = int(score.argmax())
+        for t in range(time - 1, 0, -1):
+            path[t - 1] = backptr[t, path[t]]
+        return path
+
+    def basecall_signal(self, signal: np.ndarray,
+                        recalibrate: int = 1) -> np.ndarray:
+        """Basecall a normalized signal; returns base codes 0..3.
+
+        ``recalibrate`` extra Viterbi passes re-fit a per-read linear
+        scale/offset between the signal and the decoded state levels
+        (med/MAD normalization of a short read is biased by which
+        k-mers it happens to contain; adaptive recalibration was
+        standard in production HMM basecallers).
+
+        The collapsed k-mer path is converted to bases by taking the
+        *first* base of each k-mer (matching the simulator's ground
+        truth, which is the k-mer start sequence).
+        """
+        signal = np.asarray(signal, dtype=np.float64)
+        path = self.viterbi(signal)
+        for _ in range(recalibrate):
+            predicted = self._norm_means[path]
+            spread = predicted.std()
+            if spread < 1e-6:
+                break
+            slope = float(np.cov(predicted, signal)[0, 1] / spread ** 2)
+            if abs(slope) < 1e-6:
+                break
+            intercept = float(signal.mean() - slope * predicted.mean())
+            signal = (signal - intercept) / slope
+            path = self.viterbi(signal)
+        changes = np.concatenate(([True], path[1:] != path[:-1]))
+        kmers = path[changes]
+        k = self.pore.k
+        first_bases = (kmers // 4 ** (k - 1)).astype(np.int8)
+        return first_bases
+
+    def basecall_read(self, read: Read) -> np.ndarray:
+        return self.basecall_signal(np.asarray(read.signal))
+
+    def evaluate(self, reads: list[Read]) -> float:
+        """Mean read accuracy (percent) over ``reads``."""
+        from ..genomics import read_accuracy
+        if not reads:
+            raise ValueError("no reads to evaluate")
+        identities = [
+            read_accuracy(self.basecall_read(read), read.bases)
+            for read in reads
+        ]
+        return float(np.mean(identities) * 100.0)

@@ -1,0 +1,90 @@
+"""Pretrained-model registry.
+
+Training the (scaled) Bonito model takes minutes on one core; every
+experiment in the paper starts from the same converged FP baseline.
+This registry trains that baseline once and caches the weights on disk
+(``SWORDFISH_CACHE`` env var, default ``~/.cache/swordfish-repro``), so
+tests, examples, and benchmarks share it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .. import nn
+from .model import BonitoConfig, BonitoModel
+from .train import TrainConfig, make_training_chunks, train_model
+
+__all__ = ["cache_dir", "default_model", "train_default_model"]
+
+_MEMORY_CACHE: dict[str, BonitoModel] = {}
+
+
+def cache_dir() -> Path:
+    """Directory for cached model checkpoints."""
+    root = os.environ.get("SWORDFISH_CACHE")
+    if root:
+        return Path(root)
+    return Path.home() / ".cache" / "swordfish-repro"
+
+
+def _checkpoint_path(config: BonitoConfig, train: TrainConfig,
+                     num_chunks: int) -> Path:
+    key = f"{config.cache_key()}_e{train.epochs}_n{num_chunks}"
+    return cache_dir() / f"{key}.npz"
+
+
+def train_default_model(config: BonitoConfig | None = None,
+                        train_config: TrainConfig | None = None,
+                        num_chunks: int = 400,
+                        verbose: bool = False) -> BonitoModel:
+    """Train the FP baseline from scratch (no cache)."""
+    config = config or BonitoConfig()
+    train_config = train_config or TrainConfig()
+    model = BonitoModel(config)
+    chunks = make_training_chunks(num_chunks=num_chunks)
+    progress = (lambda e, l: print(f"  epoch {e}: loss {l:.4f}")) if verbose else None
+    train_model(model, chunks, train_config, progress=progress)
+    return model
+
+
+def default_model(config: BonitoConfig | None = None,
+                  train_config: TrainConfig | None = None,
+                  num_chunks: int = 400,
+                  retrain: bool = False,
+                  verbose: bool = False) -> BonitoModel:
+    """Return the shared pretrained baseline, training it on first use.
+
+    The returned model is a *fresh copy* loaded from the checkpoint, so
+    callers may freely quantize or perturb its weights.
+    """
+    config = config or BonitoConfig()
+    train_config = train_config or TrainConfig()
+    path = _checkpoint_path(config, train_config, num_chunks)
+    mem_key = str(path)
+
+    if not retrain and mem_key in _MEMORY_CACHE:
+        cached = _MEMORY_CACHE[mem_key]
+        clone = BonitoModel(config)
+        clone.load_state_dict(cached.state_dict())
+        clone.eval()
+        return clone
+
+    model = BonitoModel(config)
+    if path.exists() and not retrain:
+        nn.load_checkpoint(model, path)
+    else:
+        model = train_default_model(config, train_config, num_chunks,
+                                    verbose=verbose)
+        nn.save_checkpoint(model, path, metadata={
+            "config": config.cache_key(),
+            "epochs": train_config.epochs,
+            "num_chunks": num_chunks,
+        })
+    model.eval()
+    _MEMORY_CACHE[mem_key] = model
+    clone = BonitoModel(config)
+    clone.load_state_dict(model.state_dict())
+    clone.eval()
+    return clone

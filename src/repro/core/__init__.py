@@ -1,0 +1,50 @@
+"""``repro.core`` — the Swordfish framework (the paper's contribution).
+
+Partition & Map (①), VMM Model Generator (②), Accuracy Enhancer (③),
+and System Evaluator (④), plus the ``Swordfish`` façade tying them
+together.
+"""
+
+from .partition import LayerMapping, NetworkMapping, partition_network
+from .nonidealities import (
+    NonidealityCalibration,
+    PAPER_CALIBRATION,
+    NonidealityBundle,
+    BUNDLES,
+    get_bundle,
+)
+from .vmm_model import DeployedModel, deploy
+from .enhance import (
+    EnhanceConfig,
+    TECHNIQUES,
+    characterize_weight_noise,
+    vat_retrain,
+    kd_retrain,
+    rsa_online_retrain,
+    EnhancedDesign,
+    build_design,
+)
+from .evaluator import SystemEvaluator, DesignMetrics
+from .framework import Swordfish, SwordfishConfig
+from .results import (
+    AccuracyResult,
+    ThroughputResult,
+    AreaResult,
+    ExperimentRecord,
+    render_table,
+    save_record,
+)
+
+__all__ = [
+    "LayerMapping", "NetworkMapping", "partition_network",
+    "NonidealityCalibration", "PAPER_CALIBRATION", "NonidealityBundle",
+    "BUNDLES", "get_bundle",
+    "DeployedModel", "deploy",
+    "EnhanceConfig", "TECHNIQUES", "characterize_weight_noise",
+    "vat_retrain", "kd_retrain", "rsa_online_retrain",
+    "EnhancedDesign", "build_design",
+    "SystemEvaluator", "DesignMetrics",
+    "Swordfish", "SwordfishConfig",
+    "AccuracyResult", "ThroughputResult", "AreaResult",
+    "ExperimentRecord", "render_table", "save_record",
+]

@@ -1,0 +1,170 @@
+"""System Evaluator (Swordfish module ④).
+
+Combines the outputs of the other modules into the three metrics the
+paper reports (Section 3.5): read accuracy, basecalling throughput in
+Kbp/s, and area overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch import (
+    ArchConfig,
+    AreaBreakdown,
+    AreaModel,
+    EnergyBreakdown,
+    EnergyModel,
+    GPUConfig,
+    ThroughputEstimate,
+    ThroughputModel,
+    VARIANTS,
+    gpu_throughput,
+)
+from ..basecaller import BonitoModel, evaluate_accuracy
+from ..genomics import Read, dataset_reads
+from .enhance import EnhancedDesign
+from .partition import NetworkMapping, partition_network
+
+__all__ = ["SystemEvaluator", "DesignMetrics"]
+
+
+@dataclass(frozen=True)
+class DesignMetrics:
+    """Full metric set for one design point."""
+
+    accuracy_percent: dict[str, float]
+    throughput: ThroughputEstimate
+    gpu_baseline_kbps: float
+    area: AreaBreakdown
+    energy: EnergyBreakdown
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(list(self.accuracy_percent.values())))
+
+    @property
+    def speedup_vs_gpu(self) -> float:
+        return self.throughput.kbp_per_second / self.gpu_baseline_kbps
+
+
+class SystemEvaluator:
+    """Evaluate accuracy/throughput/area of enhanced designs."""
+
+    def __init__(self, arch: ArchConfig | None = None,
+                 gpu: GPUConfig | None = None,
+                 samples_per_base: float = 5.0):
+        self.arch = arch or ArchConfig()
+        self.gpu = gpu or GPUConfig()
+        self.samples_per_base = samples_per_base
+
+    # ------------------------------------------------------------------
+    # Accuracy
+    # ------------------------------------------------------------------
+    def accuracy(self, model: BonitoModel, datasets: list[str],
+                 reads_per_dataset: int | None = None,
+                 beam_width: int = 0,
+                 reads_override: dict[str, list[Read]] | None = None,
+                 ) -> dict[str, float]:
+        """Read accuracy (percent) per dataset for the given model.
+
+        ``model`` may be hooked (deployed) or clean; the evaluator does
+        not care — that is the point of the hook design.
+        """
+        out: dict[str, float] = {}
+        for name in datasets:
+            if reads_override and name in reads_override:
+                reads = reads_override[name]
+            else:
+                reads = dataset_reads(name, num_reads=reads_per_dataset,
+                                      seed_offset=1)
+            out[name] = evaluate_accuracy(model, reads,
+                                          beam_width=beam_width).mean_percent
+        return out
+
+    # ------------------------------------------------------------------
+    # Throughput / area / energy
+    # ------------------------------------------------------------------
+    def _mapping(self, model: BonitoModel,
+                 crossbar_size: int) -> NetworkMapping:
+        return partition_network(model, crossbar_size,
+                                 samples_per_base=self.samples_per_base)
+
+    def throughput(self, model: BonitoModel, variant: str,
+                   crossbar_size: int) -> ThroughputEstimate:
+        arch = self._arch_for(crossbar_size)
+        mapping = self._mapping(model, crossbar_size)
+        return ThroughputModel(arch).estimate(
+            mapping.stages(), variant, mapping.bases_per_frame
+        )
+
+    def gpu_baseline(self, model: BonitoModel) -> float:
+        """Bonito-GPU throughput in Kbp/s for this network."""
+        conv_macs = 0
+        lstm_macs = 0
+        mapping = self._mapping(model, 64)
+        for layer in mapping.layers:
+            macs = layer.num_weights * layer.rate
+            if layer.kind == "lstm":
+                lstm_macs += macs
+            else:
+                conv_macs += macs
+        per_base = 2.0 / mapping.bases_per_frame  # FLOPs = 2 × MACs
+        return gpu_throughput(conv_macs * per_base, lstm_macs * per_base,
+                              self.gpu) / 1e3
+
+    def area(self, model: BonitoModel, crossbar_size: int,
+             sram_fraction: float = 0.0,
+             replicas: int = 1) -> AreaBreakdown:
+        arch = self._arch_for(crossbar_size)
+        mapping = self._mapping(model, crossbar_size)
+        return AreaModel(arch).replica_area(mapping.stages(),
+                                            sram_fraction=sram_fraction,
+                                            replicas=replicas)
+
+    def energy(self, model: BonitoModel, variant: str,
+               crossbar_size: int) -> EnergyBreakdown:
+        arch = self._arch_for(crossbar_size)
+        mapping = self._mapping(model, crossbar_size)
+        return EnergyModel(arch).per_base(mapping.stages(), variant,
+                                          mapping.bases_per_frame)
+
+    def _arch_for(self, crossbar_size: int) -> ArchConfig:
+        if crossbar_size == self.arch.crossbar_size:
+            return self.arch
+        from dataclasses import replace
+        return replace(self.arch, crossbar_size=crossbar_size)
+
+    # ------------------------------------------------------------------
+    # Full design evaluation
+    # ------------------------------------------------------------------
+    def evaluate_design(self, design: EnhancedDesign, datasets: list[str],
+                        reads_per_dataset: int | None = None) -> DesignMetrics:
+        """All three paper metrics for one enhanced design."""
+        variant_name = self._variant_for(design)
+        model = design.deployed.model
+        size = design.deployed.crossbar_size
+
+        accuracy = self.accuracy(model, datasets,
+                                 reads_per_dataset=reads_per_dataset)
+        throughput = self.throughput(model, variant_name, size)
+        area = self.area(model, size, sram_fraction=design.sram_fraction,
+                         replicas=throughput.replicas)
+        energy = self.energy(model, variant_name, size)
+        return DesignMetrics(
+            accuracy_percent=accuracy,
+            throughput=throughput,
+            gpu_baseline_kbps=self.gpu_baseline(model),
+            area=area,
+            energy=energy,
+        )
+
+    @staticmethod
+    def _variant_for(design: EnhancedDesign) -> str:
+        if design.sram_fraction > 0:
+            return "rsa_kd" if design.technique in ("rsa_kd", "all") else "rsa"
+        if design.uses_wrv:
+            return "rvw"
+        return "ideal"

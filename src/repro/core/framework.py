@@ -1,0 +1,110 @@
+"""The Swordfish façade: one call from design question to metrics.
+
+Ties the four modules together (Fig. 3): Partition & Map → VMM Model
+Generator → Accuracy Enhancer → System Evaluator.  A
+:class:`SwordfishConfig` names a complete design question ("Bonito,
+FPP 16-16, 64×64 crossbars, 10% write variation, measured
+non-idealities, mitigated with RSA+KD — what are accuracy, throughput,
+and area?"); :class:`Swordfish` answers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch import ArchConfig, GPUConfig
+from ..basecaller import BonitoConfig, BonitoModel, default_model
+from ..nn import QuantizedModel, get_quant_config
+from .enhance import EnhanceConfig, EnhancedDesign, TECHNIQUES, build_design
+from .evaluator import DesignMetrics, SystemEvaluator
+from .nonidealities import BUNDLES, NonidealityBundle, get_bundle
+
+__all__ = ["SwordfishConfig", "Swordfish"]
+
+_DATASETS = ("D1", "D2", "D3", "D4")
+
+
+@dataclass(frozen=True)
+class SwordfishConfig:
+    """A complete design question for the framework."""
+
+    quantization: str = "FPP 16-16"
+    crossbar_size: int = 64
+    write_variation: float = 0.10
+    bundle: str = "measured"
+    technique: str = "none"
+    datasets: tuple[str, ...] = _DATASETS
+    reads_per_dataset: int | None = None
+    seed: int = 0
+    model: BonitoConfig = field(default_factory=BonitoConfig)
+    enhance: EnhanceConfig = field(default_factory=EnhanceConfig)
+
+    def __post_init__(self) -> None:
+        get_quant_config(self.quantization)  # validate early
+        if self.bundle not in BUNDLES:
+            raise ValueError(f"unknown bundle {self.bundle!r}")
+        if self.technique not in TECHNIQUES:
+            raise ValueError(f"unknown technique {self.technique!r}")
+
+
+class Swordfish:
+    """End-to-end runner for one or many design questions.
+
+    The heavyweight pieces (pretrained baseline, retrained variants)
+    are cached across runs, so sweeps over configurations — which is
+    what the paper's figures are — stay tractable.
+    """
+
+    def __init__(self, arch: ArchConfig | None = None,
+                 gpu: GPUConfig | None = None):
+        self.evaluator = SystemEvaluator(arch=arch, gpu=gpu)
+
+    # ------------------------------------------------------------------
+    def baseline_model(self, config: SwordfishConfig) -> BonitoModel:
+        """Fresh copy of the trained FP baseline for this model config."""
+        return default_model(config.model)
+
+    def prepared_model(self, config: SwordfishConfig) -> BonitoModel:
+        """Baseline with the requested quantization applied."""
+        model = self.baseline_model(config)
+        quant = get_quant_config(config.quantization)
+        if not quant.is_float:
+            QuantizedModel(model, quant)
+        return model
+
+    def build(self, config: SwordfishConfig) -> EnhancedDesign:
+        """Run Partition & Map + VMM modeling + enhancement."""
+        model = self.prepared_model(config)
+        teacher = self.baseline_model(config)  # FP32 teacher for KD
+        bundle: NonidealityBundle = get_bundle(config.bundle)
+        return build_design(
+            model, config.technique, bundle,
+            crossbar_size=config.crossbar_size,
+            write_variation=config.write_variation,
+            config=config.enhance,
+            teacher=teacher,
+            seed=config.seed,
+        )
+
+    def run(self, config: SwordfishConfig) -> DesignMetrics:
+        """Answer one design question with the full metric set."""
+        design = self.build(config)
+        try:
+            return self.evaluator.evaluate_design(
+                design, list(config.datasets),
+                reads_per_dataset=config.reads_per_dataset,
+            )
+        finally:
+            design.release()
+
+    # ------------------------------------------------------------------
+    def accuracy_only(self, config: SwordfishConfig) -> dict[str, float]:
+        """Accuracy per dataset (skips throughput/area models)."""
+        design = self.build(config)
+        try:
+            return self.evaluator.accuracy(
+                design.deployed.model, list(config.datasets),
+                reads_per_dataset=config.reads_per_dataset,
+            )
+        finally:
+            design.release()

@@ -1,0 +1,176 @@
+"""Named non-ideality bundles (Swordfish module ② configuration).
+
+Section 5.2.2 evaluates five configurations per dataset and crossbar
+size; this module defines them as named bundles that produce a
+:class:`repro.crossbar.CrossbarConfig`:
+
+* ``synaptic_wires`` — synaptic conductance variation + wire/IR-drop,
+* ``sense_adc``     — sensing circuit and ADC errors,
+* ``dac_driver``    — DAC and driver errors,
+* ``combined``      — all of the above simultaneously (analytical),
+* ``measured``      — all of the above *plus* tile-to-tile parameter
+  jitter, i.e. the measurement-library modeling mode (Section 3.3's
+  first approach; our library is generated — see DESIGN.md §2).
+
+Every bundle also carries the write variation under study (the paper
+plots all non-ideality results with 10% write variation error bars).
+
+Magnitudes in :data:`PAPER_CALIBRATION` were tuned so the scaled-down
+basecaller lands in the paper's accuracy-loss bands (Fig. 8/9); they
+are ordinary dataclass fields, so sensitivity studies can override any
+of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..crossbar import (
+    ADCConfig,
+    CrossbarConfig,
+    DACConfig,
+    DeviceConfig,
+    VariationConfig,
+    WireConfig,
+)
+
+__all__ = [
+    "NonidealityCalibration",
+    "PAPER_CALIBRATION",
+    "NonidealityBundle",
+    "BUNDLES",
+    "get_bundle",
+]
+
+
+@dataclass(frozen=True)
+class NonidealityCalibration:
+    """Tunable physical magnitudes behind the named bundles."""
+
+    # Synaptic (device) effects
+    device_nonlinearity: float = 0.6
+    device_variation: float = 0.04
+    stuck_lrs: float = 0.003
+    stuck_hrs: float = 0.003
+    conductance_levels: int = 32
+    read_noise: float = 0.01
+
+    # Wire effects
+    wire_segment_ohm: float = 3.0
+    sneak_coupling: float = 0.005
+
+    # Sense/ADC effects (error magnitudes grow ~sqrt(size/64): a larger
+    # array accumulates more current per column, stressing the shared
+    # sense/ADC range — the mechanism behind the paper's observation
+    # that Sense+ADC overtakes DAC+Driver on 256x256 crossbars)
+    adc_bits: int = 8
+    adc_headroom: float = 2.0
+    adc_gain_std: float = 0.008
+    adc_offset_std: float = 0.003
+    adc_inl: float = 0.010
+
+    # DAC/driver effects (size-independent: drivers are per-row)
+    dac_bits: int = 7
+    dac_r_load: float = 0.6
+    dac_gain_std: float = 0.018
+    dac_offset_std: float = 0.010
+
+    # Measured-library extras
+    measured_jitter: float = 0.30
+    measured_severity: float = 1.2
+
+
+#: Default calibration (see DESIGN.md §5).
+PAPER_CALIBRATION = NonidealityCalibration()
+
+_IDEAL_DEVICE = dict(nonlinearity=0.0, levels=2 ** 16, read_noise=0.0)
+
+
+@dataclass(frozen=True)
+class NonidealityBundle:
+    """A named configuration of which non-idealities are active."""
+
+    name: str
+    synaptic: bool = False
+    wires: bool = False
+    sense_adc: bool = False
+    dac_driver: bool = False
+    library_mode: bool = False
+    calibration: NonidealityCalibration = field(default_factory=NonidealityCalibration)
+
+    def crossbar_config(self, size: int,
+                        write_variation: float = 0.10) -> CrossbarConfig:
+        """Materialize the crossbar design point for this bundle."""
+        cal = self.calibration
+        if self.name == "ideal":
+            write_variation = 0.0
+        severity = cal.measured_severity if self.library_mode else 1.0
+
+        if self.synaptic:
+            device = DeviceConfig(
+                nonlinearity=cal.device_nonlinearity * severity,
+                levels=cal.conductance_levels,
+                read_noise=cal.read_noise * severity,
+            )
+            variation = VariationConfig(
+                write_variation=write_variation,
+                device_variation=cal.device_variation * severity,
+                stuck_lrs=cal.stuck_lrs * severity,
+                stuck_hrs=cal.stuck_hrs * severity,
+            )
+        else:
+            device = DeviceConfig(**_IDEAL_DEVICE)
+            variation = VariationConfig(write_variation=write_variation)
+
+        wire = (WireConfig(segment_ohm=cal.wire_segment_ohm * severity,
+                           sneak_coupling=cal.sneak_coupling * severity)
+                if self.wires else WireConfig(segment_ohm=0.0))
+
+        size_factor = (size / 64.0) ** 0.5
+        adc = (ADCConfig(bits=cal.adc_bits,
+                         range_headroom=cal.adc_headroom,
+                         gain_std=cal.adc_gain_std * severity * size_factor,
+                         offset_std=cal.adc_offset_std * severity * size_factor,
+                         inl=cal.adc_inl * severity * size_factor)
+               if self.sense_adc
+               else ADCConfig(bits=None, range_headroom=1e6))
+
+        dac = (DACConfig(bits=cal.dac_bits,
+                         r_load=cal.dac_r_load * severity,
+                         gain_std=cal.dac_gain_std * severity,
+                         offset_std=cal.dac_offset_std * severity)
+               if self.dac_driver else DACConfig(bits=None))
+
+        return CrossbarConfig(size=size, device=device, variation=variation,
+                              wire=wire, dac=dac, adc=adc)
+
+    def with_calibration(self, calibration: NonidealityCalibration
+                         ) -> "NonidealityBundle":
+        return replace(self, calibration=calibration)
+
+
+#: The five configurations of Fig. 8/9, plus write-variation-only
+#: (Fig. 7) and the fully ideal reference.
+BUNDLES: dict[str, NonidealityBundle] = {
+    "ideal": NonidealityBundle("ideal"),
+    "write_only": NonidealityBundle("write_only"),
+    "synaptic_wires": NonidealityBundle("synaptic_wires",
+                                        synaptic=True, wires=True),
+    "sense_adc": NonidealityBundle("sense_adc", sense_adc=True),
+    "dac_driver": NonidealityBundle("dac_driver", dac_driver=True),
+    "combined": NonidealityBundle("combined", synaptic=True, wires=True,
+                                  sense_adc=True, dac_driver=True),
+    "measured": NonidealityBundle("measured", synaptic=True, wires=True,
+                                  sense_adc=True, dac_driver=True,
+                                  library_mode=True),
+}
+
+
+def get_bundle(name: str) -> NonidealityBundle:
+    """Look up a bundle by its Fig. 8/9 name."""
+    try:
+        return BUNDLES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bundle {name!r}; have {sorted(BUNDLES)}"
+        ) from None

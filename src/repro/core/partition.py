@@ -1,0 +1,171 @@
+"""Partition & Map (Swordfish module ①).
+
+Maps every VMM of the basecaller DNN onto fixed-size crossbar tiles
+(Section 3.2): the analog components get the weight matrices, the
+digital periphery gets everything else.  The mapping is computed once
+per (network, crossbar size) pair and feeds
+
+* the VMM Model Generator (which banks to build),
+* the System Evaluator's throughput model (pipeline stages), and
+* the area model (tile counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch import LayerStage
+from ..basecaller import BonitoModel
+from .. import nn
+
+__all__ = ["LayerMapping", "NetworkMapping", "partition_network"]
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Crossbar assignment of one network layer.
+
+    A layer may own several weight matrices (an LSTM has the input
+    projection and the recurrent matrix); each is tiled independently.
+    ``serial_vmms`` and ``rate`` drive the timing model: the recurrent
+    VMM of an LSTM serializes with the frame stream, and encoder convs
+    ahead of the downsampling stride run at a higher frame rate.
+    """
+
+    name: str
+    kind: str                       # "conv" | "lstm" | "linear"
+    weight_shapes: tuple[tuple[int, int], ...]
+    tile_grids: tuple[tuple[int, int], ...]
+    serial_vmms: int
+    rate: float
+
+    @property
+    def num_tiles(self) -> int:
+        return sum(r * c for r, c in self.tile_grids)
+
+    @property
+    def num_weights(self) -> int:
+        return sum(r * c for r, c in self.weight_shapes)
+
+
+@dataclass(frozen=True)
+class NetworkMapping:
+    """Full Partition & Map result for one network."""
+
+    crossbar_size: int
+    layers: tuple[LayerMapping, ...]
+    bases_per_frame: float
+
+    @property
+    def total_tiles(self) -> int:
+        return sum(layer.num_tiles for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        return sum(layer.num_weights for layer in self.layers)
+
+    def stages(self) -> list[LayerStage]:
+        """Convert to the timing model's pipeline stages."""
+        stages = []
+        for layer in self.layers:
+            rows = max(shape[0] for shape in layer.weight_shapes)
+            cols = max(shape[1] for shape in layer.weight_shapes)
+            # row_tiles sets the digital partial-sum depth; col_tiles is
+            # derived so row_tiles*col_tiles preserves the layer's true
+            # tile count (an LSTM owns two tiled matrices).
+            row_tiles = max(grid[0] for grid in layer.tile_grids)
+            col_tiles = -(-layer.num_tiles // row_tiles)
+            stages.append(LayerStage(
+                name=layer.name,
+                rows=rows,
+                cols=cols,
+                serial_vmms=layer.serial_vmms,
+                rate=layer.rate,
+                row_tiles=row_tiles,
+                col_tiles=col_tiles,
+            ))
+        return stages
+
+
+def _grid(shape: tuple[int, int], size: int) -> tuple[int, int]:
+    rows, cols = shape
+    return (-(-rows // size), -(-cols // size))
+
+
+def partition_network(model: BonitoModel, crossbar_size: int,
+                      samples_per_base: float = 5.0) -> NetworkMapping:
+    """Compute the crossbar mapping of a :class:`BonitoModel`.
+
+    ``samples_per_base`` converts signal samples to bases for the
+    throughput model (bases emitted per network output frame =
+    encoder stride / samples per base).
+    """
+    if crossbar_size < 2:
+        raise ValueError("crossbar size must be >= 2")
+    layers: list[LayerMapping] = []
+    total_stride = 1
+    for layer in model.encoder:
+        if isinstance(layer, nn.Conv1d):
+            total_stride *= layer.stride
+
+    # Encoder convs run `total_stride / cumulative_stride` times per
+    # output frame.
+    cumulative = 1
+    conv_index = 0
+    for layer in model.encoder:
+        if not isinstance(layer, nn.Conv1d):
+            continue
+        rate = total_stride / cumulative
+        cumulative *= layer.stride
+        shapes = tuple(layer.vmm_shapes())
+        layers.append(LayerMapping(
+            name=f"conv{conv_index}",
+            kind="conv",
+            weight_shapes=shapes,
+            tile_grids=tuple(_grid(s, crossbar_size) for s in shapes),
+            serial_vmms=1,
+            rate=rate,
+        ))
+        conv_index += 1
+
+    for i, layer in enumerate(model.recurrent):
+        shapes = tuple(layer.vmm_shapes())
+        layers.append(LayerMapping(
+            name=f"lstm{i}",
+            kind="lstm",
+            weight_shapes=shapes,
+            tile_grids=tuple(_grid(s, crossbar_size) for s in shapes),
+            # The input projection is feedforward and pipelines ahead;
+            # only the recurrent VMM serializes with the frame stream.
+            serial_vmms=1,
+            rate=1.0,
+        ))
+
+    if model.skip_proj is not None:
+        shapes = tuple(model.skip_proj.vmm_shapes())
+        layers.append(LayerMapping(
+            name="skip",
+            kind="linear",
+            weight_shapes=shapes,
+            tile_grids=tuple(_grid(s, crossbar_size) for s in shapes),
+            serial_vmms=1,
+            rate=1.0,
+        ))
+
+    shapes = tuple(model.decoder.vmm_shapes())
+    layers.append(LayerMapping(
+        name="decoder",
+        kind="linear",
+        weight_shapes=shapes,
+        tile_grids=tuple(_grid(s, crossbar_size) for s in shapes),
+        serial_vmms=1,
+        rate=1.0,
+    ))
+
+    return NetworkMapping(
+        crossbar_size=crossbar_size,
+        layers=tuple(layers),
+        bases_per_frame=total_stride / samples_per_base,
+    )

@@ -1,0 +1,112 @@
+"""Typed result records and table rendering for Swordfish experiments.
+
+Every benchmark prints its results through :func:`render_table` so the
+console output mirrors the paper's tables/figures row-for-row, and
+EXPERIMENTS.md can record paper-vs-measured directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["AccuracyResult", "ThroughputResult", "AreaResult",
+           "ExperimentRecord", "render_table", "save_record"]
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Accuracy of one design point on one dataset."""
+
+    dataset: str
+    configuration: str
+    accuracy_percent: float
+    accuracy_std: float = 0.0
+    runs: int = 1
+
+    def __str__(self) -> str:
+        if self.runs > 1:
+            return f"{self.accuracy_percent:.2f}% ±{self.accuracy_std:.2f}"
+        return f"{self.accuracy_percent:.2f}%"
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Throughput of one accelerator variant on one dataset."""
+
+    dataset: str
+    variant: str
+    kbp_per_second: float
+    speedup_vs_gpu: float = float("nan")
+
+
+@dataclass(frozen=True)
+class AreaResult:
+    """Area/accuracy tradeoff point (Fig. 15)."""
+
+    crossbar_size: int
+    sram_percent: float
+    area_mm2: float
+    accuracy_percent: float
+
+
+@dataclass
+class ExperimentRecord:
+    """One reproduced table/figure: id, settings, and result rows."""
+
+    experiment_id: str
+    description: str
+    settings: dict = field(default_factory=dict)
+    rows: list = field(default_factory=list)
+
+    def to_json(self) -> str:
+        def default(obj):
+            if isinstance(obj, (np.floating, np.integer)):
+                return obj.item()
+            if hasattr(obj, "__dataclass_fields__"):
+                return asdict(obj)
+            raise TypeError(f"cannot serialize {type(obj)}")
+
+        return json.dumps(
+            {"experiment_id": self.experiment_id,
+             "description": self.description,
+             "settings": self.settings,
+             "rows": self.rows},
+            default=default, indent=2,
+        )
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], floatfmt: str = ".2f") -> str:
+    """Render an aligned ASCII table (paper-style)."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title,
+             " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             sep]
+    for row in text_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_record(record: ExperimentRecord, directory: str | Path) -> Path:
+    """Persist an experiment record as JSON (benches write these)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{record.experiment_id}.json"
+    path.write_text(record.to_json())
+    return path

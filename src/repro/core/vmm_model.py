@@ -1,0 +1,189 @@
+"""VMM Model Generator (Swordfish module ②) and deployed inference.
+
+Turns a trained basecaller into a *deployed* model whose every VMM runs
+through non-ideal crossbar banks:
+
+* **Analytical mode** (Section 3.3's second approach): each layer's
+  weight matrices are programmed into :class:`CrossbarBank` tiles built
+  from one :class:`NonidealityBundle` configuration — the chain of
+  Fig. 4 (non-ideal DAC → perturbed conductance matrix → non-ideal
+  ADC).
+* **Library mode** (first approach): identical machinery, but each tile
+  draws its own jittered parameter set, reproducing the tile-to-tile
+  spread of a measured-chip library; the per-tile error maps are then
+  *known*, which knowledge-based RSA placement exploits.
+
+:class:`DeployedModel` owns the banks and installs the matmul hook on
+the network, so ``model(signal)`` transparently computes the non-ideal
+forward pass used for accuracy evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..basecaller import BonitoModel
+from ..crossbar import (
+    CrossbarBank,
+    CrossbarConfig,
+    DeviceConfig,
+    ProgrammingScheme,
+    VariationConfig,
+    WriteReadVerify,
+)
+from .nonidealities import NonidealityBundle
+from .partition import NetworkMapping, partition_network
+
+__all__ = ["DeployedModel", "deploy"]
+
+
+def _jittered(config: CrossbarConfig, jitter: float,
+              rng: np.random.Generator) -> CrossbarConfig:
+    """Per-tile manufacturing spread of the non-ideality magnitudes."""
+
+    def scale(value: float) -> float:
+        if value <= 0:
+            return value
+        return float(value * rng.lognormal(0.0, jitter))
+
+    variation = VariationConfig(
+        write_variation=scale(config.variation.write_variation),
+        device_variation=scale(config.variation.device_variation),
+        stuck_lrs=min(scale(config.variation.stuck_lrs), 1.0),
+        stuck_hrs=min(scale(config.variation.stuck_hrs), 1.0),
+    )
+    device = DeviceConfig(
+        hrs_ohm=config.device.hrs_ohm,
+        lrs_ohm=config.device.lrs_ohm,
+        nonlinearity=scale(config.device.nonlinearity),
+        levels=config.device.levels,
+        read_noise=scale(config.device.read_noise),
+    )
+    return replace(config, variation=variation, device=device)
+
+
+class DeployedModel:
+    """A basecaller whose VMMs execute on non-ideal crossbar banks.
+
+    Parameters
+    ----------
+    model:
+        Trained (and typically already weight-quantized) basecaller.
+        The instance is mutated: its matmul hook is installed.  Call
+        :meth:`release` to restore exact inference.
+    bundle:
+        Which non-idealities are active.
+    crossbar_size, write_variation:
+        Design point under study.
+    programming:
+        Optional programming scheme (R-V-W mitigation plugs in here).
+    seed:
+        Seed for all programming-time and per-call noise.
+    """
+
+    def __init__(self, model: BonitoModel, bundle: NonidealityBundle,
+                 crossbar_size: int = 64, write_variation: float = 0.10,
+                 programming: ProgrammingScheme | None = None,
+                 seed: int = 0):
+        self.model = model
+        self.bundle = bundle
+        self.crossbar_size = crossbar_size
+        self.write_variation = write_variation
+        self.programming = programming
+        self.mapping: NetworkMapping = partition_network(model, crossbar_size)
+        self._rng = np.random.default_rng(seed)
+
+        base_config = bundle.crossbar_config(crossbar_size, write_variation)
+        self.banks: dict[str, list[CrossbarBank]] = {}
+        for name, layer in model.vmm_layers():
+            weights = self._layer_weights(layer)
+            banks = []
+            for w in weights:
+                config = base_config
+                if bundle.library_mode and bundle.calibration.measured_jitter > 0:
+                    config = _jittered(base_config,
+                                       bundle.calibration.measured_jitter,
+                                       self._rng)
+                banks.append(CrossbarBank(w, config, self._rng,
+                                          programming=programming,
+                                          name=name))
+            self.banks[name] = banks
+        self.model.set_matmul_hook(self._matmul)
+
+    @staticmethod
+    def _layer_weights(layer) -> list[np.ndarray]:
+        """Weight matrices of a VMM layer, in hook call order."""
+        if hasattr(layer, "weight_hh"):          # LSTM
+            return [layer.weight_ih.data, layer.weight_hh.data]
+        return [layer.weight.data]
+
+    # ------------------------------------------------------------------
+    # The matmul hook
+    # ------------------------------------------------------------------
+    def _matmul(self, inputs: np.ndarray, weights: np.ndarray,
+                layer_name: str, slot: int) -> np.ndarray:
+        bank = self.banks[layer_name][slot]
+        if bank.shape != weights.shape:
+            raise RuntimeError(
+                f"bank/weight shape mismatch in {layer_name}[{slot}]: "
+                f"{bank.shape} vs {weights.shape}"
+            )
+        return bank.vmm(inputs)
+
+    # ------------------------------------------------------------------
+    # Mitigation integration
+    # ------------------------------------------------------------------
+    def assign_sram(self, fraction: float,
+                    use_knowledge: bool | None = None) -> int:
+        """RSA: remap the worst ``fraction`` of each tile to SRAM.
+
+        Placement defaults to knowledge-based (worst cells first): the
+        per-cell error profile is obtainable on real hardware with a
+        post-programming verify-read pass, and is always available in
+        simulation.  Pass ``use_knowledge=False`` for the paper's
+        random-placement fallback (Section 3.4.4 uses random placement
+        when only generic analytical models — no readback — exist).
+        """
+        if use_knowledge is None:
+            use_knowledge = True
+        return sum(
+            bank.assign_sram(fraction, use_knowledge)
+            for banks in self.banks.values() for bank in banks
+        )
+
+    def update_sram_weights(self) -> None:
+        """Push the network's current weights into the SRAM cells."""
+        for name, layer in self.model.vmm_layers():
+            weights = self._layer_weights(layer)
+            for bank, w in zip(self.banks[name], weights):
+                bank.update_sram_weights(w)
+
+    def effective_weights(self) -> dict[str, list[np.ndarray]]:
+        """Per-layer weight matrices as the analog array realizes them."""
+        return {
+            name: [bank.effective_matrix() for bank in banks]
+            for name, banks in self.banks.items()
+        }
+
+    def reprogram(self) -> None:
+        """Fresh programming pass over every bank (new noise draw)."""
+        for banks in self.banks.values():
+            for bank in banks:
+                bank.reprogram(self._rng)
+
+    def release(self) -> BonitoModel:
+        """Detach the hook; the model computes exact VMMs again."""
+        self.model.set_matmul_hook(None)
+        return self.model
+
+
+def deploy(model: BonitoModel, bundle: NonidealityBundle,
+           crossbar_size: int = 64, write_variation: float = 0.10,
+           use_wrv: bool = False, seed: int = 0) -> DeployedModel:
+    """Convenience constructor for a deployed design point."""
+    programming = WriteReadVerify() if use_wrv else None
+    return DeployedModel(model, bundle, crossbar_size=crossbar_size,
+                         write_variation=write_variation,
+                         programming=programming, seed=seed)

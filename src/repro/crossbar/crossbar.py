@@ -1,0 +1,315 @@
+"""Crossbar tiles and tiled weight banks: the non-ideal VMM engine.
+
+A :class:`CrossbarTile` holds one weight block programmed into a
+``size × size`` memristor array; :class:`CrossbarBank` tiles an
+arbitrary weight matrix over a grid of such tiles and implements the
+full vector-matrix multiply the way the hardware does it:
+
+    DAC → (noisy conductances ⊙ wire attenuation) → column currents
+        → IR droop → sense/ADC → digital partial-sum across row tiles
+
+Programming-time effects (write variation, device variation, stuck
+faults, wire attenuation) are frozen at construction — as on a real
+chip — while input-dependent effects (DAC quantization and droop, ADC
+saturation/quantization, read noise) are applied per VMM call.
+
+RSA support: a boolean ``sram_mask`` marks cells whose weights live in
+the near-crossbar SRAM instead of memristors; their contribution is
+computed exactly in the digital domain (Fig. 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .adc import ADCConfig, apply_adc
+from .dac import DACConfig, apply_dac
+from .device import (
+    DeviceConfig,
+    conductance_to_weight,
+    weight_to_conductance,
+)
+from .noise import (
+    VariationConfig,
+    apply_device_variation,
+    apply_stuck_faults,
+    sample_error_prone_map,
+)
+from .programming import ProgrammingScheme, SetResetProgramming
+from .wires import WireConfig, dynamic_droop, static_attenuation, sneak_leakage
+
+__all__ = ["CrossbarConfig", "CrossbarTile", "CrossbarBank"]
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Complete description of one crossbar design point."""
+
+    size: int = 64
+    device: DeviceConfig = field(default_factory=DeviceConfig)
+    variation: VariationConfig = field(default_factory=VariationConfig)
+    wire: WireConfig = field(default_factory=WireConfig)
+    dac: DACConfig = field(default_factory=DACConfig)
+    adc: ADCConfig = field(default_factory=ADCConfig)
+
+    def __post_init__(self) -> None:
+        if self.size < 2:
+            raise ValueError("crossbar size must be >= 2")
+
+    def ideal(self) -> "CrossbarConfig":
+        """A copy of this design with every non-ideality disabled."""
+        return CrossbarConfig(
+            size=self.size,
+            device=DeviceConfig(
+                hrs_ohm=self.device.hrs_ohm,
+                lrs_ohm=self.device.lrs_ohm,
+                nonlinearity=0.0,
+                levels=2 ** 16,
+                read_noise=0.0,
+            ),
+            variation=VariationConfig(0.0, 0.0, 0.0, 0.0),
+            wire=WireConfig(0.0, 0.0),
+            dac=DACConfig(bits=None),
+            adc=ADCConfig(bits=None, range_headroom=1e6),
+        )
+
+
+class CrossbarTile:
+    """One programmed ``rows × cols`` tile (rows, cols ≤ config.size)."""
+
+    def __init__(self, weights: np.ndarray, config: CrossbarConfig,
+                 rng: np.random.Generator,
+                 programming: ProgrammingScheme | None = None,
+                 w_max: float | None = None):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError("tile weights must be 2-D")
+        rows, cols = weights.shape
+        if rows > config.size or cols > config.size:
+            raise ValueError(
+                f"tile {weights.shape} exceeds crossbar size {config.size}"
+            )
+        self.config = config
+        self.programming = programming or SetResetProgramming()
+        self.ideal_weights = weights.copy()
+        self.rows, self.cols = rows, cols
+        self.w_max = float(w_max) if w_max else max(float(np.abs(weights).max()), 1e-9)
+        self._rng = rng
+        self.sram_mask = np.zeros(weights.shape, dtype=bool)
+        self._program()
+
+    # ------------------------------------------------------------------
+    # Programming
+    # ------------------------------------------------------------------
+    def _program(self) -> None:
+        device = self.config.device
+        variation = self.config.variation
+        g_pos, g_neg = weight_to_conductance(self.ideal_weights, self.w_max,
+                                             device)
+        achieved = []
+        for target in (g_pos, g_neg):
+            g = self.programming.program(target, variation.write_variation,
+                                         self._rng, device)
+            g = apply_device_variation(g, variation.device_variation,
+                                       self._rng, device)
+            g = apply_stuck_faults(g, variation.stuck_lrs, variation.stuck_hrs,
+                                   self._rng, device)
+            achieved.append(g)
+        self._g_pos, self._g_neg = achieved
+
+        attenuation = static_attenuation(self.rows, self.cols,
+                                         self.config.wire, device)
+        effective_pos = self._g_pos * attenuation
+        effective_neg = self._g_neg * attenuation
+        self.effective_weights = conductance_to_weight(
+            effective_pos, effective_neg, self.w_max, device
+        )
+
+    def reprogram(self, rng: np.random.Generator | None = None) -> None:
+        """Re-run programming (fresh noise draw) — e.g. periodic R-V-W."""
+        if rng is not None:
+            self._rng = rng
+        self._program()
+
+    def age(self, elapsed_s: float, drift_config) -> None:
+        """Apply retention drift to the programmed conductances.
+
+        ``drift_config`` is a :class:`repro.crossbar.DriftConfig`; the
+        tile's effective weights are recomputed from the drifted
+        conductance pair.
+        """
+        from .drift import apply_retention_drift
+        from .wires import static_attenuation
+
+        device = self.config.device
+        self._g_pos = apply_retention_drift(self._g_pos, elapsed_s,
+                                            drift_config, device, self._rng)
+        self._g_neg = apply_retention_drift(self._g_neg, elapsed_s,
+                                            drift_config, device, self._rng)
+        attenuation = static_attenuation(self.rows, self.cols,
+                                         self.config.wire, device)
+        self.effective_weights = conductance_to_weight(
+            self._g_pos * attenuation, self._g_neg * attenuation,
+            self.w_max, device,
+        )
+
+    # ------------------------------------------------------------------
+    # Error characterization (drives knowledge-based RSA)
+    # ------------------------------------------------------------------
+    def error_severity(self) -> np.ndarray:
+        """Per-cell |achieved − ideal| weight error (chip characterization)."""
+        return np.abs(self.effective_weights - self.ideal_weights)
+
+    def assign_sram(self, fraction: float, use_knowledge: bool = True) -> int:
+        """Move the worst (or random) ``fraction`` of cells to SRAM.
+
+        Returns the number of remapped cells.  SRAM-resident weights are
+        exact and can later be updated by online retraining
+        (:meth:`update_sram_weights`).
+        """
+        severity = self.error_severity() if use_knowledge else None
+        self.sram_mask = sample_error_prone_map(
+            (self.rows, self.cols), fraction, self._rng, severity=severity
+        )
+        return int(self.sram_mask.sum())
+
+    def update_sram_weights(self, new_weights: np.ndarray) -> None:
+        """Online update of SRAM-resident weights (RSA retraining step)."""
+        new_weights = np.asarray(new_weights, dtype=np.float64)
+        if new_weights.shape != self.ideal_weights.shape:
+            raise ValueError("weight shape mismatch")
+        self.ideal_weights[self.sram_mask] = new_weights[self.sram_mask]
+
+    # ------------------------------------------------------------------
+    # VMM
+    # ------------------------------------------------------------------
+    def vmm(self, inputs: np.ndarray) -> np.ndarray:
+        """Non-ideal VMM: ``(batch, rows) @ (rows, cols)``."""
+        x = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if x.shape[-1] != self.rows:
+            raise ValueError(f"input width {x.shape[-1]} != tile rows {self.rows}")
+        config = self.config
+
+        v = apply_dac(x, config.dac, self._rng)
+
+        analog_weights = self.effective_weights
+        if self.sram_mask.any():
+            analog_weights = np.where(self.sram_mask, 0.0, analog_weights)
+        if config.device.read_noise > 0:
+            jitter = 1.0 + self._rng.standard_normal(
+                analog_weights.shape) * config.device.read_noise
+            analog_weights = analog_weights * jitter
+
+        y = v @ analog_weights
+        x_scale = max(float(np.abs(x).max()), 1e-12)
+        worst_case_output = self.rows * self.w_max * x_scale
+        y = y * dynamic_droop(y / worst_case_output, self.rows,
+                              config.wire, config.device)
+        y = y + sneak_leakage(y, config.wire)
+
+        # Fixed sensing range: proportional to the tile's worst-case
+        # accumulation, scaled by the per-call input magnitude (the DAC
+        # front end normalizes inputs to full scale).
+        full_scale = (config.adc.range_headroom * np.sqrt(self.rows)
+                      * self.w_max * x_scale)
+        y = apply_adc(y, config.adc, full_scale, self._rng)
+
+        if self.sram_mask.any():
+            digital = np.where(self.sram_mask, self.ideal_weights, 0.0)
+            y = y + x @ digital
+        return y
+
+    def ideal_vmm(self, inputs: np.ndarray) -> np.ndarray:
+        """Exact reference product with the ideal weights."""
+        return np.atleast_2d(inputs) @ self.ideal_weights
+
+
+class CrossbarBank:
+    """An arbitrary weight matrix tiled over crossbar tiles.
+
+    Partial sums across row-tiles are accumulated digitally after each
+    tile's ADC — so per-tile quantization/saturation errors add, which
+    is why larger matrices (and larger tiles) lose more accuracy.
+    """
+
+    def __init__(self, weights: np.ndarray, config: CrossbarConfig,
+                 rng: np.random.Generator,
+                 programming: ProgrammingScheme | None = None,
+                 name: str = "bank"):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError("bank weights must be 2-D")
+        self.name = name
+        self.config = config
+        self.shape = weights.shape
+        size = config.size
+        w_max = max(float(np.abs(weights).max()), 1e-9)
+        self.tiles: list[list[CrossbarTile]] = []
+        for r0 in range(0, weights.shape[0], size):
+            row: list[CrossbarTile] = []
+            for c0 in range(0, weights.shape[1], size):
+                block = weights[r0:r0 + size, c0:c0 + size]
+                row.append(CrossbarTile(block, config, rng,
+                                        programming=programming, w_max=w_max))
+            self.tiles.append(row)
+
+    @property
+    def num_tiles(self) -> int:
+        return sum(len(row) for row in self.tiles)
+
+    def vmm(self, inputs: np.ndarray) -> np.ndarray:
+        """Tiled non-ideal VMM over the full matrix."""
+        x = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if x.shape[-1] != self.shape[0]:
+            raise ValueError(
+                f"input width {x.shape[-1]} != matrix rows {self.shape[0]}"
+            )
+        size = self.config.size
+        out = np.zeros((x.shape[0], self.shape[1]))
+        for i, tile_row in enumerate(self.tiles):
+            x_block = x[:, i * size:(i + 1) * size]
+            col = 0
+            for tile in tile_row:
+                out[:, col:col + tile.cols] += tile.vmm(x_block)
+                col += tile.cols
+        return out
+
+    def assign_sram(self, fraction: float, use_knowledge: bool = True) -> int:
+        """Apply RSA to every tile; returns total remapped cells."""
+        return sum(tile.assign_sram(fraction, use_knowledge)
+                   for row in self.tiles for tile in row)
+
+    def update_sram_weights(self, weights: np.ndarray) -> None:
+        """Push updated weights into each tile's SRAM-resident cells."""
+        weights = np.asarray(weights, dtype=np.float64)
+        size = self.config.size
+        for i, tile_row in enumerate(self.tiles):
+            for j, tile in enumerate(tile_row):
+                block = weights[i * size:i * size + tile.rows,
+                                j * size:j * size + tile.cols]
+                tile.update_sram_weights(block)
+
+    def reprogram(self, rng: np.random.Generator | None = None) -> None:
+        for row in self.tiles:
+            for tile in row:
+                tile.reprogram(rng)
+
+    def age(self, elapsed_s: float, drift_config) -> None:
+        """Apply retention drift to every tile (see CrossbarTile.age)."""
+        for row in self.tiles:
+            for tile in row:
+                tile.age(elapsed_s, drift_config)
+
+    def effective_matrix(self) -> np.ndarray:
+        """The weight matrix the analog array actually implements."""
+        out = np.zeros(self.shape)
+        size = self.config.size
+        for i, tile_row in enumerate(self.tiles):
+            for j, tile in enumerate(tile_row):
+                block = np.where(tile.sram_mask, tile.ideal_weights,
+                                 tile.effective_weights)
+                out[i * size:i * size + tile.rows,
+                    j * size:j * size + tile.cols] = block
+        return out

@@ -1,0 +1,79 @@
+"""Input-side non-idealities: DAC quantization and driver R_load effects.
+
+The first non-ideality class of Section 2.3: the digital-to-analog
+converters that turn input activations into word-line voltages have
+finite resolution, per-channel gain/offset mismatch, and an effective
+resistive load (R_Load) that makes the delivered voltage sag when the
+array draws current.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DACConfig", "apply_dac"]
+
+
+@dataclass(frozen=True)
+class DACConfig:
+    """Driver/DAC parameters.
+
+    ``bits=None`` disables input quantization (ideal DAC).  ``r_load``
+    scales the voltage sag proportional to the *average* input
+    magnitude (first-order model of the shared driver load); ``gain_std``
+    and ``offset_std`` are per-invocation channel mismatches.
+    """
+
+    bits: int | None = 8
+    r_load: float = 0.0
+    gain_std: float = 0.0
+    offset_std: float = 0.0
+    v_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bits is not None and self.bits < 1:
+            raise ValueError("DAC bits must be >= 1")
+        for name in ("r_load", "gain_std", "offset_std"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+def apply_dac(inputs: np.ndarray, config: DACConfig,
+              rng: np.random.Generator | None = None,
+              gain: np.ndarray | None = None,
+              offset: np.ndarray | None = None) -> np.ndarray:
+    """Convert ideal digital inputs to the voltages actually driven.
+
+    ``inputs`` is ``(batch, rows)`` in weight-domain units (assumed
+    pre-scaled so ``|x| <= v_max`` corresponds to full scale).  ``gain``
+    and ``offset`` allow callers to freeze per-row mismatch across
+    calls (tile-static mismatch); otherwise fresh mismatch is drawn per
+    call when a generator is supplied.
+    """
+    x = np.asarray(inputs, dtype=np.float64)
+    scale = max(float(np.abs(x).max()), 1e-12)
+    v = x / scale * config.v_max
+
+    if config.bits is not None:
+        levels = 2 ** (config.bits - 1) - 1
+        v = np.round(v / config.v_max * levels) / levels * config.v_max
+
+    if gain is None and config.gain_std > 0 and rng is not None:
+        gain = 1.0 + rng.standard_normal(x.shape[-1]) * config.gain_std
+    if offset is None and config.offset_std > 0 and rng is not None:
+        offset = rng.standard_normal(x.shape[-1]) * config.offset_std * config.v_max
+    if gain is not None:
+        v = v * gain
+    if offset is not None:
+        v = v + offset
+
+    if config.r_load > 0:
+        # Shared-driver sag: the more total drive the array demands, the
+        # lower every delivered voltage (R_Load forms a divider with the
+        # array's input impedance).
+        demand = np.abs(v).mean(axis=-1, keepdims=True) / config.v_max
+        v = v / (1.0 + config.r_load * demand)
+
+    return v / config.v_max * scale  # back to weight-domain units

@@ -1,0 +1,108 @@
+"""ReRAM device model: conductance states, mapping, nonlinearity.
+
+Models the HfO₂/TiOₓ 1T1R cell of the paper's Table 1:
+
+* HRS/LRS = 1 MΩ / 10 kΩ (conductance window 1 µS … 100 µS),
+* programming nonlinearity parameters ``n_min``/``n_max`` = 0.03 / 30,
+* a finite number of programmable conductance levels.
+
+Weights map to a *differential pair* of conductances (G⁺, G⁻), the
+standard CIM encoding that gives signed weights on unipolar devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeviceConfig", "weight_to_conductance", "conductance_to_weight",
+           "state_to_conductance", "conductance_levels"]
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Physical parameters of one memristor cell (Table 1 defaults)."""
+
+    hrs_ohm: float = 1.0e6          # high resistance state
+    lrs_ohm: float = 1.0e4          # low resistance state
+    nonlinearity: float = 0.03      # n_min of Table 1 (0 = ideal, linear)
+    levels: int = 32                # programmable conductance levels
+    read_noise: float = 0.0         # relative std of per-read conductance
+
+    def __post_init__(self) -> None:
+        if self.hrs_ohm <= self.lrs_ohm:
+            raise ValueError("HRS must exceed LRS")
+        if self.levels < 2:
+            raise ValueError("need at least 2 conductance levels")
+
+    @property
+    def g_min(self) -> float:
+        return 1.0 / self.hrs_ohm
+
+    @property
+    def g_max(self) -> float:
+        return 1.0 / self.lrs_ohm
+
+    @property
+    def g_range(self) -> float:
+        return self.g_max - self.g_min
+
+
+def state_to_conductance(state: np.ndarray, config: DeviceConfig) -> np.ndarray:
+    """Map an internal state ``s ∈ [0, 1]`` to conductance.
+
+    Uses the standard exponential programming-nonlinearity model (as in
+    NeuroSim): for nonlinearity ``n`` → 0 the mapping is linear; larger
+    ``n`` compresses the upper states.
+    """
+    state = np.clip(np.asarray(state, dtype=np.float64), 0.0, 1.0)
+    n = config.nonlinearity
+    if n < 1e-9:
+        fraction = state
+    else:
+        fraction = (1.0 - np.exp(-n * state)) / (1.0 - np.exp(-n))
+    return config.g_min + config.g_range * fraction
+
+
+def conductance_levels(config: DeviceConfig) -> np.ndarray:
+    """The discrete conductance grid the device can be programmed to."""
+    states = np.linspace(0.0, 1.0, config.levels)
+    return state_to_conductance(states, config)
+
+
+def weight_to_conductance(weights: np.ndarray, w_max: float,
+                          config: DeviceConfig
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Encode signed weights as a differential conductance pair.
+
+    ``w > 0`` raises G⁺ above G_min, ``w < 0`` raises G⁻; the decoded
+    weight is proportional to ``G⁺ − G⁻``.  Targets are snapped to the
+    device's discrete conductance grid (quantization is one of the
+    paper's constraints, distinct from its stochastic non-idealities).
+    """
+    if w_max <= 0:
+        raise ValueError("w_max must be positive")
+    weights = np.asarray(weights, dtype=np.float64)
+    magnitude = np.clip(np.abs(weights) / w_max, 0.0, 1.0)
+    grid = conductance_levels(config)
+    target = config.g_min + magnitude * config.g_range
+    snapped = _snap(target, grid)
+    g_pos = np.where(weights >= 0, snapped, config.g_min)
+    g_neg = np.where(weights < 0, snapped, config.g_min)
+    return g_pos, g_neg
+
+
+def conductance_to_weight(g_pos: np.ndarray, g_neg: np.ndarray,
+                          w_max: float, config: DeviceConfig) -> np.ndarray:
+    """Decode a differential conductance pair back to weight units."""
+    return (np.asarray(g_pos) - np.asarray(g_neg)) / config.g_range * w_max
+
+
+def _snap(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Snap each value to the nearest element of a sorted grid."""
+    index = np.searchsorted(grid, values)
+    index = np.clip(index, 1, len(grid) - 1)
+    below = grid[index - 1]
+    above = grid[index]
+    return np.where(values - below <= above - values, below, above)

@@ -1,0 +1,103 @@
+"""Conductance retention drift and refresh policies.
+
+Programmed ReRAM conductances relax over time (retention loss): states
+drift toward the middle of the window, eroding inference accuracy long
+after a perfect programming pass.  The paper's R-V-W loop exists partly
+to fight this (Section 3.4.3); this module supplies the missing time
+axis:
+
+* :func:`apply_retention_drift` — closed-form drift of a conductance
+  array after ``elapsed_s`` seconds (log-time relaxation toward the
+  mid-window state, plus diffusion noise),
+* :class:`RefreshPolicy` — when to re-program (periodic R-V-W refresh),
+  and its amortized pulse cost for the timing model.
+
+This extends the paper (which evaluates a fixed post-programming
+snapshot); ablation benches use it to show how quickly an unmitigated
+array decays versus one with periodic R-V-W refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import DeviceConfig
+
+__all__ = ["DriftConfig", "apply_retention_drift", "RefreshPolicy"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Retention-drift parameters.
+
+    ``relaxation_per_decade`` is the fraction of the distance to the
+    mid-window state lost per decade of time (log-time kinetics, the
+    standard empirical retention model); ``diffusion`` is the relative
+    std of the stochastic component per decade; ``t0_s`` anchors the
+    log-time axis (drift is ~zero before ``t0``).
+    """
+
+    relaxation_per_decade: float = 0.05
+    diffusion: float = 0.01
+    t0_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.relaxation_per_decade < 1.0:
+            raise ValueError("relaxation_per_decade must be in [0, 1)")
+        if self.diffusion < 0:
+            raise ValueError("diffusion must be non-negative")
+        if self.t0_s <= 0:
+            raise ValueError("t0_s must be positive")
+
+
+def apply_retention_drift(conductance: np.ndarray, elapsed_s: float,
+                          config: DriftConfig,
+                          device: DeviceConfig,
+                          rng: np.random.Generator | None = None
+                          ) -> np.ndarray:
+    """Conductances after ``elapsed_s`` seconds of retention loss."""
+    conductance = np.asarray(conductance, dtype=np.float64)
+    if elapsed_s <= config.t0_s:
+        return conductance.copy()
+    decades = np.log10(elapsed_s / config.t0_s)
+    mid = 0.5 * (device.g_min + device.g_max)
+    pull = 1.0 - (1.0 - config.relaxation_per_decade) ** decades
+    drifted = conductance + pull * (mid - conductance)
+    if rng is not None and config.diffusion > 0:
+        sigma = config.diffusion * np.sqrt(decades) * device.g_range
+        drifted = drifted + rng.standard_normal(conductance.shape) * sigma
+    return np.clip(drifted, device.g_min, device.g_max)
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """Periodic R-V-W refresh against retention drift.
+
+    ``interval_s`` — wall-clock between refreshes; ``pulses_per_cell``
+    — cost of one refresh pass (reads + corrective writes per cell).
+    """
+
+    interval_s: float = 3600.0
+    pulses_per_cell: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.pulses_per_cell <= 0:
+            raise ValueError("pulses_per_cell must be positive")
+
+    def worst_case_age_s(self) -> float:
+        """Oldest any cell gets before being refreshed."""
+        return self.interval_s
+
+    def amortized_pulse_rate(self, cells: int) -> float:
+        """Refresh pulses per second for a ``cells``-cell array."""
+        return cells * self.pulses_per_cell / self.interval_s
+
+    def duty_overhead(self, cells: int, pulse_ns: float) -> float:
+        """Fraction of wall-clock the array spends refreshing."""
+        return min(
+            self.amortized_pulse_rate(cells) * pulse_ns * 1e-9, 1.0
+        )

@@ -1,0 +1,129 @@
+"""Stochastic device non-idealities: write variation, D2D variation, faults.
+
+These are the "variation of synaptic conductance" effects of Section
+2.3: imperfect programming (write variation) plus manufacturing
+process variation, and the stuck-at faults characterized on real ReRAM
+chips.  All functions operate on conductance arrays and take an
+explicit ``numpy.random.Generator`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import DeviceConfig
+
+__all__ = [
+    "VariationConfig",
+    "apply_write_variation",
+    "apply_device_variation",
+    "apply_stuck_faults",
+    "sample_error_prone_map",
+]
+
+
+@dataclass(frozen=True)
+class VariationConfig:
+    """Magnitudes of the stochastic conductance non-idealities.
+
+    ``write_variation`` is the paper's x-axis in Fig. 7: the relative
+    standard deviation of the programmed conductance (0.10 = the "10%
+    write variation" the paper settles on).  ``device_variation`` is the
+    static device-to-device spread; ``stuck_lrs``/``stuck_hrs`` are the
+    probabilities of stuck-at faults.
+    """
+
+    write_variation: float = 0.10
+    device_variation: float = 0.0
+    stuck_lrs: float = 0.0
+    stuck_hrs: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("write_variation", "device_variation",
+                     "stuck_lrs", "stuck_hrs"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+#: Additive write-noise component as a fraction of the conductance
+#: window per unit rate.  Programming error on real RRAM has both a
+#: value-proportional part and an absolute part (the write pulse can
+#: overshoot across the whole window); the absolute part is what makes
+#: large write-variation rates catastrophic (paper Fig. 7).
+WRITE_NOISE_WINDOW_FRACTION = 0.35
+
+
+def apply_write_variation(conductance: np.ndarray, rate: float,
+                          rng: np.random.Generator,
+                          config: DeviceConfig) -> np.ndarray:
+    """Perturb programmed conductances with write noise.
+
+    Two components, both scaled by ``rate``: lognormal multiplicative
+    noise with relative std ``rate`` (Pedretti et al., IRPS 2021), and
+    additive Gaussian noise of
+    ``rate × WRITE_NOISE_WINDOW_FRACTION × (G_max − G_min)``.  Results
+    are clipped to the physical [G_min, G_max] window.
+    """
+    if rate <= 0:
+        return np.asarray(conductance, dtype=np.float64)
+    conductance = np.asarray(conductance, dtype=np.float64)
+    sigma = np.sqrt(np.log1p(rate ** 2))  # lognormal with relative std=rate
+    factor = rng.lognormal(mean=-sigma ** 2 / 2, sigma=sigma,
+                           size=conductance.shape)
+    additive = rng.standard_normal(conductance.shape) * (
+        rate * WRITE_NOISE_WINDOW_FRACTION * config.g_range
+    )
+    return np.clip(conductance * factor + additive,
+                   config.g_min, config.g_max)
+
+
+def apply_device_variation(conductance: np.ndarray, rate: float,
+                           rng: np.random.Generator,
+                           config: DeviceConfig) -> np.ndarray:
+    """Static device-to-device spread (additive in conductance)."""
+    if rate <= 0:
+        return np.asarray(conductance, dtype=np.float64)
+    conductance = np.asarray(conductance, dtype=np.float64)
+    noise = rng.standard_normal(conductance.shape) * rate * config.g_range
+    return np.clip(conductance + noise, config.g_min, config.g_max)
+
+
+def apply_stuck_faults(conductance: np.ndarray, stuck_lrs: float,
+                       stuck_hrs: float, rng: np.random.Generator,
+                       config: DeviceConfig) -> np.ndarray:
+    """Force a random subset of cells to the LRS/HRS rails."""
+    conductance = np.asarray(conductance, dtype=np.float64).copy()
+    if stuck_lrs > 0:
+        mask = rng.random(conductance.shape) < stuck_lrs
+        conductance[mask] = config.g_max
+    if stuck_hrs > 0:
+        mask = rng.random(conductance.shape) < stuck_hrs
+        conductance[mask] = config.g_min
+    return conductance
+
+
+def sample_error_prone_map(shape: tuple[int, int], fraction: float,
+                           rng: np.random.Generator,
+                           severity: np.ndarray | None = None) -> np.ndarray:
+    """Boolean map of the most error-prone cells of a tile.
+
+    When ``severity`` (per-cell error magnitude, e.g. from chip
+    characterization) is given, the worst cells are selected — the
+    knowledge-based RSA placement of Section 3.4.4.  Otherwise the map
+    is random — the paper's fallback when only analytical models exist.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    count = int(round(fraction * shape[0] * shape[1]))
+    mask = np.zeros(shape, dtype=bool)
+    if count == 0:
+        return mask
+    if severity is not None:
+        flat = np.argsort(np.asarray(severity).ravel())[::-1][:count]
+    else:
+        flat = rng.choice(shape[0] * shape[1], size=count, replace=False)
+    mask.ravel()[flat] = True
+    return mask

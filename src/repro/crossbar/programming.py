@@ -1,0 +1,102 @@
+"""Programming (write) schemes for memristor tiles.
+
+Swordfish supports two ways of loading weights into a crossbar
+(Section 3.2):
+
+* **Set/Reset pulse programming** — one-shot; fast but leaves the full
+  write variation in the programmed conductances.
+* **Write-Read-Verify (WRV / R-V-W)** — a feedback loop that re-reads
+  and corrects each cell until it converges near the target; every
+  iteration shrinks the residual error, at the cost of many extra
+  read/write pulses (the throughput penalty of Fig. 14's
+  Realistic-SwordfishAccel-RVW).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import DeviceConfig
+from .noise import apply_write_variation
+
+__all__ = ["ProgrammingScheme", "SetResetProgramming", "WriteReadVerify"]
+
+
+@dataclass(frozen=True)
+class ProgrammingScheme:
+    """Base class: one-shot programming with full write variation."""
+
+    name: str = "base"
+
+    def residual_rate(self, write_variation: float) -> float:
+        """Relative conductance error remaining after programming."""
+        return write_variation
+
+    def pulses_per_cell(self) -> float:
+        """Average write+read pulses needed per cell (timing model input)."""
+        return 1.0
+
+    def program(self, target: np.ndarray, write_variation: float,
+                rng: np.random.Generator,
+                device: DeviceConfig) -> np.ndarray:
+        """Return achieved conductances for ``target`` conductances."""
+        rate = self.residual_rate(write_variation)
+        return apply_write_variation(target, rate, rng, device)
+
+
+@dataclass(frozen=True)
+class SetResetProgramming(ProgrammingScheme):
+    """Single Set/Reset pulse per cell — fast, noisy."""
+
+    name: str = "set_reset"
+
+
+@dataclass(frozen=True)
+class WriteReadVerify(ProgrammingScheme):
+    """Iterative write-read-verify loop.
+
+    Each iteration re-measures the cell and applies a corrective pulse;
+    the residual error shrinks geometrically by ``convergence`` per
+    iteration (Alibart et al. report ~0.5–0.7 for adaptable
+    variation-tolerant tuning).  ``fraction`` limits the loop to the
+    worst cells — the paper notes accuracy improves with the fraction
+    of retrained devices while cost grows with it.
+    """
+
+    name: str = "write_read_verify"
+    iterations: int = 5
+    convergence: float = 0.55
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("need at least one WRV iteration")
+        if not 0.0 < self.convergence < 1.0:
+            raise ValueError("convergence must be in (0, 1)")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+    def residual_rate(self, write_variation: float) -> float:
+        return write_variation * self.convergence ** self.iterations
+
+    def pulses_per_cell(self) -> float:
+        # Each iteration costs one read and one corrective write.
+        return 1.0 + 2.0 * self.iterations * self.fraction
+
+    def program(self, target: np.ndarray, write_variation: float,
+                rng: np.random.Generator,
+                device: DeviceConfig) -> np.ndarray:
+        if self.fraction >= 1.0:
+            return super().program(target, write_variation, rng, device)
+        # Only `fraction` of cells (the ones that landed worst after the
+        # initial pulse) get the verify loop; the rest keep full noise.
+        rough = apply_write_variation(target, write_variation, rng, device)
+        refined = apply_write_variation(
+            target, self.residual_rate(write_variation), rng, device
+        )
+        error = np.abs(rough - target)
+        threshold = np.quantile(error, 1.0 - self.fraction)
+        verify_mask = error >= threshold
+        return np.where(verify_mask, refined, rough)

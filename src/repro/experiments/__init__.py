@@ -1,0 +1,46 @@
+"""``repro.experiments`` — one runner per paper table/figure.
+
+Each module exposes ``run(...) -> ExperimentRecord`` (pure data) and
+``main()`` (prints the paper-style table).  Benchmarks under
+``benchmarks/`` and the examples wrap these runners.
+
+| Module                    | Reproduces                         |
+|---------------------------|------------------------------------|
+| ``fig01_pipeline``        | Fig. 1 pipeline time breakdown     |
+| ``tab03_quantization``    | Table 3 quantization accuracy      |
+| ``fig07_write_variation`` | Fig. 7 write-variation sweep       |
+| ``fig08_nonidealities``   | Fig. 8 (64×64) / Fig. 9 (256×256)  |
+| ``fig10_enhance_quant``   | Fig. 10 enhancement vs quant       |
+| ``fig11_enhance_writevar``| Fig. 11 enhancement vs write var   |
+| ``fig12_enhance_nonideal``| Fig. 12 (64×64) / Fig. 13 (256×256)|
+| ``fig14_throughput``      | Fig. 14 throughput comparison      |
+| ``fig15_area_accuracy``   | Fig. 15 accuracy vs area           |
+"""
+
+from . import (
+    common,
+    summary,
+    fig01_pipeline,
+    tab03_quantization,
+    fig07_write_variation,
+    fig08_nonidealities,
+    fig10_enhance_quant,
+    fig11_enhance_writevar,
+    fig12_enhance_nonideal,
+    fig14_throughput,
+    fig15_area_accuracy,
+)
+
+__all__ = [
+    "common",
+    "summary",
+    "fig01_pipeline",
+    "tab03_quantization",
+    "fig07_write_variation",
+    "fig08_nonidealities",
+    "fig10_enhance_quant",
+    "fig11_enhance_writevar",
+    "fig12_enhance_nonideal",
+    "fig14_throughput",
+    "fig15_area_accuracy",
+]

@@ -1,0 +1,69 @@
+"""Shared plumbing for the per-figure experiment runners.
+
+Every experiment honours the ``SWORDFISH_SCALE`` environment variable
+(default 1.0): read counts and repetition counts scale with it, so CI
+can run tiny versions of each figure and a workstation can run closer
+to paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+
+from ..basecaller import BonitoConfig, BonitoModel, default_model
+from ..genomics import PAPER_DATASETS, Read, dataset_reads
+
+__all__ = [
+    "DATASETS",
+    "env_scale",
+    "scaled",
+    "evaluation_reads",
+    "baseline_clone",
+    "percent_identity",
+]
+
+#: Dataset names in Table 2 order.
+DATASETS: tuple[str, ...] = tuple(spec.name for spec in PAPER_DATASETS)
+
+
+def env_scale() -> float:
+    """The global experiment scale factor (``SWORDFISH_SCALE``)."""
+    try:
+        value = float(os.environ.get("SWORDFISH_SCALE", "1.0"))
+    except ValueError:
+        raise ValueError("SWORDFISH_SCALE must be a number") from None
+    if value <= 0:
+        raise ValueError("SWORDFISH_SCALE must be positive")
+    return value
+
+
+def scaled(base: int, scale: float | None = None, minimum: int = 1) -> int:
+    """Scale an integer workload knob, clamped below by ``minimum``."""
+    scale = env_scale() if scale is None else scale
+    return max(int(round(base * scale)), minimum)
+
+
+@lru_cache(maxsize=64)
+def _cached_reads(name: str, num_reads: int, seed_offset: int) -> tuple[Read, ...]:
+    return tuple(dataset_reads(name, num_reads=num_reads,
+                               seed_offset=seed_offset))
+
+
+def evaluation_reads(name: str, num_reads: int,
+                     seed_offset: int = 1) -> list[Read]:
+    """Held-out evaluation reads for a dataset (cached per session)."""
+    return list(_cached_reads(name, num_reads, seed_offset))
+
+
+def baseline_clone(config: BonitoConfig | None = None) -> BonitoModel:
+    """A fresh copy of the shared pretrained baseline."""
+    return default_model(config)
+
+
+def percent_identity(values: list[float]) -> tuple[float, float]:
+    """(mean, std) of identity values, in percent."""
+    arr = np.asarray(values, dtype=np.float64)
+    return float(arr.mean()), float(arr.std())

@@ -1,0 +1,55 @@
+"""Fig. 1 — nanopore pipeline execution-time breakdown.
+
+Runs the full analysis pipeline (basecalling → mapping → polishing →
+variant calling) on a paper dataset and reports each stage's share of
+the measured wall-clock time.  The paper's headline observation —
+basecalling dominates (>40%) — should reproduce because basecalling is
+the only DNN stage.
+"""
+
+from __future__ import annotations
+
+from ..core import ExperimentRecord, render_table
+from ..genomics import get_dataset
+from ..pipeline import run_pipeline
+from .common import baseline_clone, evaluation_reads, scaled
+
+__all__ = ["run", "main"]
+
+
+def run(dataset: str = "D1", num_reads: int | None = None) -> ExperimentRecord:
+    spec = get_dataset(dataset)
+    reads = evaluation_reads(dataset, num_reads or scaled(12))
+    model = baseline_clone()
+    result = run_pipeline(model, reads, spec.genome())
+
+    record = ExperimentRecord(
+        experiment_id="fig01_pipeline",
+        description="Execution-time breakdown of the nanopore pipeline",
+        settings={"dataset": dataset, "num_reads": len(reads)},
+    )
+    fractions = result.fractions()
+    for timing in result.timings:
+        record.rows.append({
+            "stage": timing.name,
+            "seconds": timing.seconds,
+            "fraction": fractions[timing.name],
+        })
+    record.settings["mapped_fraction"] = result.mapped_fraction
+    record.settings["num_variants"] = len(result.variants)
+    return record
+
+
+def main() -> ExperimentRecord:
+    record = run()
+    rows = [(r["stage"], r["seconds"], f"{100 * r['fraction']:.1f}%")
+            for r in record.rows]
+    print(render_table("Fig. 1 — pipeline execution time breakdown",
+                       ["stage", "seconds", "share"], rows, floatfmt=".3f"))
+    print(f"mapped reads: {100 * record.settings['mapped_fraction']:.0f}%  "
+          f"(paper: basecalling is >40% of runtime)")
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Fig. 10 — accuracy enhancement on the quantized basecaller.
+
+For each fixed-point configuration (FPP 16-16 … FPP 4-2) applies the
+five technique stacks (VAT, KD, R-V-W, RSA+KD, All) on the CIM design
+with only write variation active (the paper evaluates enhancement on
+quantized models before layering the other non-idealities).
+
+Expected shape: retraining recovers (nearly) the FP32 baseline down to
+8-bit; below that, recovery is partial.
+"""
+
+from __future__ import annotations
+
+from ..basecaller import evaluate_accuracy
+from ..core import (
+    EnhanceConfig,
+    ExperimentRecord,
+    build_design,
+    render_table,
+)
+from ..nn import PAPER_QUANT_CONFIGS, QuantizedModel
+from .common import DATASETS, baseline_clone, evaluation_reads, scaled
+
+__all__ = ["run", "main", "TECHNIQUE_ORDER"]
+
+TECHNIQUE_ORDER: tuple[str, ...] = ("vat", "kd", "rvw", "rsa_kd", "all")
+
+_FPP_CONFIGS = tuple(c for c in PAPER_QUANT_CONFIGS if not c.is_float)
+
+
+def run(num_reads: int | None = None,
+        datasets: tuple[str, ...] = DATASETS,
+        write_variation: float = 0.10,
+        techniques: tuple[str, ...] = TECHNIQUE_ORDER,
+        enhance: EnhanceConfig | None = None) -> ExperimentRecord:
+    num_reads = num_reads or scaled(8)
+    enhance = enhance or EnhanceConfig()
+    record = ExperimentRecord(
+        experiment_id="fig10_enhance_quant",
+        description="Enhancement techniques vs quantization configs",
+        settings={"num_reads": num_reads,
+                  "write_variation": write_variation,
+                  "quant_configs": [c.name for c in _FPP_CONFIGS],
+                  "techniques": list(techniques)},
+    )
+    # FP32 baseline reference line.
+    baseline = baseline_clone()
+    base_acc = {
+        d: evaluate_accuracy(baseline, evaluation_reads(d, num_reads)).mean_percent
+        for d in datasets
+    }
+    record.settings["baseline_accuracy"] = base_acc
+
+    for quant in _FPP_CONFIGS:
+        for technique in techniques:
+            model = baseline_clone()
+            QuantizedModel(model, quant)
+            design = build_design(model, technique, "write_only",
+                                  write_variation=write_variation,
+                                  config=enhance, cache_tag=quant.name)
+            accs = []
+            for dataset in datasets:
+                reads = evaluation_reads(dataset, num_reads)
+                accs.append(evaluate_accuracy(model, reads).mean_percent)
+                record.rows.append({
+                    "quant": quant.name,
+                    "technique": technique,
+                    "dataset": dataset,
+                    "accuracy": accs[-1],
+                })
+            design.release()
+            model.set_activation_quant(None)
+    return record
+
+
+def main() -> ExperimentRecord:
+    record = run()
+    quants = record.settings["quant_configs"]
+    techniques = record.settings["techniques"]
+    acc: dict[tuple[str, str], list[float]] = {}
+    for row in record.rows:
+        acc.setdefault((row["quant"], row["technique"]), []).append(row["accuracy"])
+    rows = []
+    for quant in quants:
+        row = [quant]
+        for technique in techniques:
+            values = acc[(quant, technique)]
+            row.append(sum(values) / len(values))
+        rows.append(row)
+    print(render_table(
+        "Fig. 10 — enhancement vs quantization (accuracy %, mean over datasets)",
+        ["quant"] + list(techniques), rows))
+    base = record.settings["baseline_accuracy"]
+    print(f"Baseline DFP 32-32: "
+          f"{sum(base.values()) / len(base):.2f}%")
+    return record
+
+
+if __name__ == "__main__":
+    main()

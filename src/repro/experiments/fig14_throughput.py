@@ -1,0 +1,70 @@
+"""Fig. 14 — throughput of the SwordfishAccel variants vs Bonito-GPU.
+
+Evaluates the analytical throughput model for Bonito-GPU,
+Ideal-SwordfishAccel, and the three realistic variants (R-V-W, RSA,
+RSA+KD) on 64×64 crossbars.
+
+Paper shapes to reproduce: Ideal ≫ everything (~413× over GPU);
+RSA+KD ≈ 25.7× over GPU; RSA ≈ 5.2×; R-V-W *below* GPU (~0.7×).
+"""
+
+from __future__ import annotations
+
+from ..basecaller import BonitoModel
+from ..basecaller.model import BONITO_PAPER_CONFIG
+from ..core import ExperimentRecord, SystemEvaluator, render_table
+from .common import DATASETS
+
+__all__ = ["run", "main", "VARIANT_ORDER"]
+
+VARIANT_ORDER: tuple[str, ...] = ("ideal", "rvw", "rsa", "rsa_kd")
+
+
+def run(crossbar_size: int = 64,
+        datasets: tuple[str, ...] = DATASETS) -> ExperimentRecord:
+    evaluator = SystemEvaluator()
+    # Throughput/area are analytical models, so they run on the real
+    # Bonito's dimensions (never trained here), not the scaled model.
+    model = BonitoModel(BONITO_PAPER_CONFIG)
+    gpu_kbps = evaluator.gpu_baseline(model)
+
+    record = ExperimentRecord(
+        experiment_id="fig14_throughput",
+        description="Throughput of SwordfishAccel variants vs Bonito-GPU",
+        settings={"crossbar_size": crossbar_size,
+                  "gpu_kbps": gpu_kbps,
+                  "datasets": list(datasets)},
+    )
+    for variant in VARIANT_ORDER:
+        estimate = evaluator.throughput(model, variant, crossbar_size)
+        for dataset in datasets:
+            record.rows.append({
+                "dataset": dataset,
+                "variant": variant,
+                "kbps": estimate.kbp_per_second,
+                "speedup_vs_gpu": estimate.kbp_per_second / gpu_kbps,
+            })
+        record.settings[f"{variant}_bottleneck"] = estimate.bottleneck_stage
+        record.settings[f"{variant}_replicas"] = estimate.replicas
+    return record
+
+
+def main() -> ExperimentRecord:
+    record = run()
+    gpu = record.settings["gpu_kbps"]
+    rows = [["bonito-gpu", gpu, 1.0]]
+    seen = set()
+    for row in record.rows:
+        if row["variant"] in seen:
+            continue
+        seen.add(row["variant"])
+        rows.append([row["variant"], row["kbps"], row["speedup_vs_gpu"]])
+    print(render_table(
+        "Fig. 14 — basecalling throughput (64x64, 10% WV, 5% SRAM)",
+        ["variant", "Kbp/s", "× vs GPU"], rows))
+    print("paper: ideal 413.6x, rvw 0.7x, rsa 5.24x, rsa_kd 25.7x")
+    return record
+
+
+if __name__ == "__main__":
+    main()

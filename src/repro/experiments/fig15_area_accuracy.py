@@ -1,0 +1,105 @@
+"""Fig. 15 — accuracy vs area of Realistic-SwordfishAccel-RSA+KD.
+
+Sweeps the fraction of weights assigned to SRAM (0%, 1%, 5%, 10%) for
+two crossbar sizes (64×64, 256×256), reporting the RSA+KD design's
+accuracy and total area.
+
+Expected shapes: accuracy rises with SRAM fraction but saturates around
+5%; area grows steadily with SRAM fraction; 64×64 at 5% lands within a
+few percent of the FP baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from dataclasses import replace
+
+from ..basecaller import evaluate_accuracy
+from ..core import (
+    EnhanceConfig,
+    ExperimentRecord,
+    SystemEvaluator,
+    build_design,
+    render_table,
+)
+from ..nn import QuantizedModel, get_quant_config
+from .common import DATASETS, baseline_clone, evaluation_reads, scaled
+
+__all__ = ["run", "main", "DEFAULT_FRACTIONS"]
+
+DEFAULT_FRACTIONS: tuple[float, ...] = (0.0, 0.01, 0.05, 0.10)
+
+
+def run(sizes: tuple[int, ...] = (64, 256),
+        fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+        write_variation: float = 0.10,
+        bundle: str = "measured",
+        num_reads: int | None = None,
+        datasets: tuple[str, ...] = DATASETS,
+        enhance: EnhanceConfig | None = None) -> ExperimentRecord:
+    num_reads = num_reads or scaled(8)
+    enhance = enhance or EnhanceConfig()
+    evaluator = SystemEvaluator()
+
+    record = ExperimentRecord(
+        experiment_id="fig15_area_accuracy",
+        description="Accuracy vs area for RSA+KD designs",
+        settings={"sizes": list(sizes), "fractions": list(fractions),
+                  "bundle": bundle, "write_variation": write_variation,
+                  "num_reads": num_reads},
+    )
+    baseline = baseline_clone()
+    base_accs = [
+        evaluate_accuracy(baseline, evaluation_reads(d, num_reads)).mean_percent
+        for d in datasets
+    ]
+    record.settings["baseline_accuracy"] = float(np.mean(base_accs))
+    # Area is an analytical model: evaluate it on the real Bonito's
+    # dimensions, as with Fig. 14's throughput.
+    from ..basecaller import BonitoModel
+    from ..basecaller.model import BONITO_PAPER_CONFIG
+    area_model = BonitoModel(BONITO_PAPER_CONFIG)
+
+    for size in sizes:
+        for fraction in fractions:
+            model = baseline_clone()
+            QuantizedModel(model, get_quant_config("FPP 16-16"))
+            config = replace(enhance, sram_fraction=fraction)
+            design = build_design(model, "rsa_kd", bundle,
+                                  crossbar_size=size,
+                                  write_variation=write_variation,
+                                  config=config)
+            accs = [
+                evaluate_accuracy(model, evaluation_reads(d, num_reads)).mean_percent
+                for d in datasets
+            ]
+            design.release()
+            model.set_activation_quant(None)
+            area = evaluator.area(area_model, size, sram_fraction=fraction)
+            record.rows.append({
+                "size": size,
+                "sram_percent": 100 * fraction,
+                "accuracy": float(np.mean(accs)),
+                "area_mm2": area.total_mm2,
+                "rsa_overhead_mm2": area.rsa_overhead_mm2,
+            })
+    return record
+
+
+def main() -> ExperimentRecord:
+    record = run()
+    rows = [
+        [f"{r['size']}x{r['size']}", r["sram_percent"], r["accuracy"],
+         r["area_mm2"], r["rsa_overhead_mm2"]]
+        for r in record.rows
+    ]
+    print(render_table(
+        "Fig. 15 — accuracy vs area (Realistic-SwordfishAccel-RSA+KD)",
+        ["crossbar", "SRAM %", "accuracy %", "area mm²", "RSA overhead mm²"],
+        rows, floatfmt=".3f"))
+    print(f"FP baseline accuracy: {record.settings['baseline_accuracy']:.2f}%")
+    return record
+
+
+if __name__ == "__main__":
+    main()

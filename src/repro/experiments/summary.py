@@ -1,0 +1,131 @@
+"""Aggregate saved experiment records into one report.
+
+Benchmarks persist their :class:`~repro.core.results.ExperimentRecord`
+rows as JSON under ``benchmarks/results/``; this module reloads them
+and prints a compact paper-vs-measured summary — the data behind
+EXPERIMENTS.md.
+
+Run:  python -m repro.experiments.summary [results_dir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from ..core import render_table
+
+__all__ = ["load_records", "summarize", "main"]
+
+#: Paper reference values for the headline comparisons.
+PAPER_HEADLINES = {
+    "fig14_throughput": {"ideal": 413.6, "rvw": 0.7, "rsa": 5.24,
+                         "rsa_kd": 25.7},
+}
+
+
+def load_records(directory: str | Path) -> dict[str, dict]:
+    """Load every ``*.json`` record in ``directory`` keyed by id."""
+    directory = Path(directory)
+    records: dict[str, dict] = {}
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text())
+        records[data["experiment_id"]] = data
+    return records
+
+
+def summarize(records: dict[str, dict]) -> str:
+    """Render a one-table-per-experiment summary string."""
+    sections: list[str] = []
+
+    pipeline = records.get("fig01_pipeline")
+    if pipeline:
+        rows = [(r["stage"], f"{100 * r['fraction']:.1f}%")
+                for r in pipeline["rows"]]
+        sections.append(render_table("Fig. 1 — runtime shares",
+                                     ["stage", "share"], rows))
+
+    quant = records.get("tab03_quantization")
+    if quant:
+        accs: dict[str, list[float]] = {}
+        for r in quant["rows"]:
+            accs.setdefault(r["config"], []).append(r["accuracy"])
+        rows = [(c, float(np.mean(v))) for c, v in accs.items()]
+        sections.append(render_table(
+            "Table 3 — accuracy by precision (dataset mean %)",
+            ["config", "accuracy"], rows))
+
+    wv = records.get("fig07_write_variation")
+    if wv:
+        accs = {}
+        for r in wv["rows"]:
+            accs.setdefault(r["rate"], []).append(r["accuracy"])
+        rows = [(f"{rate:g}", float(np.mean(v)))
+                for rate, v in sorted(accs.items())]
+        sections.append(render_table(
+            "Fig. 7 — accuracy vs write variation (dataset mean %)",
+            ["rate", "accuracy"], rows))
+
+    for figure, size in (("fig08_nonidealities_64", 64),
+                         ("fig09_nonidealities_256", 256)):
+        record = records.get(figure)
+        if not record:
+            continue
+        accs = {}
+        for r in record["rows"]:
+            accs.setdefault(r["bundle"], []).append(r["accuracy"])
+        rows = [(b, float(np.mean(v))) for b, v in accs.items()]
+        sections.append(render_table(
+            f"Fig. {'8' if size == 64 else '9'} — non-idealities "
+            f"{size}x{size} (dataset mean %)",
+            ["bundle", "accuracy"], rows))
+
+    for figure, size in (("fig12_enhance_nonideal_64", 64),
+                         ("fig13_enhance_nonideal_256", 256)):
+        record = records.get(figure)
+        if not record:
+            continue
+        rows = [(r["bundle"], r["technique"], r["accuracy"])
+                for r in record["rows"]]
+        sections.append(render_table(
+            f"Fig. {'12' if size == 64 else '13'} — enhancement "
+            f"{size}x{size} (dataset mean %)",
+            ["bundle", "technique", "accuracy"], rows))
+
+    throughput = records.get("fig14_throughput")
+    if throughput:
+        paper = PAPER_HEADLINES["fig14_throughput"]
+        seen: dict[str, float] = {}
+        for r in throughput["rows"]:
+            seen.setdefault(r["variant"], r["speedup_vs_gpu"])
+        rows = [(v, ratio, paper.get(v, float("nan")))
+                for v, ratio in seen.items()]
+        sections.append(render_table(
+            "Fig. 14 — speedup vs GPU (measured vs paper)",
+            ["variant", "measured ×", "paper ×"], rows))
+
+    area = records.get("fig15_area_accuracy")
+    if area:
+        rows = [(f"{r['size']}x{r['size']}", r["sram_percent"],
+                 r["accuracy"], r["area_mm2"]) for r in area["rows"]]
+        sections.append(render_table(
+            "Fig. 15 — accuracy vs area",
+            ["crossbar", "SRAM %", "accuracy %", "area mm²"], rows))
+
+    if not sections:
+        return "no experiment records found"
+    return "\n\n".join(sections)
+
+
+def main(directory: str | None = None) -> str:
+    directory = directory or "benchmarks/results"
+    report = summarize(load_records(directory))
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,59 @@
+"""Table 3 — accuracy after quantization (no crossbar non-idealities).
+
+Sweeps the paper's seven precision configurations (DFP 32-32 baseline
+and six FPP X-Y fixed-point formats) over datasets D1–D4.  Expected
+shape: 16-16 lossless, 8-8 a small loss, aggressive activation
+quantization (Y ≤ 4) increasingly harmful, with workload-dependent
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+from ..basecaller import evaluate_accuracy
+from ..core import ExperimentRecord, render_table
+from ..nn import PAPER_QUANT_CONFIGS, QuantizedModel
+from .common import DATASETS, baseline_clone, evaluation_reads, scaled
+
+__all__ = ["run", "main"]
+
+
+def run(num_reads: int | None = None,
+        datasets: tuple[str, ...] = DATASETS) -> ExperimentRecord:
+    num_reads = num_reads or scaled(10)
+    record = ExperimentRecord(
+        experiment_id="tab03_quantization",
+        description="Accuracy after quantization (Table 3)",
+        settings={"num_reads": num_reads, "datasets": list(datasets)},
+    )
+    for config in PAPER_QUANT_CONFIGS:
+        model = baseline_clone()
+        if not config.is_float:
+            QuantizedModel(model, config)
+        for dataset in datasets:
+            reads = evaluation_reads(dataset, num_reads)
+            report = evaluate_accuracy(model, reads)
+            record.rows.append({
+                "dataset": dataset,
+                "config": config.name,
+                "accuracy": report.mean_percent,
+            })
+        model.set_activation_quant(None)
+    return record
+
+
+def main() -> ExperimentRecord:
+    record = run()
+    configs = [c.name for c in PAPER_QUANT_CONFIGS]
+    by_key = {(r["dataset"], r["config"]): r["accuracy"] for r in record.rows}
+    datasets = record.settings["datasets"]
+    rows = [
+        [dataset] + [by_key[(dataset, c)] for c in configs]
+        for dataset in datasets
+    ]
+    print(render_table("Table 3 — accuracy after quantization (%)",
+                       ["dataset"] + configs, rows))
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Minimal FASTA/FASTQ I/O for simulated reads and references."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from .genome import decode_bases, encode_bases
+
+__all__ = ["write_fasta", "read_fasta", "write_fastq", "read_fastq"]
+
+
+def write_fasta(path: str | Path, records: dict[str, np.ndarray],
+                width: int = 80) -> Path:
+    """Write ``{name: base_codes}`` records to a FASTA file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for name, codes in records.items():
+            handle.write(f">{name}\n")
+            sequence = decode_bases(codes)
+            for start in range(0, len(sequence), width):
+                handle.write(sequence[start:start + width] + "\n")
+    return path
+
+
+def read_fasta(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a FASTA file into ``{name: base_codes}``."""
+    records: dict[str, np.ndarray] = {}
+    name: str | None = None
+    chunks: list[str] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    records[name] = encode_bases("".join(chunks))
+                name = line[1:].split()[0]
+                chunks = []
+            else:
+                chunks.append(line)
+    if name is not None:
+        records[name] = encode_bases("".join(chunks))
+    return records
+
+
+def write_fastq(path: str | Path,
+                records: Iterator[tuple[str, np.ndarray, np.ndarray]]) -> Path:
+    """Write ``(name, base_codes, phred_qualities)`` triples as FASTQ."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for name, codes, quals in records:
+            quals = np.clip(np.asarray(quals, dtype=np.int64), 0, 60)
+            if len(quals) != len(codes):
+                raise ValueError(f"quality length mismatch for {name}")
+            handle.write(f"@{name}\n{decode_bases(codes)}\n+\n")
+            handle.write("".join(chr(33 + q) for q in quals) + "\n")
+    return path
+
+
+def read_fastq(path: str | Path) -> list[tuple[str, np.ndarray, np.ndarray]]:
+    """Read a FASTQ file into ``(name, base_codes, qualities)`` triples."""
+    records: list[tuple[str, np.ndarray, np.ndarray]] = []
+    with Path(path).open() as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+    if len(lines) % 4 != 0:
+        raise ValueError("malformed FASTQ: record count not a multiple of 4")
+    for start in range(0, len(lines), 4):
+        header, sequence, separator, quality = lines[start:start + 4]
+        if not header.startswith("@") or not separator.startswith("+"):
+            raise ValueError(f"malformed FASTQ record at line {start + 1}")
+        records.append((
+            header[1:].split()[0],
+            encode_bases(sequence),
+            np.array([ord(c) - 33 for c in quality], dtype=np.int64),
+        ))
+    return records

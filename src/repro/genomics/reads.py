@@ -1,0 +1,103 @@
+"""Read sampling: reference genome → (squiggle, true sequence) pairs.
+
+A :class:`Read` bundles everything a basecalling experiment needs: the
+normalized signal the network consumes, the ground-truth base sequence,
+and provenance (dataset, genome position, strand).  :func:`sample_reads`
+draws reads the way a sequencing run does — random positions, random
+strand, log-normal-ish lengths — and :func:`dataset_reads` materializes
+the evaluation read set for one of the paper's datasets D1–D4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .genome import DatasetSpec, get_dataset, reverse_complement
+from .pore_model import PoreModel, default_pore_model
+from .signal import SquiggleConfig, normalize_signal, simulate_squiggle
+
+__all__ = ["Read", "sample_reads", "dataset_reads"]
+
+
+@dataclass
+class Read:
+    """One simulated nanopore read."""
+
+    read_id: str
+    signal: np.ndarray          # normalized current samples
+    raw_signal: np.ndarray      # un-normalized current, pA
+    bases: np.ndarray           # true base codes (ground truth)
+    dwells: np.ndarray          # samples per k-mer
+    position: int               # start position on the reference
+    strand: int                 # +1 forward, -1 reverse
+
+    def __len__(self) -> int:
+        return len(self.bases)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.signal)
+
+
+def sample_reads(genome: np.ndarray, num_reads: int,
+                 rng: np.random.Generator,
+                 mean_length: int = 160, min_length: int = 60,
+                 pore: PoreModel | None = None,
+                 squiggle: SquiggleConfig | None = None,
+                 id_prefix: str = "read") -> list[Read]:
+    """Sample ``num_reads`` reads from ``genome`` with simulated signal.
+
+    Lengths are log-normal around ``mean_length`` (nanopore read-length
+    distributions are heavy-tailed); positions and strands are uniform.
+    """
+    genome = np.asarray(genome, dtype=np.int8)
+    pore = pore or default_pore_model()
+    squiggle = squiggle or SquiggleConfig()
+    if len(genome) < min_length + pore.k:
+        raise ValueError("genome too short for requested read length")
+
+    reads: list[Read] = []
+    sigma = 0.35
+    mu = np.log(mean_length) - sigma ** 2 / 2
+    for i in range(num_reads):
+        length = int(np.clip(rng.lognormal(mu, sigma), min_length,
+                             len(genome) - pore.k))
+        position = int(rng.integers(0, len(genome) - length - pore.k + 1))
+        fragment = genome[position:position + length + pore.k - 1]
+        strand = 1 if rng.random() < 0.5 else -1
+        if strand < 0:
+            fragment = reverse_complement(fragment)
+        raw, dwells = simulate_squiggle(fragment, rng, pore=pore, config=squiggle)
+        # The basecall target is the k-mer *centre* sequence; using the
+        # fragment minus the pore flanks keeps signal and target aligned.
+        target = fragment[: len(fragment) - pore.k + 1]
+        reads.append(Read(
+            read_id=f"{id_prefix}_{i:05d}",
+            signal=normalize_signal(raw),
+            raw_signal=raw,
+            bases=np.asarray(target, dtype=np.int8),
+            dwells=dwells,
+            position=position,
+            strand=strand,
+        ))
+    return reads
+
+
+def dataset_reads(dataset: str | DatasetSpec, num_reads: int | None = None,
+                  seed_offset: int = 0,
+                  pore: PoreModel | None = None,
+                  squiggle: SquiggleConfig | None = None) -> list[Read]:
+    """Materialize the evaluation read set for a paper dataset.
+
+    ``num_reads`` defaults to the dataset's scaled read count;
+    ``seed_offset`` lets callers draw independent replicas (e.g. train
+    vs. held-out evaluation reads).
+    """
+    spec = get_dataset(dataset) if isinstance(dataset, str) else dataset
+    rng = np.random.default_rng(spec.seed * 7919 + seed_offset)
+    return sample_reads(
+        spec.genome(), num_reads or spec.scaled_reads, rng,
+        pore=pore, squiggle=squiggle, id_prefix=spec.name,
+    )

@@ -1,0 +1,225 @@
+"""Connectionist Temporal Classification: loss and decoders.
+
+Bonito is a CTC basecaller: the network emits per-frame distributions
+over ``{blank, A, C, G, T}`` and CTC marginalizes over all alignments
+between frames and the base sequence.  This module implements:
+
+* :func:`ctc_loss` — the negative log likelihood with an analytic
+  gradient w.r.t. the *logits*, wired into the :mod:`repro.nn` tape.
+* :func:`greedy_decode` — best-path decoding (argmax, collapse repeats,
+  drop blanks).
+* :func:`beam_search_decode` — prefix beam search.
+
+Conventions: class 0 is the blank symbol; targets are integer arrays of
+labels in ``1..K-1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["ctc_loss", "greedy_decode", "beam_search_decode", "ctc_forward_score"]
+
+NEG_INF = -1e30
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def _extend_targets(target: np.ndarray, blank: int) -> np.ndarray:
+    """Interleave blanks: ``l -> [b, l1, b, l2, ..., b]``."""
+    extended = np.full(2 * len(target) + 1, blank, dtype=np.int64)
+    extended[1::2] = target
+    return extended
+
+
+def _forward_backward(log_probs: np.ndarray, target: np.ndarray,
+                      blank: int) -> tuple[float, np.ndarray]:
+    """Return (nll, grad wrt logits) for one sample.
+
+    ``log_probs`` is ``(T, K)`` log-softmax output.  The returned
+    gradient is ``softmax - expected_symbol_posterior`` — the gradient of
+    the loss with respect to the *pre-softmax logits*.
+    """
+    time, num_classes = log_probs.shape
+    labels = _extend_targets(target, blank)
+    num_states = len(labels)
+    if time < len(target):
+        # Not enough frames to emit the target at all: infinite loss.
+        return float("inf"), np.zeros_like(log_probs)
+
+    # Transitions allowed from s-2: only when the symbol differs from the
+    # one two positions back (and is not blank).
+    skip_ok = np.zeros(num_states, dtype=bool)
+    if num_states > 2:
+        skip_ok[2:] = (labels[2:] != blank) & (labels[2:] != labels[:-2])
+
+    emit = log_probs[:, labels]  # (T, S)
+
+    log_alpha = np.full((time, num_states), NEG_INF)
+    log_alpha[0, 0] = emit[0, 0]
+    if num_states > 1:
+        log_alpha[0, 1] = emit[0, 1]
+    for t in range(1, time):
+        prev = log_alpha[t - 1]
+        stay = prev
+        step = np.full(num_states, NEG_INF)
+        step[1:] = prev[:-1]
+        skip = np.full(num_states, NEG_INF)
+        skip[2:] = prev[:-2]
+        skip[~skip_ok] = NEG_INF
+        log_alpha[t] = _logsumexp3(stay, step, skip) + emit[t]
+
+    if num_states > 1:
+        log_p = np.logaddexp(log_alpha[-1, -1], log_alpha[-1, -2])
+    else:
+        log_p = log_alpha[-1, -1]
+    if not np.isfinite(log_p) or log_p <= NEG_INF / 2:
+        return float("inf"), np.zeros_like(log_probs)
+
+    # beta excludes the emission at t, so alpha*beta = path posterior.
+    log_beta = np.full((time, num_states), NEG_INF)
+    log_beta[-1, -1] = 0.0
+    if num_states > 1:
+        log_beta[-1, -2] = 0.0
+    for t in range(time - 2, -1, -1):
+        nxt = log_beta[t + 1] + emit[t + 1]
+        stay = nxt
+        step = np.full(num_states, NEG_INF)
+        step[:-1] = nxt[1:]
+        skip = np.full(num_states, NEG_INF)
+        skip[:-2] = np.where(skip_ok[2:], nxt[2:], NEG_INF)
+        log_beta[t] = _logsumexp3(stay, step, skip)
+
+    log_gamma = log_alpha + log_beta  # (T, S)
+    # Posterior over symbols: sum states sharing a label.
+    posterior = np.zeros((time, num_classes))
+    weights = np.exp(log_gamma - log_p)
+    np.add.at(posterior.T, labels, weights.T)
+    grad = np.exp(log_probs) - posterior
+    return float(-log_p), grad
+
+
+def _logsumexp3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    m = np.maximum(np.maximum(a, b), c)
+    m_safe = np.where(m <= NEG_INF, 0.0, m)
+    with np.errstate(divide="ignore"):
+        out = m_safe + np.log(
+            np.exp(a - m_safe) + np.exp(b - m_safe) + np.exp(c - m_safe)
+        )
+    return np.where(m <= NEG_INF, NEG_INF, out)
+
+
+def ctc_loss(logits: Tensor, targets: Sequence[np.ndarray], blank: int = 0,
+             reduction: str = "mean") -> Tensor:
+    """CTC negative log likelihood.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, time, classes)`` unnormalized scores.
+    targets:
+        One integer label array per batch element (values ``1..K-1``).
+    reduction:
+        ``"mean"`` (per-sample mean) or ``"sum"``.
+    """
+    logits = as_tensor(logits)
+    batch, time, num_classes = logits.shape
+    if len(targets) != batch:
+        raise ValueError("one target sequence required per batch element")
+    log_probs = _log_softmax(logits.data)
+
+    losses = np.zeros(batch)
+    grads = np.zeros_like(logits.data)
+    for b in range(batch):
+        target = np.asarray(targets[b], dtype=np.int64)
+        if target.size and (target.min() < 0 or target.max() >= num_classes):
+            raise ValueError("target labels out of range")
+        losses[b], grads[b] = _forward_backward(log_probs[b], target, blank)
+
+    finite = np.isfinite(losses)
+    if reduction == "mean":
+        value = losses[finite].mean() if finite.any() else 0.0
+        scale = 1.0 / max(int(finite.sum()), 1)
+    elif reduction == "sum":
+        value = losses[finite].sum()
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    grads[~finite] = 0.0
+
+    def backward(grad: np.ndarray) -> None:
+        out._accumulate(logits, grads * (float(grad) * scale))
+
+    out = Tensor._make(np.asarray(value), (logits,), backward)
+    return out
+
+
+def ctc_forward_score(log_probs: np.ndarray, target: np.ndarray,
+                      blank: int = 0) -> float:
+    """Log likelihood ``log P(target | log_probs)`` (no gradient)."""
+    nll, _ = _forward_backward(np.asarray(log_probs), np.asarray(target), blank)
+    return -nll
+
+
+def greedy_decode(log_probs: np.ndarray, blank: int = 0) -> np.ndarray:
+    """Best-path decode of a single ``(T, K)`` frame matrix."""
+    path = np.asarray(log_probs).argmax(axis=-1)
+    collapsed = path[np.concatenate(([True], path[1:] != path[:-1]))]
+    return collapsed[collapsed != blank]
+
+
+def beam_search_decode(log_probs: np.ndarray, beam_width: int = 8,
+                       blank: int = 0) -> np.ndarray:
+    """Prefix beam search over a single ``(T, K)`` frame matrix.
+
+    Maintains for each prefix the probability of ending in blank
+    (``p_b``) and in a non-blank (``p_nb``); returns the most probable
+    prefix.  With ``beam_width=1`` this reduces to a slightly stronger
+    variant of greedy decoding.
+    """
+    log_probs = np.asarray(log_probs)
+    time, num_classes = log_probs.shape
+    # beams: prefix(tuple) -> [log p_blank, log p_nonblank]
+    beams: dict[tuple[int, ...], list[float]] = {(): [0.0, NEG_INF]}
+    for t in range(time):
+        frame = log_probs[t]
+        candidates: dict[tuple[int, ...], list[float]] = {}
+
+        def bump(prefix: tuple[int, ...], which: int, value: float) -> None:
+            entry = candidates.setdefault(prefix, [NEG_INF, NEG_INF])
+            entry[which] = np.logaddexp(entry[which], value)
+
+        for prefix, (p_b, p_nb) in beams.items():
+            total = np.logaddexp(p_b, p_nb)
+            # Extend with blank.
+            bump(prefix, 0, total + frame[blank])
+            last = prefix[-1] if prefix else None
+            for k in range(num_classes):
+                if k == blank:
+                    continue
+                p_k = frame[k]
+                if k == last:
+                    # Repeat symbol: stays same prefix only via non-blank.
+                    bump(prefix, 1, p_nb + p_k)
+                    bump(prefix + (k,), 1, p_b + p_k)
+                else:
+                    bump(prefix + (k,), 1, total + p_k)
+
+        ranked = sorted(
+            candidates.items(),
+            key=lambda item: np.logaddexp(item[1][0], item[1][1]),
+            reverse=True,
+        )
+        beams = dict(ranked[:beam_width])
+
+    best = max(beams.items(), key=lambda item: np.logaddexp(item[1][0], item[1][1]))
+    return np.asarray(best[0], dtype=np.int64)

@@ -1,0 +1,58 @@
+"""Weight initialization schemes for :mod:`repro.nn` layers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "default_rng",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "uniform",
+    "orthogonal",
+]
+
+_GLOBAL_SEED = 1234
+
+
+def default_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a deterministic generator (fixed global seed when None)."""
+    return np.random.default_rng(_GLOBAL_SEED if seed is None else seed)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator,
+                   fan_in: int | None = None, fan_out: int | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    if fan_in is None:
+        fan_in = shape[0]
+    if fan_out is None:
+        fan_out = shape[-1]
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator,
+                    fan_in: int | None = None) -> np.ndarray:
+    """He/Kaiming uniform initialization (ReLU gain)."""
+    if fan_in is None:
+        fan_in = shape[0]
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator, bound: float) -> np.ndarray:
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator,
+               gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization (used for LSTM recurrent weights)."""
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]

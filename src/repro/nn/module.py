@@ -1,0 +1,170 @@
+"""Module/Parameter infrastructure for :mod:`repro.nn`.
+
+Provides a small ``torch.nn.Module``-style container hierarchy: named
+parameters, recursive traversal, train/eval mode, and state-dict
+(de)serialization hooks used by :mod:`repro.nn.serialize`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by ``Module``."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and ``Module`` instances as
+    attributes; these are discovered automatically for ``parameters()``,
+    ``state_dict()`` and friends.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. BatchNorm running stats)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer in place of the registry."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_parameters(child_prefix)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count of this module tree."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> "OrderedDict[str, np.ndarray]":
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, param in self._parameters.items():
+            state[f"{prefix}{name}"] = param.data.copy()
+        for name, value in self._buffers.items():
+            state[f"{prefix}{name}"] = np.asarray(value).copy()
+        for name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{name}."))
+        return state
+
+    def load_state_dict(self, state: dict, prefix: str = "", strict: bool = True) -> None:
+        for name, param in self._parameters.items():
+            key = f"{prefix}{name}"
+            if key in state:
+                value = np.asarray(state[key], dtype=param.data.dtype)
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: "
+                        f"{value.shape} vs {param.data.shape}"
+                    )
+                param.data = value.copy()
+            elif strict:
+                raise KeyError(f"missing parameter {key}")
+        for name in list(self._buffers):
+            key = f"{prefix}{name}"
+            if key in state:
+                self._set_buffer(name, np.asarray(state[key]).copy())
+            elif strict:
+                raise KeyError(f"missing buffer {key}")
+        for name, module in self._modules.items():
+            module.load_state_dict(state, prefix=f"{prefix}{name}.", strict=strict)
+
+    # ------------------------------------------------------------------
+    # Calling
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+Module.Sequential = Sequential  # convenience alias
+__all__.append("Sequential")

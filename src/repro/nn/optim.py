@@ -1,0 +1,140 @@
+"""Optimizers and learning-rate schedules for :mod:`repro.nn`."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["SGD", "Adam", "clip_grad_norm", "CosineSchedule", "LinearWarmup"]
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients to a global L2 norm; returns the pre-clip norm."""
+    params = [p for p in parameters if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for param in params:
+            param.grad *= scale
+    return total
+
+
+class CosineSchedule:
+    """Cosine-annealed learning rate from ``lr_max`` to ``lr_min``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 lr_min: float = 0.0):
+        self.optimizer = optimizer
+        self.lr_max = optimizer.lr
+        self.lr_min = lr_min
+        self.total_steps = max(total_steps, 1)
+        self.step_count = 0
+
+    def step(self) -> float:
+        self.step_count = min(self.step_count + 1, self.total_steps)
+        fraction = self.step_count / self.total_steps
+        lr = self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (
+            1.0 + math.cos(math.pi * fraction)
+        )
+        self.optimizer.lr = lr
+        return lr
+
+
+class LinearWarmup:
+    """Linear warmup wrapper around another schedule (or a fixed lr)."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int,
+                 after: CosineSchedule | None = None):
+        self.optimizer = optimizer
+        self.target_lr = optimizer.lr
+        self.warmup_steps = max(warmup_steps, 1)
+        self.after = after
+        self.step_count = 0
+
+    def step(self) -> float:
+        self.step_count += 1
+        if self.step_count <= self.warmup_steps:
+            lr = self.target_lr * self.step_count / self.warmup_steps
+            self.optimizer.lr = lr
+            return lr
+        if self.after is not None:
+            return self.after.step()
+        return self.optimizer.lr

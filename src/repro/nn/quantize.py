@@ -1,0 +1,189 @@
+"""Fixed-point quantization (the paper's ``FPP X-Y`` configurations).
+
+Swordfish evaluates Bonito under seven precision configurations
+(Table 3): the FP32 baseline ``DFP 32-32`` and six fixed-point
+``FPP X-Y`` formats, where X is the weight bit width and Y the
+activation bit width.  This module provides:
+
+* :func:`quantize_symmetric` — symmetric per-tensor fake quantization.
+* :class:`QuantConfig` — a named (weight_bits, activation_bits) pair
+  with the paper's seven presets.
+* :class:`QuantizedModel` — wraps a :class:`repro.nn.Module`, fake-
+  quantizing weights once and activations between layers (used both for
+  Table 3 inference and quantization-aware retraining, where the
+  straight-through estimator lets gradients pass the rounding).
+* :class:`FakeQuant` — an autograd op with a straight-through gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "QuantConfig",
+    "PAPER_QUANT_CONFIGS",
+    "quantize_symmetric",
+    "quantization_step",
+    "FakeQuant",
+    "QuantizedModel",
+]
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Precision configuration.
+
+    ``weight_bits``/``activation_bits`` of ``None`` mean full FP (the
+    paper's DFP 32-32 baseline: NumPy float64 here, which only improves
+    on the paper's FP32 — quantization deltas are what matter).
+    """
+
+    name: str
+    weight_bits: int | None
+    activation_bits: int | None
+
+    @property
+    def is_float(self) -> bool:
+        return self.weight_bits is None and self.activation_bits is None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The seven configurations of Table 3, in paper order.
+PAPER_QUANT_CONFIGS: tuple[QuantConfig, ...] = (
+    QuantConfig("DFP 32-32", None, None),
+    QuantConfig("FPP 16-16", 16, 16),
+    QuantConfig("FPP 8-8", 8, 8),
+    QuantConfig("FPP 8-4", 8, 4),
+    QuantConfig("FPP 4-8", 4, 8),
+    QuantConfig("FPP 4-4", 4, 4),
+    QuantConfig("FPP 4-2", 4, 2),
+)
+
+
+def get_quant_config(name: str) -> QuantConfig:
+    """Look up one of the paper's presets by name (e.g. ``"FPP 8-8"``)."""
+    for config in PAPER_QUANT_CONFIGS:
+        if config.name == name:
+            return config
+    raise KeyError(f"unknown quantization config {name!r}")
+
+
+__all__.append("get_quant_config")
+
+
+def quantization_step(values: np.ndarray, bits: int) -> float:
+    """Symmetric per-tensor step size for ``bits``-bit signed fixed point."""
+    max_abs = float(np.abs(values).max())
+    if max_abs == 0.0:
+        return 1.0
+    levels = 2 ** (bits - 1) - 1
+    return max_abs / levels
+
+
+def quantize_symmetric(values: np.ndarray, bits: int,
+                       step: float | None = None) -> np.ndarray:
+    """Round ``values`` onto a symmetric ``bits``-bit fixed-point grid."""
+    if bits is None:
+        return np.asarray(values)
+    if bits < 2:
+        raise ValueError("need at least 2 bits for signed fixed point")
+    values = np.asarray(values)
+    if step is None:
+        step = quantization_step(values, bits)
+    levels = 2 ** (bits - 1) - 1
+    quantized = np.clip(np.round(values / step), -levels, levels)
+    return quantized * step
+
+
+class FakeQuant(Module):
+    """Activation fake-quantizer with straight-through gradient.
+
+    Forward rounds to the fixed-point grid; backward passes the gradient
+    unchanged inside the clipping range (the STE of Jacob et al., CVPR
+    2018, which the paper's quantization-aware retraining relies on).
+
+    At very low precision (≤4 bits) the scale comes from a high
+    percentile of ``|x|`` rather than the max, sacrificing rare
+    outliers for resolution on the bulk — standard practice in
+    production quantizers and necessary for the paper's FPP X-2/X-4
+    configurations to remain usable.
+    """
+
+    def __init__(self, bits: int | None, percentile: float = 99.5):
+        super().__init__()
+        self.bits = bits
+        self.percentile = percentile
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.bits is None:
+            return as_tensor(x)
+        x = as_tensor(x)
+        levels = 2 ** (self.bits - 1) - 1
+        if self.bits <= 4:
+            scale = float(np.percentile(np.abs(x.data), self.percentile))
+        else:
+            scale = float(np.abs(x.data).max())
+        if scale == 0.0:
+            scale = 1.0
+        step = scale / levels
+        quantized = np.clip(np.round(x.data / step), -levels, levels) * step
+        inside = np.abs(x.data) <= scale
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(x, grad * inside)
+
+        out = Tensor._make(quantized, (x,), backward)
+        return out
+
+
+class QuantizedModel(Module):
+    """Wrap a model so weights and activations obey a :class:`QuantConfig`.
+
+    Weight quantization is applied by snapshotting the wrapped model's
+    parameters onto the fixed-point grid (reversible via
+    :meth:`restore_weights`).  Activation quantization is applied by the
+    wrapped model itself through its ``activation_quant`` hook, which
+    Bonito-style models in :mod:`repro.basecaller` call between blocks.
+    """
+
+    def __init__(self, model: Module, config: QuantConfig):
+        super().__init__()
+        self.model = model
+        self.config = config
+        self._saved: dict[str, np.ndarray] | None = None
+        self.apply_weight_quant()
+        self._install_activation_quant()
+
+    def apply_weight_quant(self) -> None:
+        if self.config.weight_bits is None:
+            return
+        if self._saved is None:
+            self._saved = {
+                name: p.data.copy() for name, p in self.model.named_parameters()
+            }
+        for _, param in self.model.named_parameters():
+            param.data = quantize_symmetric(param.data, self.config.weight_bits)
+
+    def restore_weights(self) -> None:
+        """Undo weight quantization (restores the FP snapshot)."""
+        if self._saved is None:
+            return
+        for name, param in self.model.named_parameters():
+            param.data = self._saved[name].copy()
+        self._saved = None
+
+    def _install_activation_quant(self) -> None:
+        quant = FakeQuant(self.config.activation_bits)
+        if hasattr(self.model, "set_activation_quant"):
+            self.model.set_activation_quant(quant)
+        self._activation_quant = quant
+
+    def forward(self, *args, **kwargs):
+        return self.model(*args, **kwargs)

@@ -1,0 +1,41 @@
+"""Model (de)serialization: ``.npz`` checkpoints for :mod:`repro.nn`."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(model: Module, path: str | Path,
+                    metadata: dict | None = None) -> Path:
+    """Save a model's state dict (plus JSON metadata) to ``path``.
+
+    The checkpoint is a single ``.npz`` with one array per parameter or
+    buffer and a ``__metadata__`` JSON string.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    arrays = dict(state)
+    arrays["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode(), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+    return path
+
+
+def load_checkpoint(model: Module, path: str | Path,
+                    strict: bool = True) -> dict:
+    """Load a checkpoint saved by :func:`save_checkpoint`; returns metadata."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != "__metadata__"}
+        metadata_bytes = archive["__metadata__"].tobytes() if "__metadata__" in archive.files else b"{}"
+    model.load_state_dict(state, strict=strict)
+    return json.loads(metadata_bytes.decode() or "{}")

@@ -1,0 +1,568 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the foundation of :mod:`repro.nn`, a from-scratch deep
+learning substrate used by the Swordfish reproduction.  The paper trains
+and retrains the Bonito basecaller with PyTorch; this repository has no
+PyTorch, so we provide an equivalent (small but complete) tape-based
+autograd engine.
+
+Design notes
+------------
+* A :class:`Tensor` wraps a ``numpy.ndarray`` (always ``float64`` unless
+  the caller says otherwise) plus an optional gradient buffer.
+* Each differentiable operation records a backward closure and its parent
+  tensors.  ``Tensor.backward()`` topologically sorts the tape and
+  accumulates gradients.
+* Broadcasting in binary ops is supported; gradients are "unbroadcast"
+  (summed) back to the parent shapes.
+* ``no_grad()`` disables taping, which the deployed (crossbar) inference
+  path uses for speed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient taping.
+
+    Mirrors ``torch.no_grad``: operations executed inside the block do
+    not record backward closures, so the produced tensors are leaves.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations are currently being taped."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (the reverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Converted to ``numpy.ndarray`` of ``dtype``.
+    requires_grad:
+        When True, ``backward()`` accumulates a gradient into ``.grad``.
+    dtype:
+        NumPy dtype for the payload (default ``float64``).
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_collect")
+
+    def __init__(self, data, requires_grad: bool = False, dtype=np.float64, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=dtype)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing this tensor's data."""
+        out = Tensor(self.data, requires_grad=False)
+        return out
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None] | None) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        ``grad`` defaults to ones (so scalars need no argument).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order over the tape.
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate into .grad
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            node._collect = grads  # type: ignore[attr-defined]
+            node._backward(node_grad)
+            del node._collect  # type: ignore[attr-defined]
+
+    def _accumulate(self, parent: "Tensor", grad: np.ndarray) -> None:
+        """Route ``grad`` to ``parent`` during a backward pass."""
+        if not parent.requires_grad:
+            return
+        collect: dict[int, np.ndarray] = self._collect  # type: ignore[attr-defined]
+        if parent._backward is None and not parent._parents:
+            # Leaf tensor: accumulate directly so disconnected leaves work.
+            if parent.grad is None:
+                parent.grad = grad.copy()
+            else:
+                parent.grad = parent.grad + grad
+        else:
+            key = id(parent)
+            if key in collect:
+                collect[key] = collect[key] + grad
+            else:
+                collect[key] = grad
+
+    # ------------------------------------------------------------------
+    # Binary arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, _unbroadcast(grad, self.shape))
+            out._accumulate(other, _unbroadcast(grad, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, _unbroadcast(grad, self.shape))
+            out._accumulate(other, _unbroadcast(-grad, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, _unbroadcast(grad * other.data, self.shape))
+            out._accumulate(other, _unbroadcast(grad * self.data, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, _unbroadcast(grad / other.data, self.shape))
+            out._accumulate(
+                other, _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+            )
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, -grad)
+
+        out = Tensor._make(-self.data, (self,), backward)
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor ** only supports scalar exponents")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad * exponent * self.data ** (exponent - 1))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:  # dot product
+                out._accumulate(self, grad * b)
+                out._accumulate(other, grad * a)
+                return
+            if a.ndim == 1:  # (k,) @ (..., k, n)
+                ga = (grad[..., None, :] * b).sum(axis=-1)
+                ga = _unbroadcast(ga, a.shape)
+                gb = _unbroadcast(a[..., :, None] * grad[..., None, :], b.shape)
+                out._accumulate(self, ga)
+                out._accumulate(other, gb)
+                return
+            if b.ndim == 1:  # (..., m, k) @ (k,)
+                ga = _unbroadcast(grad[..., :, None] * b, a.shape)
+                gb = _unbroadcast((grad[..., :, None] * a).sum(axis=-2), b.shape)
+                out._accumulate(self, ga)
+                out._accumulate(other, gb)
+                return
+            ga = grad @ np.swapaxes(b, -1, -2)
+            gb = np.swapaxes(a, -1, -2) @ grad
+            out._accumulate(self, _unbroadcast(ga, a.shape))
+            out._accumulate(other, _unbroadcast(gb, b.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad * out_data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad / self.data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad * np.sign(self.data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad * (1.0 - out_data ** 2))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad * out_data * (1.0 - out_data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad * mask)
+
+        out = Tensor._make(self.data * mask, (self,), backward)
+        return out
+
+    def swish(self) -> "Tensor":
+        """SiLU / swish activation ``x * sigmoid(x)`` (used by Bonito)."""
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = self.data * sig
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad * (sig * (1.0 + self.data * (1.0 - sig))))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad * mask)
+
+        out = Tensor._make(np.clip(self.data, low, high), (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            out._accumulate(self, np.broadcast_to(g, self.shape).copy())
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                expanded = np.expand_dims(out_data, axis=axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Split gradient between ties, matching numpy semantics loosely.
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            out._accumulate(self, mask * g)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad.reshape(self.shape))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad.transpose(inverse))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, grad)
+            out._accumulate(self, full)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def pad(self, pad_width) -> "Tensor":
+        """Zero-pad, ``pad_width`` in ``numpy.pad`` format."""
+        out_data = np.pad(self.data, pad_width)
+        slices = tuple(
+            slice(before, before + n) for (before, _), n in zip(pad_width, self.shape)
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(self, grad[slices])
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                out._accumulate(tensor, grad[tuple(index)])
+
+        out = Tensor._make(out_data, tuple(tensors), backward)
+        return out
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            for i, tensor in enumerate(tensors):
+                index = [slice(None)] * grad.ndim
+                index[axis] = i
+                out._accumulate(tensor, grad[tuple(index)])
+
+        out = Tensor._make(out_data, tuple(tensors), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Softmax family
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            out._accumulate(self, out_data * (grad - dot))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_norm
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            out._accumulate(
+                self, grad - softmax * grad.sum(axis=axis, keepdims=True)
+            )
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

@@ -1,0 +1,20 @@
+"""``repro.pipeline`` — the nanopore analysis pipeline around basecalling.
+
+Read mapping, consensus polishing, and variant calling, with per-stage
+wall-clock accounting to reproduce the paper's Fig. 1 breakdown.
+"""
+
+from .mapping import MappingHit, ReferenceIndex, map_read
+from .stages import (
+    StageTiming,
+    PipelineResult,
+    run_pipeline,
+    consensus_pileup,
+    call_variants,
+)
+
+__all__ = [
+    "MappingHit", "ReferenceIndex", "map_read",
+    "StageTiming", "PipelineResult", "run_pipeline",
+    "consensus_pileup", "call_variants",
+]

@@ -1,0 +1,115 @@
+"""Read mapping: a minimizer-free seed-and-extend aligner.
+
+The pipeline stage downstream of basecalling (minimap2 in the paper's
+Fig. 1).  Implementation: exact k-mer index over the reference,
+seed voting for candidate (position, strand), then banded-edit-distance
+verification of the best candidates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genomics import banded_edit_distance, reverse_complement
+
+__all__ = ["MappingHit", "ReferenceIndex", "map_read"]
+
+
+@dataclass(frozen=True)
+class MappingHit:
+    """One mapping of a read to the reference."""
+
+    position: int
+    strand: int            # +1 forward, -1 reverse
+    edit_distance: int
+    score: float           # 1 - edits/length (mapping identity proxy)
+    seed_votes: int
+
+
+class ReferenceIndex:
+    """Exact k-mer hash index over a reference genome."""
+
+    def __init__(self, reference: np.ndarray, k: int = 11, stride: int = 1):
+        if k < 4 or k > 31:
+            raise ValueError("k must be in 4..31")
+        self.reference = np.asarray(reference, dtype=np.int8)
+        self.k = k
+        self.stride = stride
+        keys = _kmer_keys(self.reference, k)
+        positions = np.arange(len(keys))
+        if stride > 1:
+            positions = positions[::stride]
+            keys = keys[::stride]
+        # Group positions by key without a Python loop: sort by key and
+        # split at the key boundaries.
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_pos = positions[order]
+        boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+        groups = np.split(sorted_pos, boundaries)
+        uniques = sorted_keys[np.concatenate(([0], boundaries))] if len(
+            sorted_keys) else []
+        self._index: dict[int, np.ndarray] = {
+            int(key): group for key, group in zip(uniques, groups)
+        }
+
+    def seeds(self, query: np.ndarray) -> dict[int, int]:
+        """Vote histogram: candidate start position → seed count."""
+        votes: dict[int, int] = defaultdict(int)
+        keys = _kmer_keys(np.asarray(query, dtype=np.int8), self.k)
+        for offset, key in enumerate(keys):
+            for pos in self._index.get(int(key), ()):
+                start = pos - offset
+                votes[start] += 1
+        return votes
+
+
+def _kmer_keys(bases: np.ndarray, k: int) -> np.ndarray:
+    """Rolling base-4 keys of every k-mer (empty if too short)."""
+    bases = np.asarray(bases, dtype=np.int64)
+    if len(bases) < k:
+        return np.empty(0, dtype=np.int64)
+    keys = np.zeros(len(bases) - k + 1, dtype=np.int64)
+    for offset in range(k):
+        keys = keys * 4 + bases[offset:offset + len(keys)]
+    return keys
+
+
+def map_read(index: ReferenceIndex, query: np.ndarray,
+             min_votes: int = 3, band: int = 48,
+             max_candidates: int = 3) -> MappingHit | None:
+    """Map ``query`` against the indexed reference (both strands).
+
+    Returns the best verified hit, or None when nothing passes the seed
+    threshold.
+    """
+    query = np.asarray(query, dtype=np.int8)
+    if len(query) < index.k:
+        return None
+    best: MappingHit | None = None
+    for strand, oriented in ((1, query), (-1, reverse_complement(query))):
+        votes = index.seeds(oriented)
+        if not votes:
+            continue
+        ranked = sorted(votes.items(), key=lambda kv: kv[1],
+                        reverse=True)[:max_candidates]
+        for start, count in ranked:
+            if count < min_votes:
+                continue
+            lo = max(start - band // 2, 0)
+            hi = min(start + len(oriented) + band // 2, len(index.reference))
+            window = index.reference[lo:hi]
+            edits = banded_edit_distance(oriented, window, band=band)
+            # banded distance against a longer window counts the flank
+            # overhang as edits; remove the unavoidable length gap.
+            edits = max(edits - (len(window) - len(oriented)), 0)
+            score = 1.0 - edits / max(len(oriented), 1)
+            hit = MappingHit(position=max(start, 0), strand=strand,
+                             edit_distance=int(edits), score=score,
+                             seed_votes=count)
+            if best is None or hit.score > best.score:
+                best = hit
+    return best

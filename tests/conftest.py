@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+Tests never touch the full pretrained baseline (training it takes
+minutes); anything needing a *trained* basecaller uses the
+session-scoped ``tiny_model`` fixture, which trains a very small
+network for a few epochs — enough for every invariant under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basecaller import (
+    BonitoConfig,
+    BonitoModel,
+    TrainConfig,
+    make_training_chunks,
+    train_model,
+)
+
+TINY_CONFIG = BonitoConfig(conv_channels=(8, 16), lstm_hidden=16,
+                           num_lstm_layers=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_chunks():
+    return make_training_chunks(num_chunks=64, chunk_samples=192,
+                                genome_size=20_000, seed=321)
+
+
+@pytest.fixture(scope="session")
+def tiny_trained(tiny_chunks):
+    """A small basecaller trained briefly (shared, do not mutate)."""
+    model = BonitoModel(TINY_CONFIG)
+    train_model(model, tiny_chunks,
+                TrainConfig(epochs=3, batch_size=16, lr=8e-3))
+    return model
+
+
+@pytest.fixture()
+def tiny_model(tiny_trained):
+    """A fresh mutable copy of the tiny trained basecaller."""
+    model = BonitoModel(TINY_CONFIG)
+    model.load_state_dict(tiny_trained.state_dict())
+    model.eval()
+    return model
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,240 @@
+"""Tests for the Swordfish core: partition, bundles, deployment, results."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.basecaller import BonitoConfig, BonitoModel, evaluate_accuracy
+from repro.core import (
+    BUNDLES,
+    DeployedModel,
+    NonidealityBundle,
+    NonidealityCalibration,
+    deploy,
+    get_bundle,
+    partition_network,
+    render_table,
+)
+from repro.core.results import AccuracyResult, ExperimentRecord, save_record
+from repro.genomics import dataset_reads
+
+
+class TestPartition:
+    def test_layer_inventory(self):
+        model = BonitoModel(BonitoConfig())
+        mapping = partition_network(model, 64)
+        names = [layer.name for layer in mapping.layers]
+        assert names == ["conv0", "conv1", "lstm0", "lstm1", "skip",
+                         "decoder"]
+        assert mapping.total_weights == sum(
+            layer.num_weights for layer in mapping.layers)
+
+    def test_tile_grids_cover_weights(self):
+        model = BonitoModel(BonitoConfig())
+        mapping = partition_network(model, 64)
+        for layer in mapping.layers:
+            for shape, grid in zip(layer.weight_shapes, layer.tile_grids):
+                assert grid[0] * 64 >= shape[0]
+                assert grid[1] * 64 >= shape[1]
+                assert (grid[0] - 1) * 64 < shape[0]
+
+    def test_smaller_tiles_more_tiles(self):
+        model = BonitoModel(BonitoConfig())
+        small = partition_network(model, 64).total_tiles
+        large = partition_network(model, 256).total_tiles
+        assert small > large
+
+    def test_lstm_serialization_and_conv_rate(self):
+        model = BonitoModel(BonitoConfig())
+        mapping = partition_network(model, 64)
+        by_name = {layer.name: layer for layer in mapping.layers}
+        assert by_name["lstm0"].serial_vmms == 1  # only the recurrent VMM
+        assert by_name["decoder"].serial_vmms == 1
+        # conv0 runs ahead of the stride-2 downsample.
+        assert by_name["conv0"].rate == 2.0
+        assert by_name["conv1"].rate == 2.0  # rate counted before stride
+        assert by_name["lstm0"].rate == 1.0
+
+    def test_bases_per_frame(self):
+        model = BonitoModel(BonitoConfig())
+        mapping = partition_network(model, 64, samples_per_base=5.0)
+        assert np.isclose(mapping.bases_per_frame, 2 / 5)
+
+    def test_stages_roundtrip(self):
+        model = BonitoModel(BonitoConfig())
+        stages = partition_network(model, 64).stages()
+        assert len(stages) == 6
+        assert all(s.rows > 0 and s.cols > 0 for s in stages)
+
+    def test_size_validation(self):
+        model = BonitoModel(BonitoConfig())
+        with pytest.raises(ValueError):
+            partition_network(model, 1)
+
+
+class TestBundles:
+    def test_registry_complete(self):
+        assert set(BUNDLES) == {"ideal", "write_only", "synaptic_wires",
+                                "sense_adc", "dac_driver", "combined",
+                                "measured"}
+        with pytest.raises(KeyError):
+            get_bundle("nope")
+
+    def test_ideal_bundle_is_ideal(self):
+        config = get_bundle("ideal").crossbar_config(64, write_variation=0.5)
+        assert config.variation.write_variation == 0.0
+        assert config.dac.bits is None and config.adc.bits is None
+        assert config.wire.segment_ohm == 0.0
+
+    def test_write_only_isolates_write_variation(self):
+        config = get_bundle("write_only").crossbar_config(64, 0.25)
+        assert config.variation.write_variation == 0.25
+        assert config.variation.device_variation == 0.0
+        assert config.device.nonlinearity == 0.0
+        assert config.dac.bits is None
+
+    def test_bundle_activates_right_groups(self):
+        adc = get_bundle("sense_adc").crossbar_config(64)
+        assert adc.adc.bits is not None and adc.dac.bits is None
+        dac = get_bundle("dac_driver").crossbar_config(64)
+        assert dac.dac.bits is not None and dac.adc.bits is None
+        combined = get_bundle("combined").crossbar_config(64)
+        assert combined.adc.bits is not None
+        assert combined.dac.bits is not None
+        assert combined.device.nonlinearity > 0
+
+    def test_adc_errors_grow_with_size(self):
+        small = get_bundle("sense_adc").crossbar_config(64)
+        large = get_bundle("sense_adc").crossbar_config(256)
+        assert large.adc.gain_std > small.adc.gain_std
+
+    def test_measured_is_harsher(self):
+        combined = get_bundle("combined").crossbar_config(64)
+        measured = get_bundle("measured").crossbar_config(64)
+        assert (measured.device.nonlinearity
+                > combined.device.nonlinearity)
+
+    def test_custom_calibration(self):
+        cal = NonidealityCalibration(device_variation=0.5)
+        bundle = get_bundle("synaptic_wires").with_calibration(cal)
+        config = bundle.crossbar_config(64)
+        assert config.variation.device_variation == 0.5
+
+
+class TestDeployedModel:
+    def test_ideal_deployment_preserves_output(self, tiny_model, rng):
+        signal = rng.standard_normal(200)
+        with nn.no_grad():
+            exact = tiny_model(nn.Tensor(signal[None, :])).data
+        deployed = deploy(tiny_model, get_bundle("ideal"),
+                          write_variation=0.0)
+        with nn.no_grad():
+            routed = tiny_model(nn.Tensor(signal[None, :])).data
+        deployed.release()
+        assert np.abs(exact - routed).max() < 0.05
+
+    def test_noise_changes_output(self, tiny_model, rng):
+        signal = rng.standard_normal(200)
+        with nn.no_grad():
+            exact = tiny_model(nn.Tensor(signal[None, :])).data
+        deployed = deploy(tiny_model, get_bundle("write_only"),
+                          write_variation=0.3)
+        with nn.no_grad():
+            noisy = tiny_model(nn.Tensor(signal[None, :])).data
+        deployed.release()
+        assert np.abs(exact - noisy).max() > 0.01
+
+    def test_release_restores_exact(self, tiny_model, rng):
+        signal = rng.standard_normal(200)
+        with nn.no_grad():
+            before = tiny_model(nn.Tensor(signal[None, :])).data
+        deploy(tiny_model, get_bundle("write_only"),
+               write_variation=0.3).release()
+        with nn.no_grad():
+            after = tiny_model(nn.Tensor(signal[None, :])).data
+        assert np.allclose(before, after)
+
+    def test_banks_per_layer(self, tiny_model):
+        deployed = deploy(tiny_model, get_bundle("write_only"))
+        try:
+            assert set(deployed.banks) == {
+                name for name, _ in tiny_model.vmm_layers()}
+            for name, layer in tiny_model.vmm_layers():
+                expected = 2 if hasattr(layer, "weight_hh") else 1
+                assert len(deployed.banks[name]) == expected
+        finally:
+            deployed.release()
+
+    def test_assign_sram_reduces_weight_error(self, tiny_model):
+        deployed = deploy(tiny_model, get_bundle("write_only"),
+                          write_variation=0.4, seed=3)
+        try:
+            ideal = {name: [w.copy() for w in
+                            DeployedModel._layer_weights(layer)]
+                     for name, layer in tiny_model.vmm_layers()}
+
+            def total_error():
+                effective = deployed.effective_weights()
+                return sum(
+                    float(np.abs(eff - ref).sum())
+                    for name in effective
+                    for eff, ref in zip(effective[name], ideal[name])
+                )
+
+            before = total_error()
+            moved = deployed.assign_sram(0.5, use_knowledge=True)
+            assert moved > 0
+            after = total_error()
+            assert after < before * 0.6  # worst half remapped to SRAM
+        finally:
+            deployed.release()
+
+    def test_seed_reproducibility(self, tiny_model, rng):
+        signal = rng.standard_normal(200)
+        outs = []
+        for _ in range(2):
+            deployed = deploy(tiny_model, get_bundle("write_only"),
+                              write_variation=0.2, seed=42)
+            with nn.no_grad():
+                outs.append(tiny_model(nn.Tensor(signal[None, :])).data)
+            deployed.release()
+        assert np.allclose(outs[0], outs[1])
+
+    def test_effective_weights_shapes(self, tiny_model):
+        deployed = deploy(tiny_model, get_bundle("write_only"))
+        try:
+            effective = deployed.effective_weights()
+            for name, layer in tiny_model.vmm_layers():
+                for w, shape in zip(effective[name], layer.vmm_shapes()):
+                    assert w.shape == shape
+        finally:
+            deployed.release()
+
+
+class TestResults:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [[1.5, "x"], [2.25, "yy"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_empty(self):
+        text = render_table("T", ["col"], [])
+        assert "col" in text
+
+    def test_record_json_roundtrip(self, tmp_path):
+        record = ExperimentRecord("exp1", "demo", settings={"n": 3},
+                                  rows=[{"a": np.float64(1.5)}])
+        path = save_record(record, tmp_path)
+        assert path.exists()
+        import json
+        data = json.loads(path.read_text())
+        assert data["experiment_id"] == "exp1"
+        assert data["rows"][0]["a"] == 1.5
+
+    def test_accuracy_result_str(self):
+        single = AccuracyResult("D1", "cfg", 91.234)
+        multi = AccuracyResult("D1", "cfg", 91.234, 0.5, runs=3)
+        assert "91.23%" in str(single)
+        assert "±0.50" in str(multi)

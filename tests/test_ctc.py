@@ -1,0 +1,137 @@
+"""Tests for CTC loss and decoders."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.ctc import _extend_targets, _forward_backward
+from .test_tensor import numerical_gradient
+
+
+class TestForwardBackward:
+    def test_matches_bruteforce_enumeration(self):
+        """Compare CTC likelihood against explicit path enumeration."""
+        rng = np.random.default_rng(3)
+        T, K = 4, 3
+        logits = rng.standard_normal((T, K))
+        log_probs = logits - np.log(np.exp(logits).sum(-1, keepdims=True))
+        target = np.array([1, 2])
+
+        def collapse(path):
+            out = []
+            prev = None
+            for p in path:
+                if p != prev and p != 0:
+                    out.append(p)
+                prev = p
+            return out
+
+        total = 0.0
+        for path in np.ndindex(*(K,) * T):
+            if collapse(path) == list(target):
+                total += np.exp(sum(log_probs[t, p]
+                                    for t, p in enumerate(path)))
+        nll, _ = _forward_backward(log_probs, target, blank=0)
+        assert np.isclose(-nll, np.log(total), atol=1e-10)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(5)
+        logits = nn.Tensor(rng.standard_normal((2, 7, 4)),
+                           requires_grad=True)
+        targets = [np.array([1, 2, 1]), np.array([3, 3])]
+        nn.ctc_loss(logits, targets).backward()
+
+        def f():
+            return float(nn.ctc_loss(nn.Tensor(logits.data), targets).data)
+
+        numeric = numerical_gradient(f, logits.data, eps=1e-5)
+        assert np.abs(logits.grad - numeric).max() < 1e-6
+
+    def test_impossible_target_infinite_loss(self):
+        log_probs = np.log(np.full((2, 3), 1 / 3))
+        nll, grad = _forward_backward(log_probs, np.array([1, 1, 1]), 0)
+        assert np.isinf(nll)
+        assert np.allclose(grad, 0.0)
+
+    def test_repeated_symbols_need_blank(self):
+        # Target "11" needs at least 3 frames (1, blank, 1).
+        log_probs = np.log(np.full((2, 2), 0.5))
+        nll, _ = _forward_backward(log_probs, np.array([1, 1]), 0)
+        assert np.isinf(nll)
+
+    def test_extend_targets(self):
+        ext = _extend_targets(np.array([2, 3]), blank=0)
+        assert list(ext) == [0, 2, 0, 3, 0]
+
+    def test_perfect_prediction_low_loss(self):
+        # Strongly peaked logits for blank,1,blank → target [1].
+        logits = np.full((1, 3, 3), -10.0)
+        logits[0, 0, 0] = 10.0
+        logits[0, 1, 1] = 10.0
+        logits[0, 2, 0] = 10.0
+        loss = nn.ctc_loss(nn.Tensor(logits, requires_grad=True),
+                           [np.array([1])])
+        assert float(loss.data) < 0.01
+
+
+class TestLossAPI:
+    def test_batch_mismatch_raises(self):
+        logits = nn.Tensor(np.zeros((2, 4, 3)), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.ctc_loss(logits, [np.array([1])])
+
+    def test_label_range_check(self):
+        logits = nn.Tensor(np.zeros((1, 4, 3)), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.ctc_loss(logits, [np.array([5])])
+
+    def test_reductions(self):
+        rng = np.random.default_rng(0)
+        logits = nn.Tensor(rng.standard_normal((2, 6, 4)),
+                           requires_grad=True)
+        targets = [np.array([1]), np.array([2, 3])]
+        mean = float(nn.ctc_loss(logits, targets, reduction="mean").data)
+        total = float(nn.ctc_loss(logits, targets, reduction="sum").data)
+        assert np.isclose(total, mean * 2)
+        with pytest.raises(ValueError):
+            nn.ctc_loss(logits, targets, reduction="bogus")
+
+    def test_forward_score(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((6, 4))
+        log_probs = logits - np.log(np.exp(logits).sum(-1, keepdims=True))
+        score = nn.ctc_forward_score(log_probs, np.array([1, 2]))
+        assert score < 0.0  # log probability
+
+
+class TestDecoders:
+    def test_greedy_collapses_and_strips_blanks(self):
+        frames = np.array([1, 1, 0, 2, 2, 0, 2])
+        log_probs = np.full((7, 3), -10.0)
+        log_probs[np.arange(7), frames] = 0.0
+        assert list(nn.greedy_decode(log_probs)) == [1, 2, 2]
+
+    def test_beam_equals_greedy_on_peaked_input(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((10, 4)) * 8  # strongly peaked
+        log_probs = logits - np.log(np.exp(logits).sum(-1, keepdims=True))
+        greedy = nn.greedy_decode(log_probs)
+        beam = nn.beam_search_decode(log_probs, beam_width=4)
+        assert list(greedy) == list(beam)
+
+    def test_beam_can_beat_greedy(self):
+        # Classic case: blank-heavy best path hides a higher-mass label.
+        log_probs = np.log(np.array([
+            [0.4, 0.35, 0.25],
+            [0.4, 0.35, 0.25],
+        ]))
+        greedy = nn.greedy_decode(log_probs)
+        beam = nn.beam_search_decode(log_probs, beam_width=8)
+        # Greedy path = blank,blank -> empty; beam sums label mass.
+        assert list(greedy) == []
+        assert list(beam) == [1]
+
+    def test_empty_output(self):
+        log_probs = np.zeros((3, 2))
+        log_probs[:, 0] = 5.0
+        assert len(nn.greedy_decode(log_probs)) == 0

@@ -1,0 +1,160 @@
+"""Tests for the Accuracy Enhancer (VAT, KD, R-V-W, RSA+KD)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.basecaller import BonitoModel
+from repro.core import (
+    EnhanceConfig,
+    TECHNIQUES,
+    build_design,
+    characterize_weight_noise,
+    deploy,
+    get_bundle,
+    rsa_online_retrain,
+)
+from tests.conftest import TINY_CONFIG
+
+FAST = EnhanceConfig(retrain_epochs=1, online_epochs=1, num_chunks=32,
+                     sram_fraction=0.10)
+
+
+def clone(model):
+    out = BonitoModel(TINY_CONFIG)
+    out.load_state_dict(model.state_dict())
+    out.eval()
+    return out
+
+
+class TestCharacterization:
+    def test_noise_map_covers_vmm_params(self, tiny_model):
+        noise = characterize_weight_noise(tiny_model,
+                                          get_bundle("write_only"),
+                                          64, 0.2)
+        vmm_params = []
+        for _, layer in tiny_model.vmm_layers():
+            if hasattr(layer, "weight_hh"):
+                vmm_params += [layer.weight_ih, layer.weight_hh]
+            else:
+                vmm_params.append(layer.weight)
+        assert set(noise) == {id(p) for p in vmm_params}
+        for param in vmm_params:
+            assert noise[id(param)].shape == param.data.shape
+            assert np.all(noise[id(param)] > 0)
+
+    def test_more_variation_more_noise(self, tiny_model):
+        low = characterize_weight_noise(tiny_model, get_bundle("write_only"),
+                                        64, 0.05)
+        high = characterize_weight_noise(tiny_model, get_bundle("write_only"),
+                                         64, 0.40)
+        lows = np.mean([v.mean() for v in low.values()])
+        highs = np.mean([v.mean() for v in high.values()])
+        assert highs > lows
+
+
+class TestBuildDesign:
+    def test_unknown_technique_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            build_design(tiny_model, "magic", "write_only", config=FAST)
+
+    def test_none_technique_no_retrain(self, tiny_model, tiny_chunks):
+        before = {n: p.data.copy() for n, p in tiny_model.named_parameters()}
+        design = build_design(tiny_model, "none", "write_only",
+                              config=FAST, chunks=tiny_chunks,
+                              use_cache=False)
+        for n, p in tiny_model.named_parameters():
+            assert np.allclose(p.data, before[n])
+        assert design.sram_fraction == 0.0
+        assert not design.uses_wrv
+        design.release()
+
+    def test_vat_changes_weights(self, tiny_model, tiny_chunks):
+        before = {n: p.data.copy() for n, p in tiny_model.named_parameters()}
+        design = build_design(tiny_model, "vat", "write_only",
+                              config=FAST, chunks=tiny_chunks,
+                              use_cache=False)
+        changed = any(not np.allclose(p.data, before[n])
+                      for n, p in tiny_model.named_parameters())
+        assert changed
+        design.release()
+
+    def test_rvw_uses_wrv_programming(self, tiny_model, tiny_chunks):
+        design = build_design(tiny_model, "rvw", "write_only",
+                              config=FAST, chunks=tiny_chunks,
+                              use_cache=False)
+        assert design.uses_wrv
+        from repro.crossbar import WriteReadVerify
+        assert isinstance(design.deployed.programming, WriteReadVerify)
+        design.release()
+
+    def test_rsa_kd_assigns_sram(self, tiny_model, tiny_chunks):
+        design = build_design(tiny_model, "rsa_kd", "write_only",
+                              config=FAST, chunks=tiny_chunks,
+                              use_cache=False)
+        assert design.sram_fraction == FAST.sram_fraction
+        any_sram = any(
+            tile.sram_mask.any()
+            for banks in design.deployed.banks.values()
+            for bank in banks for row in bank.tiles for tile in row
+        )
+        assert any_sram
+        design.release()
+
+    def test_retrain_cache_roundtrip(self, tiny_model, tiny_chunks,
+                                     tmp_path, monkeypatch):
+        monkeypatch.setenv("SWORDFISH_CACHE", str(tmp_path))
+        design = build_design(clone(tiny_model), "vat", "write_only",
+                              config=FAST, chunks=tiny_chunks)
+        retrained = {n: p.data.copy()
+                     for n, p in design.deployed.model.named_parameters()}
+        design.release()
+        cached = list((tmp_path / "retrained").glob("*.npz"))
+        assert len(cached) == 1
+        # Second build must hit the cache and reproduce the weights.
+        design2 = build_design(clone(tiny_model), "vat", "write_only",
+                               config=FAST, chunks=tiny_chunks)
+        for n, p in design2.deployed.model.named_parameters():
+            assert np.allclose(p.data, retrained[n])
+        design2.release()
+
+    def test_technique_list_is_paper_order(self):
+        assert TECHNIQUES == ("none", "vat", "kd", "rvw", "rsa_kd", "all")
+
+
+class TestRSAOnline:
+    def test_only_sram_weights_change(self, tiny_model, tiny_chunks):
+        deployed = deploy(tiny_model, get_bundle("write_only"),
+                          write_variation=0.3, seed=5)
+        before = {n: p.data.copy() for n, p in tiny_model.named_parameters()}
+        rsa_online_retrain(deployed, tiny_chunks[:16], FAST)
+        # The network's own (clean) weights are restored afterwards...
+        for n, p in tiny_model.named_parameters():
+            assert np.allclose(p.data, before[n]), n
+        # ...but the banks' SRAM cells were updated away from the clean
+        # values for at least one tile.
+        moved = updated = 0
+        for name, layer in tiny_model.vmm_layers():
+            from repro.core import DeployedModel
+            weights = DeployedModel._layer_weights(layer)
+            for bank, w in zip(deployed.banks[name], weights):
+                size = bank.config.size
+                for i, tile_row in enumerate(bank.tiles):
+                    for j, tile in enumerate(tile_row):
+                        mask = tile.sram_mask
+                        moved += mask.sum()
+                        block = w[i * size:i * size + tile.rows,
+                                  j * size:j * size + tile.cols]
+                        updated += (~np.isclose(
+                            tile.ideal_weights[mask], block[mask])).sum()
+        deployed.release()
+        assert moved > 0
+        assert updated > 0
+
+    def test_zero_fraction_noop(self, tiny_model, tiny_chunks):
+        deployed = deploy(tiny_model, get_bundle("write_only"),
+                          write_variation=0.3, seed=5)
+        result = rsa_online_retrain(deployed, tiny_chunks[:8], FAST,
+                                    sram_fraction=0.0)
+        assert result is deployed
+        deployed.release()

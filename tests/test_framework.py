@@ -1,0 +1,138 @@
+"""Tests for the Swordfish façade and System Evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig
+from repro.core import (
+    EnhanceConfig,
+    Swordfish,
+    SwordfishConfig,
+    SystemEvaluator,
+)
+from tests.conftest import TINY_CONFIG
+
+FAST_ENHANCE = EnhanceConfig(retrain_epochs=1, online_epochs=1,
+                             num_chunks=32)
+
+
+@pytest.fixture()
+def framework(tiny_trained, monkeypatch):
+    """A Swordfish instance whose baseline is the tiny trained model."""
+    import repro.core.framework as fw
+
+    def fake_default_model(config=None):
+        from repro.basecaller import BonitoModel
+        clone = BonitoModel(TINY_CONFIG)
+        clone.load_state_dict(tiny_trained.state_dict())
+        clone.eval()
+        return clone
+
+    monkeypatch.setattr(fw, "default_model", fake_default_model)
+    return Swordfish()
+
+
+class TestSwordfishConfig:
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            SwordfishConfig(quantization="FPP 3-3")
+        with pytest.raises(ValueError):
+            SwordfishConfig(bundle="bogus")
+        with pytest.raises(ValueError):
+            SwordfishConfig(technique="bogus")
+
+    def test_defaults_are_papers(self):
+        config = SwordfishConfig()
+        assert config.quantization == "FPP 16-16"
+        assert config.crossbar_size == 64
+        assert config.write_variation == 0.10
+        assert config.datasets == ("D1", "D2", "D3", "D4")
+
+
+class TestSwordfishRun:
+    def test_accuracy_only(self, framework):
+        config = SwordfishConfig(
+            technique="none", bundle="write_only", datasets=("D1",),
+            reads_per_dataset=2, model=TINY_CONFIG, enhance=FAST_ENHANCE,
+        )
+        accuracy = framework.accuracy_only(config)
+        assert set(accuracy) == {"D1"}
+        assert 0.0 <= accuracy["D1"] <= 100.0
+
+    def test_full_run_metrics(self, framework):
+        config = SwordfishConfig(
+            technique="none", bundle="write_only", datasets=("D1",),
+            reads_per_dataset=2, model=TINY_CONFIG, enhance=FAST_ENHANCE,
+        )
+        metrics = framework.run(config)
+        assert metrics.throughput.kbp_per_second > 0
+        assert metrics.gpu_baseline_kbps > 0
+        assert metrics.area.total_mm2 > 0
+        assert metrics.energy.total_pj > 0
+        assert metrics.speedup_vs_gpu > 1.0  # no mitigation → big speedup
+
+    def test_quantization_applied(self, framework):
+        config = SwordfishConfig(
+            quantization="FPP 4-4", technique="none", bundle="ideal",
+            datasets=("D1",), reads_per_dataset=2, model=TINY_CONFIG,
+            enhance=FAST_ENHANCE,
+        )
+        model = framework.prepared_model(config)
+        # 4-bit weights → few distinct values per tensor.
+        values = np.unique(model.decoder.weight.data)
+        assert len(values) <= 15
+
+
+class TestSystemEvaluator:
+    def test_variant_selection(self):
+        from repro.core.enhance import EnhancedDesign
+
+        class Stub:
+            pass
+
+        def design(technique, sram, wrv):
+            d = EnhancedDesign(technique=technique, deployed=Stub(),
+                               sram_fraction=sram, uses_wrv=wrv)
+            return d
+
+        pick = SystemEvaluator._variant_for
+        assert pick(design("none", 0.0, False)) == "ideal"
+        assert pick(design("rvw", 0.0, True)) == "rvw"
+        assert pick(design("rsa_kd", 0.05, False)) == "rsa_kd"
+        assert pick(design("all", 0.05, True)) == "rsa_kd"
+
+    def test_throughput_variant_ordering(self, tiny_model):
+        evaluator = SystemEvaluator(arch=ArchConfig())
+        estimates = {
+            variant: evaluator.throughput(tiny_model, variant, 64)
+            for variant in ("ideal", "rvw", "rsa", "rsa_kd")
+        }
+        assert (estimates["ideal"].kbp_per_second
+                > estimates["rsa_kd"].kbp_per_second
+                > estimates["rsa"].kbp_per_second
+                > estimates["rvw"].kbp_per_second)
+
+    def test_fig14_paper_shape(self):
+        """The headline Fig. 14 ratios: ideal >> rsa_kd > rsa > 1 > rvw."""
+        from repro.basecaller import BonitoModel
+        from repro.basecaller.model import BONITO_PAPER_CONFIG
+        model = BonitoModel(BONITO_PAPER_CONFIG)
+        evaluator = SystemEvaluator()
+        gpu = evaluator.gpu_baseline(model)
+        ratio = {
+            v: evaluator.throughput(model, v, 64).kbp_per_second / gpu
+            for v in ("ideal", "rvw", "rsa", "rsa_kd")
+        }
+        assert 200 < ratio["ideal"] < 900   # paper: 413.6x
+        assert 10 < ratio["rsa_kd"] < 60    # paper: 25.7x
+        assert 2 < ratio["rsa"] < 12        # paper: 5.24x
+        assert ratio["rvw"] < 1.5           # paper: 0.7x
+
+    def test_area_grows_with_sram(self, tiny_model):
+        evaluator = SystemEvaluator()
+        areas = [evaluator.area(tiny_model, 64, sram_fraction=f).total_mm2
+                 for f in (0.0, 0.01, 0.05, 0.10)]
+        assert areas == sorted(areas)
+
+    def test_gpu_baseline_positive(self, tiny_model):
+        assert SystemEvaluator().gpu_baseline(tiny_model) > 0

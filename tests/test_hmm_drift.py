@@ -1,0 +1,140 @@
+"""Tests for the HMM baseline basecaller and retention drift."""
+
+import numpy as np
+import pytest
+
+from repro.basecaller import HMMBasecaller
+from repro.crossbar import (
+    CrossbarBank,
+    DeviceConfig,
+    DriftConfig,
+    RefreshPolicy,
+    apply_retention_drift,
+)
+from repro.genomics import (
+    SquiggleConfig,
+    dataset_reads,
+    normalize_signal,
+    random_genome,
+    sample_reads,
+)
+
+
+class TestHMMBasecaller:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HMMBasecaller(p_stay=1.5)
+
+    def test_viterbi_path_shape(self):
+        hmm = HMMBasecaller()
+        signal = np.random.default_rng(0).standard_normal(100)
+        path = hmm.viterbi(signal)
+        assert path.shape == (100,)
+        assert path.min() >= 0 and path.max() < hmm.num_states
+
+    def test_viterbi_rejects_bad_input(self):
+        hmm = HMMBasecaller()
+        with pytest.raises(ValueError):
+            hmm.viterbi(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            hmm.viterbi(np.array([]))
+
+    def test_extreme_noise_degrades(self, rng):
+        """Heavy signal noise must hurt HMM accuracy."""
+        genome = random_genome(3000, seed=42)
+        moderate = SquiggleConfig()                      # defaults
+        extreme = SquiggleConfig(noise_scale=3.5, drift_sigma=4.0)
+        hmm = HMMBasecaller(table_noise=0.0)
+        moderate_acc = hmm.evaluate(sample_reads(genome, 4, rng,
+                                                 mean_length=160,
+                                                 squiggle=moderate))
+        extreme_acc = hmm.evaluate(sample_reads(genome, 4, rng,
+                                                mean_length=160,
+                                                squiggle=extreme))
+        assert moderate_acc > extreme_acc
+        assert moderate_acc > 75.0
+
+    def test_table_noise_degrades(self):
+        reads = dataset_reads("D1", num_reads=3, seed_offset=1)
+        oracle = HMMBasecaller(table_noise=0.0).evaluate(reads)
+        noisy = HMMBasecaller(table_noise=0.10).evaluate(reads)
+        assert oracle > noisy
+
+    def test_realistic_reads_reasonable(self):
+        reads = dataset_reads("D1", num_reads=3, seed_offset=1)
+        accuracy = HMMBasecaller().evaluate(reads)
+        assert 55.0 < accuracy < 100.0
+
+    def test_output_base_codes(self):
+        reads = dataset_reads("D1", num_reads=1)
+        called = HMMBasecaller().basecall_read(reads[0])
+        assert called.dtype == np.int8
+        assert called.min() >= 0 and called.max() <= 3
+
+    def test_empty_evaluation_rejected(self):
+        with pytest.raises(ValueError):
+            HMMBasecaller().evaluate([])
+
+
+class TestRetentionDrift:
+    def test_no_drift_before_t0(self):
+        device = DeviceConfig()
+        g = np.full(10, device.g_max)
+        out = apply_retention_drift(g, 0.5, DriftConfig(t0_s=1.0), device)
+        assert np.array_equal(out, g)
+
+    def test_drift_pulls_toward_midpoint(self):
+        device = DeviceConfig()
+        config = DriftConfig(relaxation_per_decade=0.1, diffusion=0.0)
+        mid = 0.5 * (device.g_min + device.g_max)
+        high = np.full(5, device.g_max)
+        low = np.full(5, device.g_min)
+        aged_high = apply_retention_drift(high, 1e4, config, device)
+        aged_low = apply_retention_drift(low, 1e4, config, device)
+        assert np.all(aged_high < device.g_max)
+        assert np.all(aged_low > device.g_min)
+        assert np.all(aged_high > mid) and np.all(aged_low < mid)
+
+    def test_drift_monotone_in_time(self):
+        device = DeviceConfig()
+        config = DriftConfig(relaxation_per_decade=0.1, diffusion=0.0)
+        g = np.full(5, device.g_max)
+        drifts = [device.g_max - apply_retention_drift(g, t, config,
+                                                       device)[0]
+                  for t in (1e1, 1e3, 1e5)]
+        assert drifts == sorted(drifts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftConfig(relaxation_per_decade=1.5)
+        with pytest.raises(ValueError):
+            DriftConfig(t0_s=0.0)
+
+    def test_bank_age_increases_error(self, rng):
+        weights = rng.standard_normal((32, 32)) * 0.2
+        from tests.test_crossbar import clean_config
+        bank = CrossbarBank(weights, clean_config(size=32), rng)
+        x = rng.standard_normal((4, 32))
+        before = np.abs(bank.vmm(x) - x @ weights).mean()
+        bank.age(1e6, DriftConfig(relaxation_per_decade=0.15))
+        after = np.abs(bank.vmm(x) - x @ weights).mean()
+        assert after > before
+
+
+class TestRefreshPolicy:
+    def test_amortized_rates(self):
+        policy = RefreshPolicy(interval_s=100.0, pulses_per_cell=2.0)
+        assert policy.amortized_pulse_rate(1000) == pytest.approx(20.0)
+        assert policy.worst_case_age_s() == 100.0
+
+    def test_duty_overhead_bounded(self):
+        policy = RefreshPolicy(interval_s=1e-6, pulses_per_cell=10.0)
+        assert policy.duty_overhead(10 ** 6, pulse_ns=1000.0) == 1.0
+        light = RefreshPolicy(interval_s=3600.0)
+        assert light.duty_overhead(4096, pulse_ns=1000.0) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RefreshPolicy(interval_s=0.0)
+        with pytest.raises(ValueError):
+            RefreshPolicy(pulses_per_cell=0.0)

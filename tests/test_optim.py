@@ -1,0 +1,115 @@
+"""Tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def quadratic_params(rng):
+    target = rng.standard_normal(5)
+    param = nn.Parameter(np.zeros(5))
+    return param, target
+
+
+def loss_of(param, target):
+    diff = param - nn.Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self, rng):
+        param, target = quadratic_params(rng)
+        opt = nn.SGD([param], lr=0.1)
+        for _ in range(100):
+            loss = loss_of(param, target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.abs(param.data - target).max() < 1e-4
+
+    def test_momentum_accelerates(self, rng):
+        param1, target = quadratic_params(rng)
+        param2 = nn.Parameter(np.zeros(5))
+
+        def run(param, momentum):
+            opt = nn.SGD([param], lr=0.02, momentum=momentum)
+            for _ in range(20):
+                loss = loss_of(param, target)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return float(loss_of(param, target).data)
+
+        assert run(param2, 0.9) < run(param1, 0.0)
+
+    def test_weight_decay_shrinks(self):
+        param = nn.Parameter(np.ones(3))
+        opt = nn.SGD([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.zeros(3)
+        opt.step()
+        assert np.all(param.data < 1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_none_grad_skipped(self):
+        param = nn.Parameter(np.ones(2))
+        opt = nn.SGD([param], lr=0.5)
+        opt.step()  # no grad yet
+        assert np.allclose(param.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self, rng):
+        param, target = quadratic_params(rng)
+        opt = nn.Adam([param], lr=0.1)
+        for _ in range(200):
+            loss = loss_of(param, target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.abs(param.data - target).max() < 1e-3
+
+    def test_bias_correction_first_step(self):
+        # After one step with Adam, |update| ≈ lr regardless of grad scale.
+        param = nn.Parameter(np.array([0.0]))
+        opt = nn.Adam([param], lr=0.01)
+        param.grad = np.array([1e-4])
+        opt.step()
+        assert np.isclose(abs(param.data[0]), 0.01, rtol=0.01)
+
+
+class TestClipAndSchedules:
+    def test_clip_grad_norm(self):
+        params = [nn.Parameter(np.zeros(4)) for _ in range(2)]
+        for p in params:
+            p.grad = np.full(4, 10.0)
+        before = nn.clip_grad_norm(params, max_norm=1.0)
+        assert before > 1.0
+        total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+        assert np.isclose(total, 1.0)
+
+    def test_clip_noop_below_threshold(self):
+        param = nn.Parameter(np.zeros(2))
+        param.grad = np.array([0.1, 0.1])
+        nn.clip_grad_norm([param], max_norm=10.0)
+        assert np.allclose(param.grad, [0.1, 0.1])
+
+    def test_cosine_schedule_endpoints(self):
+        param = nn.Parameter(np.zeros(1))
+        opt = nn.SGD([param], lr=1.0)
+        sched = nn.CosineSchedule(opt, total_steps=10, lr_min=0.1)
+        values = [sched.step() for _ in range(10)]
+        assert values[0] < 1.0
+        assert np.isclose(values[-1], 0.1)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_warmup_ramps_then_delegates(self):
+        param = nn.Parameter(np.zeros(1))
+        opt = nn.SGD([param], lr=1.0)
+        sched = nn.LinearWarmup(opt, warmup_steps=4)
+        ramp = [sched.step() for _ in range(4)]
+        assert np.allclose(ramp, [0.25, 0.5, 0.75, 1.0])
+        assert sched.step() == 1.0

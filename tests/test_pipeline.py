@@ -1,0 +1,111 @@
+"""Tests for the analysis pipeline: mapper, consensus, variants, timing."""
+
+import numpy as np
+import pytest
+
+from repro.genomics import dataset_reads, random_genome, reverse_complement
+from repro.pipeline import (
+    MappingHit,
+    ReferenceIndex,
+    call_variants,
+    consensus_pileup,
+    map_read,
+    run_pipeline,
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return random_genome(8000, seed=77)
+
+
+@pytest.fixture(scope="module")
+def index(reference):
+    return ReferenceIndex(reference, k=11)
+
+
+class TestReferenceIndex:
+    def test_k_validation(self, reference):
+        with pytest.raises(ValueError):
+            ReferenceIndex(reference, k=2)
+
+    def test_exact_fragment_maps_to_origin(self, reference, index):
+        fragment = reference[1000:1200]
+        hit = map_read(index, fragment)
+        assert hit is not None
+        assert hit.strand == 1
+        assert abs(hit.position - 1000) <= 2
+        assert hit.edit_distance == 0
+        assert hit.score == 1.0
+
+    def test_reverse_strand_maps(self, reference, index):
+        fragment = reverse_complement(reference[3000:3200])
+        hit = map_read(index, fragment)
+        assert hit is not None
+        assert hit.strand == -1
+        assert abs(hit.position - 3000) <= 2
+
+    def test_mutated_fragment_still_maps(self, reference, index, rng):
+        fragment = reference[500:700].copy()
+        sites = rng.choice(200, size=10, replace=False)
+        fragment[sites] = (fragment[sites] + 1) % 4
+        hit = map_read(index, fragment)
+        assert hit is not None
+        assert abs(hit.position - 500) <= 2
+        assert 0 < hit.edit_distance <= 12
+
+    def test_random_query_unmapped(self, index, rng):
+        noise = rng.integers(0, 4, size=200).astype(np.int8)
+        hit = map_read(index, noise, min_votes=5)
+        assert hit is None or hit.score < 0.8
+
+    def test_too_short_query(self, index):
+        assert map_read(index, np.array([0, 1], dtype=np.int8)) is None
+
+
+class TestConsensusVariants:
+    def test_consensus_recovers_reference(self, reference):
+        # Perfect "reads" covering [0, 4000) in tiles.
+        called = [reference[i:i + 500] for i in range(0, 4000, 250)]
+        hits = [MappingHit(i, 1, 0, 1.0, 10) for i in range(0, 4000, 250)]
+        consensus = consensus_pileup(reference, called, hits)
+        covered = consensus >= 0
+        assert covered[:4000].all()
+        assert not covered[4600:].any()
+        assert np.array_equal(consensus[:4000], reference[:4000])
+
+    def test_variants_detected(self, reference):
+        mutated = reference[:1000].copy()
+        mutated[100] = (mutated[100] + 1) % 4
+        mutated[200] = (mutated[200] + 2) % 4
+        called = [mutated] * 3
+        hits = [MappingHit(0, 1, 2, 0.99, 10)] * 3
+        consensus = consensus_pileup(reference, called, hits)
+        variants = call_variants(reference, consensus)
+        positions = {v[0] for v in variants}
+        assert positions == {100, 200}
+
+    def test_unmapped_reads_ignored(self, reference):
+        consensus = consensus_pileup(reference, [reference[:100]],
+                                     [None])
+        assert (consensus == -1).all()
+
+    def test_length_mismatch_rejected(self, reference):
+        with pytest.raises(ValueError):
+            call_variants(reference, np.zeros(10, dtype=np.int8))
+
+
+class TestRunPipeline:
+    def test_end_to_end(self, tiny_model):
+        from repro.genomics import get_dataset
+        spec = get_dataset("D1")
+        reads = dataset_reads("D1", num_reads=3)
+        result = run_pipeline(tiny_model, reads, spec.genome())
+        names = [t.name for t in result.timings]
+        assert names == ["basecalling", "read_mapping", "polishing",
+                         "variant_calling"]
+        assert result.total_seconds > 0
+        fractions = result.fractions()
+        assert np.isclose(sum(fractions.values()), 1.0)
+        assert len(result.called) == 3
+        assert result.consensus is not None

@@ -1,0 +1,113 @@
+"""Tests for fixed-point quantization (Table 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.basecaller import BonitoConfig, BonitoModel
+
+
+class TestQuantizeSymmetric:
+    def test_identity_when_bits_none(self, rng):
+        x = rng.standard_normal(10)
+        assert np.allclose(nn.quantize_symmetric(x, None), x)
+
+    def test_max_value_preserved(self, rng):
+        x = rng.standard_normal(100)
+        q = nn.quantize_symmetric(x, 8)
+        assert np.isclose(np.abs(q).max(), np.abs(x).max(), rtol=1e-9)
+
+    def test_error_bounded_by_half_step(self, rng):
+        x = rng.standard_normal(1000)
+        step = nn.quantization_step(x, 8)
+        q = nn.quantize_symmetric(x, 8)
+        assert np.abs(q - x).max() <= step / 2 + 1e-12
+
+    def test_fewer_bits_more_error(self, rng):
+        x = rng.standard_normal(1000)
+        errors = [np.abs(nn.quantize_symmetric(x, b) - x).mean()
+                  for b in (16, 8, 4, 2)]
+        assert errors == sorted(errors)
+
+    def test_grid_size(self):
+        x = np.linspace(-1, 1, 1000)
+        q = nn.quantize_symmetric(x, 3)
+        assert len(np.unique(q)) <= 7  # 2^(3-1)-1 levels each side + zero
+
+    def test_zeros_input(self):
+        assert np.allclose(nn.quantize_symmetric(np.zeros(5), 8), 0.0)
+
+    def test_rejects_too_few_bits(self):
+        with pytest.raises(ValueError):
+            nn.quantize_symmetric(np.ones(3), 1)
+
+
+class TestQuantConfigs:
+    def test_paper_presets_present(self):
+        names = [c.name for c in nn.PAPER_QUANT_CONFIGS]
+        assert names == ["DFP 32-32", "FPP 16-16", "FPP 8-8", "FPP 8-4",
+                         "FPP 4-8", "FPP 4-4", "FPP 4-2"]
+
+    def test_lookup(self):
+        config = nn.get_quant_config("FPP 8-4")
+        assert config.weight_bits == 8 and config.activation_bits == 4
+        with pytest.raises(KeyError):
+            nn.get_quant_config("FPP 1-1")
+
+    def test_float_flag(self):
+        assert nn.get_quant_config("DFP 32-32").is_float
+        assert not nn.get_quant_config("FPP 16-16").is_float
+
+
+class TestFakeQuant:
+    def test_straight_through_gradient(self, rng):
+        quant = nn.FakeQuant(8)
+        x = nn.Tensor(rng.standard_normal(8), requires_grad=True)
+        quant(x).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_low_bit_clips_outlier_gradient(self):
+        quant = nn.FakeQuant(4, percentile=90.0)
+        values = np.concatenate([np.linspace(-1, 1, 99), [100.0]])
+        x = nn.Tensor(values, requires_grad=True)
+        out = quant(x)
+        out.sum().backward()
+        assert x.grad[-1] == 0.0          # outlier clipped
+        assert np.allclose(x.grad[25:75], 1.0)  # bulk passes through
+        assert out.data[-1] < 100.0       # outlier saturated
+
+    def test_none_bits_passthrough(self, rng):
+        quant = nn.FakeQuant(None)
+        x = nn.Tensor(rng.standard_normal(4))
+        assert quant(x) is x or np.allclose(quant(x).data, x.data)
+
+
+class TestQuantizedModel:
+    def test_weights_snap_to_grid(self, tiny_model):
+        original = {n: p.data.copy()
+                    for n, p in tiny_model.named_parameters()}
+        wrapped = nn.QuantizedModel(tiny_model, nn.get_quant_config("FPP 4-4"))
+        changed = any(
+            not np.allclose(p.data, original[n])
+            for n, p in tiny_model.named_parameters()
+        )
+        assert changed
+        wrapped.restore_weights()
+        for n, p in tiny_model.named_parameters():
+            assert np.allclose(p.data, original[n])
+
+    def test_16bit_nearly_lossless_output(self, tiny_model, rng):
+        signal = rng.standard_normal(256)
+        with nn.no_grad():
+            before = tiny_model(nn.Tensor(signal[None, :])).data
+        nn.QuantizedModel(tiny_model, nn.get_quant_config("FPP 16-16"))
+        with nn.no_grad():
+            after = tiny_model(nn.Tensor(signal[None, :])).data
+        tiny_model.set_activation_quant(None)
+        assert np.abs(before - after).max() < 0.05
+
+    def test_activation_quant_installed(self, tiny_model):
+        nn.QuantizedModel(tiny_model, nn.get_quant_config("FPP 8-4"))
+        assert isinstance(tiny_model._activation_quant, nn.FakeQuant)
+        assert tiny_model._activation_quant.bits == 4
+        tiny_model.set_activation_quant(None)

@@ -1,0 +1,45 @@
+"""Tests for the experiment-results summary aggregator."""
+
+import json
+
+from repro.experiments import summary
+
+
+def _write(tmp_path, experiment_id, rows, settings=None):
+    payload = {"experiment_id": experiment_id, "description": "",
+               "settings": settings or {}, "rows": rows}
+    (tmp_path / f"{experiment_id}.json").write_text(json.dumps(payload))
+
+
+class TestSummary:
+    def test_empty_directory(self, tmp_path):
+        assert summary.summarize(summary.load_records(tmp_path)) \
+            == "no experiment records found"
+
+    def test_load_records_keys_by_id(self, tmp_path):
+        _write(tmp_path, "fig01_pipeline",
+               [{"stage": "basecalling", "seconds": 1.0, "fraction": 0.6}])
+        records = summary.load_records(tmp_path)
+        assert set(records) == {"fig01_pipeline"}
+
+    def test_summarize_known_sections(self, tmp_path):
+        _write(tmp_path, "fig01_pipeline",
+               [{"stage": "basecalling", "seconds": 1.0, "fraction": 0.6},
+                {"stage": "read_mapping", "seconds": 0.5, "fraction": 0.4}])
+        _write(tmp_path, "fig14_throughput",
+               [{"dataset": "D1", "variant": "ideal", "kbps": 1000.0,
+                 "speedup_vs_gpu": 400.0}])
+        _write(tmp_path, "tab03_quantization",
+               [{"dataset": "D1", "config": "FPP 16-16", "accuracy": 88.0}])
+        report = summary.summarize(summary.load_records(tmp_path))
+        assert "Fig. 1" in report
+        assert "Fig. 14" in report
+        assert "Table 3" in report
+        assert "413.6" in report  # paper reference surfaced
+        assert "basecalling" in report
+
+    def test_main_prints(self, tmp_path, capsys):
+        _write(tmp_path, "fig01_pipeline",
+               [{"stage": "basecalling", "seconds": 1.0, "fraction": 1.0}])
+        summary.main(str(tmp_path))
+        assert "Fig. 1" in capsys.readouterr().out

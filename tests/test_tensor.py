@@ -1,0 +1,203 @@
+"""Tests for the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import _unbroadcast
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        x[i] += eps
+        up = f()
+        x[i] -= 2 * eps
+        down = f()
+        x[i] += eps
+        grad[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_grad(build, param, tol=1e-6):
+    """Compare autograd against numerical differentiation."""
+    param.grad = None
+    out = build()
+    out.backward()
+    analytic = param.grad.copy()
+    numeric = numerical_gradient(lambda: float(build().data), param.data)
+    assert np.abs(analytic - numeric).max() < tol
+
+
+class TestBasicOps:
+    def test_add_broadcast(self, rng):
+        a = nn.Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = nn.Tensor(rng.standard_normal(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_mul_grad(self, rng):
+        a = nn.Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        check_grad(lambda: (a * a * 2.0).sum(), a)
+
+    def test_div_grad(self, rng):
+        a = nn.Tensor(rng.standard_normal((2, 3)) + 3.0, requires_grad=True)
+        check_grad(lambda: (1.0 / a).sum(), a)
+
+    def test_sub_and_neg(self, rng):
+        a = nn.Tensor(rng.standard_normal(5), requires_grad=True)
+        ((-a) - a).sum().backward()
+        assert np.allclose(a.grad, -2.0)
+
+    def test_pow_grad(self, rng):
+        a = nn.Tensor(np.abs(rng.standard_normal(4)) + 0.5,
+                      requires_grad=True)
+        check_grad(lambda: (a ** 3).sum(), a)
+
+    def test_pow_rejects_tensor_exponent(self):
+        a = nn.Tensor([1.0], requires_grad=True)
+        with pytest.raises(TypeError):
+            a ** nn.Tensor([2.0])
+
+    def test_scalar_right_ops(self):
+        a = nn.Tensor([2.0], requires_grad=True)
+        out = 3.0 - a + 4.0 * a
+        out.backward()
+        assert np.allclose(a.grad, 3.0)
+        assert np.allclose(out.data, 9.0)
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        a = nn.Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = nn.Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        check_grad(lambda: (a @ b).sum(), a)
+        check_grad(lambda: (a @ b).sum(), b)
+
+    def test_batched(self, rng):
+        a = nn.Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = nn.Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+        check_grad(lambda: ((a @ b) ** 2).sum(), b)
+
+    def test_vector_cases(self, rng):
+        v = nn.Tensor(rng.standard_normal(4), requires_grad=True)
+        m = nn.Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        check_grad(lambda: (v @ m).sum(), v)
+        w = nn.Tensor(rng.standard_normal(3), requires_grad=True)
+        check_grad(lambda: ((m @ w) ** 2).sum(), w)
+
+    def test_dot(self, rng):
+        a = nn.Tensor(rng.standard_normal(4), requires_grad=True)
+        b = nn.Tensor(rng.standard_normal(4), requires_grad=True)
+        check_grad(lambda: a @ b, a)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", ["tanh", "sigmoid", "relu", "swish",
+                                      "exp", "abs"])
+    def test_grad(self, rng, name):
+        a = nn.Tensor(rng.standard_normal((3, 3)) + 0.1, requires_grad=True)
+        check_grad(lambda: (getattr(a, name)() ** 2).sum(), a, tol=1e-5)
+
+    def test_log_grad(self, rng):
+        a = nn.Tensor(np.abs(rng.standard_normal(5)) + 1.0,
+                      requires_grad=True)
+        check_grad(lambda: a.log().sum(), a)
+
+    def test_clip_grad_zero_outside(self):
+        a = nn.Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        a = nn.Tensor(rng.standard_normal((4, 6)))
+        s = a.softmax(axis=-1)
+        assert np.allclose(s.data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_grad(self, rng):
+        a = nn.Tensor(rng.standard_normal((2, 5)), requires_grad=True)
+        check_grad(lambda: (a.log_softmax(axis=-1) ** 2).sum(), a, tol=1e-5)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        a = nn.Tensor(rng.standard_normal((3, 4, 5)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1, 5)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_mean_var(self, rng):
+        a = nn.Tensor(rng.standard_normal((4, 6)), requires_grad=True)
+        check_grad(lambda: a.var(axis=0).sum(), a, tol=1e-5)
+
+    def test_max_grad_flows_to_argmax(self):
+        a = nn.Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+
+class TestShapeOps:
+    def test_reshape_transpose(self, rng):
+        a = nn.Tensor(rng.standard_normal((2, 6)), requires_grad=True)
+        check_grad(lambda: (a.reshape(3, 4).transpose(1, 0) ** 2).sum(), a)
+
+    def test_getitem(self, rng):
+        a = nn.Tensor(rng.standard_normal((4, 4)), requires_grad=True)
+        a[1:3, ::2].sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1:3, ::2] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_pad(self, rng):
+        a = nn.Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        out = a.pad(((1, 1), (0, 2)))
+        assert out.shape == (4, 5)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_concat_stack(self, rng):
+        a = nn.Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = nn.Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        nn.Tensor.concat([a, b], axis=1).sum().backward()
+        assert np.allclose(a.grad, 1.0) and np.allclose(b.grad, 1.0)
+        a.zero_grad()
+        nn.Tensor.stack([a, a], axis=0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+
+
+class TestTapeSemantics:
+    def test_no_grad_blocks_taping(self):
+        a = nn.Tensor([1.0], requires_grad=True)
+        with nn.no_grad():
+            out = a * 2
+        assert not out.requires_grad
+        assert nn.is_grad_enabled()
+
+    def test_detach(self):
+        a = nn.Tensor([1.0], requires_grad=True)
+        assert not a.detach().requires_grad
+
+    def test_grad_accumulates_on_reuse(self):
+        a = nn.Tensor([2.0], requires_grad=True)
+        (a * a + a).backward()   # d/da (a^2 + a) = 2a + 1 = 5
+        assert np.allclose(a.grad, 5.0)
+
+    def test_diamond_graph(self, rng):
+        a = nn.Tensor(rng.standard_normal(3), requires_grad=True)
+        b = a * 2
+        check_grad(lambda: ((a * 2) * (a * 2) + (a * 2)).sum(), a)
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            nn.Tensor([1.0]).backward()
+
+    def test_unbroadcast_shapes(self):
+        grad = np.ones((2, 3, 4))
+        assert _unbroadcast(grad, (3, 4)).shape == (3, 4)
+        assert _unbroadcast(grad, (1, 4)).shape == (1, 4)
+        assert np.allclose(_unbroadcast(grad, (1, 4)), 6.0)
