@@ -1,0 +1,38 @@
+"""Sweep-runtime overhead: cached vs uncached execution of a grid.
+
+Subscribes a telemetry hook to the runner (the pluggable-hook path the
+experiment benchmarks can use to collect per-job timings) and asserts
+that a warm content-addressed cache turns the whole grid into hits.
+"""
+
+from repro.runtime import Job, ResultCache, SweepPlan, SweepRunner, Telemetry
+
+
+def _plan() -> SweepPlan:
+    return SweepPlan("bench-grid", [
+        Job(fn="repro.experiments.fig14_throughput:evaluate_variant",
+            kwargs={"variant": variant, "crossbar_size": 64,
+                    "datasets": ("D1", "D2", "D3", "D4"),
+                    "gpu_kbps": 1000.0},
+            tag=f"bench/{variant}")
+        for variant in ("ideal", "rvw", "rsa", "rsa_kd")
+    ])
+
+
+def test_runtime_cached_sweep(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    events = []
+    telemetry = Telemetry()
+    telemetry.subscribe(events.append)
+
+    SweepRunner(cache=cache, salt="bench").run(_plan())  # warm the cache
+
+    def cached_run():
+        return SweepRunner(cache=cache, salt="bench",
+                           telemetry=telemetry).run(_plan())
+
+    result = benchmark.pedantic(cached_run, rounds=3, iterations=1)
+    assert result.ok
+    assert result.summary["cache_hits"] == 4
+    finishes = [e for e in events if e["event"] == "finish"]
+    assert finishes and all("wall_s" in e for e in finishes)

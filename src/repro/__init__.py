@@ -11,11 +11,13 @@ Subpackages
 ``repro.core``        The Swordfish framework itself.
 ``repro.pipeline``    Nanopore analysis pipeline (Fig. 1 breakdown).
 ``repro.experiments`` One runner per paper table/figure.
+``repro.runtime``     Parallel sweep execution: jobs, worker pool,
+                      result cache, telemetry, CLI.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import nn, genomics, basecaller, crossbar, arch, core
+from . import nn, genomics, basecaller, crossbar, arch, core, runtime
 
 __all__ = ["nn", "genomics", "basecaller", "crossbar", "arch", "core",
-           "__version__"]
+           "runtime", "__version__"]

@@ -10,7 +10,9 @@ and area?"); :class:`Swordfish` answers it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from ..arch import ArchConfig, GPUConfig
 from ..basecaller import BonitoConfig, BonitoModel, default_model
@@ -45,6 +47,52 @@ class SwordfishConfig:
             raise ValueError(f"unknown bundle {self.bundle!r}")
         if self.technique not in TECHNIQUES:
             raise ValueError(f"unknown technique {self.technique!r}")
+
+    # ------------------------------------------------------------------
+    # Serialization (run provenance, runtime cache keys, cross-process
+    # job submission).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data rendering; round-trips through :meth:`from_dict`."""
+        data = asdict(self)
+        data["datasets"] = list(self.datasets)
+        data["model"]["conv_channels"] = list(self.model.conv_channels)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SwordfishConfig":
+        """Rebuild a config from a :meth:`to_dict` payload."""
+        payload = dict(data)
+        model = payload.pop("model", None)
+        if isinstance(model, dict):
+            model = dict(model)
+            if "conv_channels" in model:
+                model["conv_channels"] = tuple(model["conv_channels"])
+            model = BonitoConfig(**model)
+        enhance = payload.pop("enhance", None)
+        if isinstance(enhance, dict):
+            enhance = EnhanceConfig(**enhance)
+        if "datasets" in payload:
+            payload["datasets"] = tuple(payload["datasets"])
+        if model is not None:
+            payload["model"] = model
+        if enhance is not None:
+            payload["enhance"] = enhance
+        return cls(**payload)
+
+    def cache_key(self) -> str:
+        """Stable content hash of this design question.
+
+        Human-skimmable prefix plus a digest of the canonical
+        serialization — equal configs hash equal across processes and
+        sessions, and any field change changes the key.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        quant = self.quantization.replace(" ", "").replace("-", "_").lower()
+        return (f"swordfish_{quant}_x{self.crossbar_size}"
+                f"_{self.bundle}_{self.technique}_{digest}")
 
 
 class Swordfish:

@@ -4,6 +4,13 @@ Every experiment honours the ``SWORDFISH_SCALE`` environment variable
 (default 1.0): read counts and repetition counts scale with it, so CI
 can run tiny versions of each figure and a workstation can run closer
 to paper scale.
+
+Figure runners no longer loop over their grids inline: each grid cell
+is a :class:`~repro.runtime.Job` submitted through
+:func:`execute_plan`, so every figure transparently gains parallel
+workers, result caching, retries, and telemetry.  With no runner
+argument and no ``SWORDFISH_*`` runtime variables set, execution is
+serial and uncached — behaviourally identical to the old inline loops.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import numpy as np
 
 from ..basecaller import BonitoConfig, BonitoModel, default_model
 from ..genomics import PAPER_DATASETS, Read, dataset_reads
+from ..runtime import SweepPlan, SweepRunner
 
 __all__ = [
     "DATASETS",
@@ -23,6 +31,8 @@ __all__ = [
     "evaluation_reads",
     "baseline_clone",
     "percent_identity",
+    "default_runner",
+    "execute_plan",
 ]
 
 #: Dataset names in Table 2 order.
@@ -67,3 +77,35 @@ def percent_identity(values: list[float]) -> tuple[float, float]:
     """(mean, std) of identity values, in percent."""
     arr = np.asarray(values, dtype=np.float64)
     return float(arr.mean()), float(arr.std())
+
+
+# ----------------------------------------------------------------------
+# Runtime integration
+# ----------------------------------------------------------------------
+def default_runner() -> SweepRunner:
+    """A :class:`SweepRunner` configured from the environment.
+
+    ``SWORDFISH_WORKERS`` (int, default 1), ``SWORDFISH_RESULT_CACHE``
+    (directory; enables caching), ``SWORDFISH_TELEMETRY`` (JSONL
+    path), ``SWORDFISH_JOB_TIMEOUT`` (seconds), and
+    ``SWORDFISH_JOB_RETRIES`` (int, default 2).  The all-unset default
+    is a serial, uncached runner — exactly the legacy inline behaviour.
+    """
+    timeout = os.environ.get("SWORDFISH_JOB_TIMEOUT")
+    return SweepRunner(
+        workers=int(os.environ.get("SWORDFISH_WORKERS", "1") or 1),
+        cache=os.environ.get("SWORDFISH_RESULT_CACHE") or None,
+        telemetry_path=os.environ.get("SWORDFISH_TELEMETRY") or None,
+        timeout=float(timeout) if timeout else None,
+        retries=int(os.environ.get("SWORDFISH_JOB_RETRIES", "2") or 2),
+    )
+
+
+def execute_plan(plan: SweepPlan, runner: SweepRunner | None = None) -> list:
+    """Run a figure's job grid; returns values in plan order.
+
+    Any job still failed after the runner's retries aborts the figure
+    (partial grids would silently skew paper-shape comparisons).
+    """
+    runner = runner or default_runner()
+    return runner.run(plan).raise_on_failure().values

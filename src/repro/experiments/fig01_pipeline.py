@@ -12,36 +12,54 @@ from __future__ import annotations
 from ..core import ExperimentRecord, render_table
 from ..genomics import get_dataset
 from ..pipeline import run_pipeline
-from .common import baseline_clone, evaluation_reads, scaled
+from ..runtime import Job, SweepPlan, SweepRunner
+from .common import baseline_clone, evaluation_reads, execute_plan, scaled
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "evaluate_pipeline"]
 
 
-def run(dataset: str = "D1", num_reads: int | None = None) -> ExperimentRecord:
+def evaluate_pipeline(dataset: str, num_reads: int) -> dict:
+    """The full pipeline on one dataset: stage timings + shares."""
     spec = get_dataset(dataset)
-    reads = evaluation_reads(dataset, num_reads or scaled(12))
+    reads = evaluation_reads(dataset, num_reads)
     model = baseline_clone()
     result = run_pipeline(model, reads, spec.genome())
+    fractions = result.fractions()
+    return {
+        "rows": [{
+            "stage": timing.name,
+            "seconds": timing.seconds,
+            "fraction": fractions[timing.name],
+        } for timing in result.timings],
+        "num_reads": len(reads),
+        "mapped_fraction": result.mapped_fraction,
+        "num_variants": len(result.variants),
+    }
+
+
+def run(dataset: str = "D1", num_reads: int | None = None,
+        runner: SweepRunner | None = None) -> ExperimentRecord:
+    num_reads = num_reads or scaled(12)
+    plan = SweepPlan("fig01_pipeline", [
+        Job(fn="repro.experiments.fig01_pipeline:evaluate_pipeline",
+            kwargs={"dataset": dataset, "num_reads": num_reads},
+            tag=f"fig01/{dataset}"),
+    ])
+    result = execute_plan(plan, runner)[0]
 
     record = ExperimentRecord(
         experiment_id="fig01_pipeline",
         description="Execution-time breakdown of the nanopore pipeline",
-        settings={"dataset": dataset, "num_reads": len(reads)},
+        settings={"dataset": dataset, "num_reads": result["num_reads"]},
     )
-    fractions = result.fractions()
-    for timing in result.timings:
-        record.rows.append({
-            "stage": timing.name,
-            "seconds": timing.seconds,
-            "fraction": fractions[timing.name],
-        })
-    record.settings["mapped_fraction"] = result.mapped_fraction
-    record.settings["num_variants"] = len(result.variants)
+    record.rows.extend(result["rows"])
+    record.settings["mapped_fraction"] = result["mapped_fraction"]
+    record.settings["num_variants"] = result["num_variants"]
     return record
 
 
-def main() -> ExperimentRecord:
-    record = run()
+def main(record: ExperimentRecord | None = None) -> ExperimentRecord:
+    record = record or run()
     rows = [(r["stage"], r["seconds"], f"{100 * r['fraction']:.1f}%")
             for r in record.rows]
     print(render_table("Fig. 1 — pipeline execution time breakdown",

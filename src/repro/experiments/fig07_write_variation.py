@@ -17,52 +17,65 @@ import numpy as np
 from ..basecaller import evaluate_accuracy
 from ..core import ExperimentRecord, deploy, get_bundle, render_table
 from ..nn import QuantizedModel, get_quant_config
-from .common import DATASETS, baseline_clone, evaluation_reads, scaled
+from ..runtime import Job, SweepPlan, SweepRunner
+from .common import (DATASETS, baseline_clone, evaluation_reads,
+                     execute_plan, scaled)
 
-__all__ = ["run", "main", "DEFAULT_RATES"]
+__all__ = ["run", "main", "DEFAULT_RATES", "evaluate_point"]
 
 DEFAULT_RATES: tuple[float, ...] = (0.0, 0.05, 0.10, 0.15, 0.25, 0.35, 0.50)
+
+
+def evaluate_point(dataset: str, rate: float, num_reads: int,
+                   num_runs: int, crossbar_size: int) -> dict:
+    """One grid cell: mean/std accuracy at one write-variation rate."""
+    bundle = get_bundle("write_only")
+    reads = evaluation_reads(dataset, num_reads)
+    accuracies = []
+    for run_index in range(num_runs):
+        model = baseline_clone()
+        QuantizedModel(model, get_quant_config("FPP 16-16"))
+        deployed = deploy(model, bundle, crossbar_size=crossbar_size,
+                          write_variation=rate,
+                          seed=1000 * run_index + int(rate * 100))
+        accuracies.append(evaluate_accuracy(model, reads).mean_percent)
+        deployed.release()
+        model.set_activation_quant(None)
+    return {
+        "dataset": dataset,
+        "rate": rate,
+        "accuracy": float(np.mean(accuracies)),
+        "std": float(np.std(accuracies)),
+    }
 
 
 def run(rates: tuple[float, ...] = DEFAULT_RATES,
         num_reads: int | None = None, num_runs: int | None = None,
         datasets: tuple[str, ...] = DATASETS,
-        crossbar_size: int = 64) -> ExperimentRecord:
+        crossbar_size: int = 64,
+        runner: SweepRunner | None = None) -> ExperimentRecord:
     num_reads = num_reads or scaled(8)
     num_runs = num_runs or scaled(3)
-    bundle = get_bundle("write_only")
     record = ExperimentRecord(
         experiment_id="fig07_write_variation",
         description="Accuracy vs write variation rate (Fig. 7)",
         settings={"rates": list(rates), "num_reads": num_reads,
                   "num_runs": num_runs, "crossbar_size": crossbar_size},
     )
-    for dataset in datasets:
-        reads = evaluation_reads(dataset, num_reads)
-        for rate in rates:
-            accuracies = []
-            for run_index in range(num_runs):
-                model = baseline_clone()
-                QuantizedModel(model, get_quant_config("FPP 16-16"))
-                deployed = deploy(model, bundle, crossbar_size=crossbar_size,
-                                  write_variation=rate,
-                                  seed=1000 * run_index + int(rate * 100))
-                accuracies.append(
-                    evaluate_accuracy(model, reads).mean_percent
-                )
-                deployed.release()
-                model.set_activation_quant(None)
-            record.rows.append({
-                "dataset": dataset,
-                "rate": rate,
-                "accuracy": float(np.mean(accuracies)),
-                "std": float(np.std(accuracies)),
-            })
+    plan = SweepPlan("fig07_write_variation", [
+        Job(fn="repro.experiments.fig07_write_variation:evaluate_point",
+            kwargs={"dataset": dataset, "rate": rate,
+                    "num_reads": num_reads, "num_runs": num_runs,
+                    "crossbar_size": crossbar_size},
+            tag=f"fig07/{dataset}/wv{rate:g}")
+        for dataset in datasets for rate in rates
+    ])
+    record.rows.extend(execute_plan(plan, runner))
     return record
 
 
-def main() -> ExperimentRecord:
-    record = run()
+def main(record: ExperimentRecord | None = None) -> ExperimentRecord:
+    record = record or run()
     rates = record.settings["rates"]
     by_key = {(r["dataset"], r["rate"]): r for r in record.rows}
     datasets = sorted({r["dataset"] for r in record.rows})

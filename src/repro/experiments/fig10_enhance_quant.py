@@ -18,21 +18,60 @@ from ..core import (
     build_design,
     render_table,
 )
-from ..nn import PAPER_QUANT_CONFIGS, QuantizedModel
-from .common import DATASETS, baseline_clone, evaluation_reads, scaled
+from ..nn import PAPER_QUANT_CONFIGS, QuantizedModel, get_quant_config
+from ..runtime import Job, SweepPlan, SweepRunner
+from .common import (DATASETS, baseline_clone, evaluation_reads,
+                     execute_plan, scaled)
 
-__all__ = ["run", "main", "TECHNIQUE_ORDER"]
+__all__ = ["run", "main", "TECHNIQUE_ORDER", "baseline_point",
+           "evaluate_point"]
 
 TECHNIQUE_ORDER: tuple[str, ...] = ("vat", "kd", "rvw", "rsa_kd", "all")
 
 _FPP_CONFIGS = tuple(c for c in PAPER_QUANT_CONFIGS if not c.is_float)
 
 
+def baseline_point(datasets: tuple[str, ...], num_reads: int) -> dict:
+    """FP32 baseline reference accuracies per dataset."""
+    baseline = baseline_clone()
+    return {
+        d: evaluate_accuracy(baseline,
+                             evaluation_reads(d, num_reads)).mean_percent
+        for d in datasets
+    }
+
+
+def evaluate_point(quant_name: str, technique: str,
+                   datasets: tuple[str, ...], num_reads: int,
+                   write_variation: float,
+                   enhance: EnhanceConfig) -> list[dict]:
+    """One (precision, technique) design evaluated over every dataset."""
+    quant = get_quant_config(quant_name)
+    model = baseline_clone()
+    QuantizedModel(model, quant)
+    design = build_design(model, technique, "write_only",
+                          write_variation=write_variation,
+                          config=enhance, cache_tag=quant.name)
+    rows = []
+    for dataset in datasets:
+        reads = evaluation_reads(dataset, num_reads)
+        rows.append({
+            "quant": quant.name,
+            "technique": technique,
+            "dataset": dataset,
+            "accuracy": evaluate_accuracy(model, reads).mean_percent,
+        })
+    design.release()
+    model.set_activation_quant(None)
+    return rows
+
+
 def run(num_reads: int | None = None,
         datasets: tuple[str, ...] = DATASETS,
         write_variation: float = 0.10,
         techniques: tuple[str, ...] = TECHNIQUE_ORDER,
-        enhance: EnhanceConfig | None = None) -> ExperimentRecord:
+        enhance: EnhanceConfig | None = None,
+        runner: SweepRunner | None = None) -> ExperimentRecord:
     num_reads = num_reads or scaled(8)
     enhance = enhance or EnhanceConfig()
     record = ExperimentRecord(
@@ -43,38 +82,29 @@ def run(num_reads: int | None = None,
                   "quant_configs": [c.name for c in _FPP_CONFIGS],
                   "techniques": list(techniques)},
     )
-    # FP32 baseline reference line.
-    baseline = baseline_clone()
-    base_acc = {
-        d: evaluate_accuracy(baseline, evaluation_reads(d, num_reads)).mean_percent
-        for d in datasets
-    }
-    record.settings["baseline_accuracy"] = base_acc
-
+    plan = SweepPlan("fig10_enhance_quant")
+    plan.add(Job(fn="repro.experiments.fig10_enhance_quant:baseline_point",
+                 kwargs={"datasets": tuple(datasets),
+                         "num_reads": num_reads},
+                 tag="fig10/baseline"))
     for quant in _FPP_CONFIGS:
         for technique in techniques:
-            model = baseline_clone()
-            QuantizedModel(model, quant)
-            design = build_design(model, technique, "write_only",
-                                  write_variation=write_variation,
-                                  config=enhance, cache_tag=quant.name)
-            accs = []
-            for dataset in datasets:
-                reads = evaluation_reads(dataset, num_reads)
-                accs.append(evaluate_accuracy(model, reads).mean_percent)
-                record.rows.append({
-                    "quant": quant.name,
-                    "technique": technique,
-                    "dataset": dataset,
-                    "accuracy": accs[-1],
-                })
-            design.release()
-            model.set_activation_quant(None)
+            plan.add(Job(
+                fn="repro.experiments.fig10_enhance_quant:evaluate_point",
+                kwargs={"quant_name": quant.name, "technique": technique,
+                        "datasets": tuple(datasets), "num_reads": num_reads,
+                        "write_variation": write_variation,
+                        "enhance": enhance},
+                tag=f"fig10/{quant.name}/{technique}"))
+    results = execute_plan(plan, runner)
+    record.settings["baseline_accuracy"] = results[0]
+    for rows in results[1:]:
+        record.rows.extend(rows)
     return record
 
 
-def main() -> ExperimentRecord:
-    record = run()
+def main(record: ExperimentRecord | None = None) -> ExperimentRecord:
+    record = record or run()
     quants = record.settings["quant_configs"]
     techniques = record.settings["techniques"]
     acc: dict[tuple[str, str], list[float]] = {}

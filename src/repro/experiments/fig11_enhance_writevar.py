@@ -16,19 +16,45 @@ import numpy as np
 from ..basecaller import evaluate_accuracy
 from ..core import EnhanceConfig, ExperimentRecord, build_design, render_table
 from ..nn import QuantizedModel, get_quant_config
-from .common import DATASETS, baseline_clone, evaluation_reads, scaled
+from ..runtime import Job, SweepPlan, SweepRunner
+from .common import (DATASETS, baseline_clone, evaluation_reads,
+                     execute_plan, scaled)
 
-__all__ = ["run", "main", "DEFAULT_RATES", "TECHNIQUE_ORDER"]
+__all__ = ["run", "main", "DEFAULT_RATES", "TECHNIQUE_ORDER",
+           "evaluate_point"]
 
 DEFAULT_RATES: tuple[float, ...] = (0.05, 0.10, 0.20, 0.30)
 TECHNIQUE_ORDER: tuple[str, ...] = ("vat", "kd", "rvw", "rsa_kd", "all")
+
+
+def evaluate_point(rate: float, technique: str,
+                   datasets: tuple[str, ...], num_reads: int,
+                   enhance: EnhanceConfig) -> list[dict]:
+    """One (rate, technique) design evaluated over every dataset."""
+    model = baseline_clone()
+    QuantizedModel(model, get_quant_config("FPP 16-16"))
+    design = build_design(model, technique, "write_only",
+                          write_variation=rate, config=enhance)
+    rows = []
+    for dataset in datasets:
+        reads = evaluation_reads(dataset, num_reads)
+        rows.append({
+            "rate": rate,
+            "technique": technique,
+            "dataset": dataset,
+            "accuracy": evaluate_accuracy(model, reads).mean_percent,
+        })
+    design.release()
+    model.set_activation_quant(None)
+    return rows
 
 
 def run(rates: tuple[float, ...] = DEFAULT_RATES,
         techniques: tuple[str, ...] = TECHNIQUE_ORDER,
         num_reads: int | None = None,
         datasets: tuple[str, ...] = DATASETS,
-        enhance: EnhanceConfig | None = None) -> ExperimentRecord:
+        enhance: EnhanceConfig | None = None,
+        runner: SweepRunner | None = None) -> ExperimentRecord:
     num_reads = num_reads or scaled(8)
     enhance = enhance or EnhanceConfig()
     record = ExperimentRecord(
@@ -37,27 +63,21 @@ def run(rates: tuple[float, ...] = DEFAULT_RATES,
         settings={"rates": list(rates), "techniques": list(techniques),
                   "num_reads": num_reads},
     )
-    for rate in rates:
-        for technique in techniques:
-            model = baseline_clone()
-            QuantizedModel(model, get_quant_config("FPP 16-16"))
-            design = build_design(model, technique, "write_only",
-                                  write_variation=rate, config=enhance)
-            for dataset in datasets:
-                reads = evaluation_reads(dataset, num_reads)
-                record.rows.append({
-                    "rate": rate,
-                    "technique": technique,
-                    "dataset": dataset,
-                    "accuracy": evaluate_accuracy(model, reads).mean_percent,
-                })
-            design.release()
-            model.set_activation_quant(None)
+    plan = SweepPlan("fig11_enhance_writevar", [
+        Job(fn="repro.experiments.fig11_enhance_writevar:evaluate_point",
+            kwargs={"rate": rate, "technique": technique,
+                    "datasets": tuple(datasets), "num_reads": num_reads,
+                    "enhance": enhance},
+            tag=f"fig11/wv{rate:g}/{technique}")
+        for rate in rates for technique in techniques
+    ])
+    for rows in execute_plan(plan, runner):
+        record.rows.extend(rows)
     return record
 
 
-def main() -> ExperimentRecord:
-    record = run()
+def main(record: ExperimentRecord | None = None) -> ExperimentRecord:
+    record = record or run()
     rates = record.settings["rates"]
     techniques = record.settings["techniques"]
     acc: dict[tuple[float, str], list[float]] = {}

@@ -13,15 +13,33 @@ from __future__ import annotations
 from ..basecaller import BonitoModel
 from ..basecaller.model import BONITO_PAPER_CONFIG
 from ..core import ExperimentRecord, SystemEvaluator, render_table
-from .common import DATASETS
+from ..runtime import Job, SweepPlan, SweepRunner
+from .common import DATASETS, execute_plan
 
-__all__ = ["run", "main", "VARIANT_ORDER"]
+__all__ = ["run", "main", "VARIANT_ORDER", "evaluate_variant"]
 
 VARIANT_ORDER: tuple[str, ...] = ("ideal", "rvw", "rsa", "rsa_kd")
 
 
+def evaluate_variant(variant: str, crossbar_size: int,
+                     datasets: tuple[str, ...], gpu_kbps: float) -> dict:
+    """Throughput of one accelerator variant (analytical model)."""
+    evaluator = SystemEvaluator()
+    model = BonitoModel(BONITO_PAPER_CONFIG)
+    estimate = evaluator.throughput(model, variant, crossbar_size)
+    rows = [{
+        "dataset": dataset,
+        "variant": variant,
+        "kbps": estimate.kbp_per_second,
+        "speedup_vs_gpu": estimate.kbp_per_second / gpu_kbps,
+    } for dataset in datasets]
+    return {"rows": rows, "bottleneck": estimate.bottleneck_stage,
+            "replicas": estimate.replicas}
+
+
 def run(crossbar_size: int = 64,
-        datasets: tuple[str, ...] = DATASETS) -> ExperimentRecord:
+        datasets: tuple[str, ...] = DATASETS,
+        runner: SweepRunner | None = None) -> ExperimentRecord:
     evaluator = SystemEvaluator()
     # Throughput/area are analytical models, so they run on the real
     # Bonito's dimensions (never trained here), not the scaled model.
@@ -35,22 +53,22 @@ def run(crossbar_size: int = 64,
                   "gpu_kbps": gpu_kbps,
                   "datasets": list(datasets)},
     )
-    for variant in VARIANT_ORDER:
-        estimate = evaluator.throughput(model, variant, crossbar_size)
-        for dataset in datasets:
-            record.rows.append({
-                "dataset": dataset,
-                "variant": variant,
-                "kbps": estimate.kbp_per_second,
-                "speedup_vs_gpu": estimate.kbp_per_second / gpu_kbps,
-            })
-        record.settings[f"{variant}_bottleneck"] = estimate.bottleneck_stage
-        record.settings[f"{variant}_replicas"] = estimate.replicas
+    plan = SweepPlan("fig14_throughput", [
+        Job(fn="repro.experiments.fig14_throughput:evaluate_variant",
+            kwargs={"variant": variant, "crossbar_size": crossbar_size,
+                    "datasets": tuple(datasets), "gpu_kbps": gpu_kbps},
+            tag=f"fig14/{variant}")
+        for variant in VARIANT_ORDER
+    ])
+    for variant, result in zip(VARIANT_ORDER, execute_plan(plan, runner)):
+        record.rows.extend(result["rows"])
+        record.settings[f"{variant}_bottleneck"] = result["bottleneck"]
+        record.settings[f"{variant}_replicas"] = result["replicas"]
     return record
 
 
-def main() -> ExperimentRecord:
-    record = run()
+def main(record: ExperimentRecord | None = None) -> ExperimentRecord:
+    record = record or run()
     gpu = record.settings["gpu_kbps"]
     rows = [["bonito-gpu", gpu, 1.0]]
     seen = set()

@@ -23,11 +23,58 @@ from ..core import (
     render_table,
 )
 from ..nn import QuantizedModel, get_quant_config
-from .common import DATASETS, baseline_clone, evaluation_reads, scaled
+from ..runtime import Job, SweepPlan, SweepRunner
+from .common import (DATASETS, baseline_clone, evaluation_reads,
+                     execute_plan, scaled)
 
-__all__ = ["run", "main", "DEFAULT_FRACTIONS"]
+__all__ = ["run", "main", "DEFAULT_FRACTIONS", "baseline_point",
+           "evaluate_point"]
 
 DEFAULT_FRACTIONS: tuple[float, ...] = (0.0, 0.01, 0.05, 0.10)
+
+
+def baseline_point(datasets: tuple[str, ...], num_reads: int) -> float:
+    """FP32 baseline accuracy, averaged over the datasets."""
+    baseline = baseline_clone()
+    accs = [
+        evaluate_accuracy(baseline,
+                          evaluation_reads(d, num_reads)).mean_percent
+        for d in datasets
+    ]
+    return float(np.mean(accs))
+
+
+def evaluate_point(size: int, fraction: float, bundle: str,
+                   write_variation: float, datasets: tuple[str, ...],
+                   num_reads: int, enhance: EnhanceConfig) -> dict:
+    """One (crossbar size, SRAM fraction) RSA+KD design point."""
+    model = baseline_clone()
+    QuantizedModel(model, get_quant_config("FPP 16-16"))
+    config = replace(enhance, sram_fraction=fraction)
+    design = build_design(model, "rsa_kd", bundle,
+                          crossbar_size=size,
+                          write_variation=write_variation,
+                          config=config)
+    accs = [
+        evaluate_accuracy(model,
+                          evaluation_reads(d, num_reads)).mean_percent
+        for d in datasets
+    ]
+    design.release()
+    model.set_activation_quant(None)
+    # Area is an analytical model: evaluate it on the real Bonito's
+    # dimensions, as with Fig. 14's throughput.
+    from ..basecaller import BonitoModel
+    from ..basecaller.model import BONITO_PAPER_CONFIG
+    area = SystemEvaluator().area(BonitoModel(BONITO_PAPER_CONFIG), size,
+                                  sram_fraction=fraction)
+    return {
+        "size": size,
+        "sram_percent": 100 * fraction,
+        "accuracy": float(np.mean(accs)),
+        "area_mm2": area.total_mm2,
+        "rsa_overhead_mm2": area.rsa_overhead_mm2,
+    }
 
 
 def run(sizes: tuple[int, ...] = (64, 256),
@@ -36,10 +83,10 @@ def run(sizes: tuple[int, ...] = (64, 256),
         bundle: str = "measured",
         num_reads: int | None = None,
         datasets: tuple[str, ...] = DATASETS,
-        enhance: EnhanceConfig | None = None) -> ExperimentRecord:
+        enhance: EnhanceConfig | None = None,
+        runner: SweepRunner | None = None) -> ExperimentRecord:
     num_reads = num_reads or scaled(8)
     enhance = enhance or EnhanceConfig()
-    evaluator = SystemEvaluator()
 
     record = ExperimentRecord(
         experiment_id="fig15_area_accuracy",
@@ -48,46 +95,29 @@ def run(sizes: tuple[int, ...] = (64, 256),
                   "bundle": bundle, "write_variation": write_variation,
                   "num_reads": num_reads},
     )
-    baseline = baseline_clone()
-    base_accs = [
-        evaluate_accuracy(baseline, evaluation_reads(d, num_reads)).mean_percent
-        for d in datasets
-    ]
-    record.settings["baseline_accuracy"] = float(np.mean(base_accs))
-    # Area is an analytical model: evaluate it on the real Bonito's
-    # dimensions, as with Fig. 14's throughput.
-    from ..basecaller import BonitoModel
-    from ..basecaller.model import BONITO_PAPER_CONFIG
-    area_model = BonitoModel(BONITO_PAPER_CONFIG)
-
+    plan = SweepPlan("fig15_area_accuracy")
+    plan.add(Job(fn="repro.experiments.fig15_area_accuracy:baseline_point",
+                 kwargs={"datasets": tuple(datasets),
+                         "num_reads": num_reads},
+                 tag="fig15/baseline"))
     for size in sizes:
         for fraction in fractions:
-            model = baseline_clone()
-            QuantizedModel(model, get_quant_config("FPP 16-16"))
-            config = replace(enhance, sram_fraction=fraction)
-            design = build_design(model, "rsa_kd", bundle,
-                                  crossbar_size=size,
-                                  write_variation=write_variation,
-                                  config=config)
-            accs = [
-                evaluate_accuracy(model, evaluation_reads(d, num_reads)).mean_percent
-                for d in datasets
-            ]
-            design.release()
-            model.set_activation_quant(None)
-            area = evaluator.area(area_model, size, sram_fraction=fraction)
-            record.rows.append({
-                "size": size,
-                "sram_percent": 100 * fraction,
-                "accuracy": float(np.mean(accs)),
-                "area_mm2": area.total_mm2,
-                "rsa_overhead_mm2": area.rsa_overhead_mm2,
-            })
+            plan.add(Job(
+                fn="repro.experiments.fig15_area_accuracy:evaluate_point",
+                kwargs={"size": size, "fraction": fraction,
+                        "bundle": bundle,
+                        "write_variation": write_variation,
+                        "datasets": tuple(datasets),
+                        "num_reads": num_reads, "enhance": enhance},
+                tag=f"fig15/{size}x{size}/sram{fraction:g}"))
+    results = execute_plan(plan, runner)
+    record.settings["baseline_accuracy"] = results[0]
+    record.rows.extend(results[1:])
     return record
 
 
-def main() -> ExperimentRecord:
-    record = run()
+def main(record: ExperimentRecord | None = None) -> ExperimentRecord:
+    record = record or run()
     rows = [
         [f"{r['size']}x{r['size']}", r["sram_percent"], r["accuracy"],
          r["area_mm2"], r["rsa_overhead_mm2"]]

@@ -11,38 +11,57 @@ from __future__ import annotations
 
 from ..basecaller import evaluate_accuracy
 from ..core import ExperimentRecord, render_table
-from ..nn import PAPER_QUANT_CONFIGS, QuantizedModel
-from .common import DATASETS, baseline_clone, evaluation_reads, scaled
+from ..nn import PAPER_QUANT_CONFIGS, QuantizedModel, get_quant_config
+from ..runtime import Job, SweepPlan, SweepRunner
+from .common import (DATASETS, baseline_clone, evaluation_reads,
+                     execute_plan, scaled)
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "evaluate_config"]
+
+
+def evaluate_config(config_name: str, datasets: tuple[str, ...],
+                    num_reads: int) -> list[dict]:
+    """One precision configuration evaluated over every dataset."""
+    config = get_quant_config(config_name)
+    model = baseline_clone()
+    if not config.is_float:
+        QuantizedModel(model, config)
+    rows = []
+    for dataset in datasets:
+        reads = evaluation_reads(dataset, num_reads)
+        report = evaluate_accuracy(model, reads)
+        rows.append({
+            "dataset": dataset,
+            "config": config.name,
+            "accuracy": report.mean_percent,
+        })
+    model.set_activation_quant(None)
+    return rows
 
 
 def run(num_reads: int | None = None,
-        datasets: tuple[str, ...] = DATASETS) -> ExperimentRecord:
+        datasets: tuple[str, ...] = DATASETS,
+        runner: SweepRunner | None = None) -> ExperimentRecord:
     num_reads = num_reads or scaled(10)
     record = ExperimentRecord(
         experiment_id="tab03_quantization",
         description="Accuracy after quantization (Table 3)",
         settings={"num_reads": num_reads, "datasets": list(datasets)},
     )
-    for config in PAPER_QUANT_CONFIGS:
-        model = baseline_clone()
-        if not config.is_float:
-            QuantizedModel(model, config)
-        for dataset in datasets:
-            reads = evaluation_reads(dataset, num_reads)
-            report = evaluate_accuracy(model, reads)
-            record.rows.append({
-                "dataset": dataset,
-                "config": config.name,
-                "accuracy": report.mean_percent,
-            })
-        model.set_activation_quant(None)
+    plan = SweepPlan("tab03_quantization", [
+        Job(fn="repro.experiments.tab03_quantization:evaluate_config",
+            kwargs={"config_name": config.name, "datasets": tuple(datasets),
+                    "num_reads": num_reads},
+            tag=f"tab03/{config.name}")
+        for config in PAPER_QUANT_CONFIGS
+    ])
+    for rows in execute_plan(plan, runner):
+        record.rows.extend(rows)
     return record
 
 
-def main() -> ExperimentRecord:
-    record = run()
+def main(record: ExperimentRecord | None = None) -> ExperimentRecord:
+    record = record or run()
     configs = [c.name for c in PAPER_QUANT_CONFIGS]
     by_key = {(r["dataset"], r["config"]): r["accuracy"] for r in record.rows}
     datasets = record.settings["datasets"]

@@ -97,6 +97,10 @@ def quantize_symmetric(values: np.ndarray, bits: int,
     values = np.asarray(values)
     if step is None:
         step = quantization_step(values, bits)
+    if step == 0.0:
+        # A constant-zero tensor (or an explicit zero step from a
+        # caller) has no grid to round onto; everything quantizes to 0.
+        return np.zeros_like(values, dtype=np.float64)
     levels = 2 ** (bits - 1) - 1
     quantized = np.clip(np.round(values / step), -levels, levels)
     return quantized * step

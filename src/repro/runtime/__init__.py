@@ -1,0 +1,33 @@
+"""``repro.runtime`` — parallel sweep-execution runtime.
+
+Every Swordfish figure is a sweep over design-point grids; this package
+is the execution backbone that runs those grids as schedulable jobs:
+
+* :mod:`~repro.runtime.job` — :class:`Job` / :class:`SweepPlan`
+  abstractions (any iterable of ``SwordfishConfig``s, or any
+  importable point function, becomes schedulable units).
+* :mod:`~repro.runtime.executor` — :class:`SweepRunner`: a
+  multiprocessing worker pool with per-job timeouts, bounded
+  retry-with-backoff, and graceful serial fallback.
+* :mod:`~repro.runtime.cache` — :class:`ResultCache`: content-
+  addressed on-disk results keyed by a stable config hash plus a
+  code-version salt.
+* :mod:`~repro.runtime.telemetry` — per-job JSONL event logs, run
+  summaries, and a pluggable hook interface.
+* :mod:`~repro.runtime.figures` / :mod:`~repro.runtime.cli` — named
+  paper sweeps and the ``python -m repro.runtime`` entry point.
+"""
+
+from .cache import ResultCache, canonical_json, default_salt, job_key
+from .executor import JobOutcome, SweepError, SweepResult, SweepRunner
+from .figures import FIGURES, FigureSpec, render_figure, run_figure
+from .job import Job, SweepPlan, resolve_target, run_swordfish_config
+from .telemetry import JsonlSink, SummaryAggregator, Telemetry
+
+__all__ = [
+    "Job", "SweepPlan", "resolve_target", "run_swordfish_config",
+    "ResultCache", "canonical_json", "default_salt", "job_key",
+    "Telemetry", "JsonlSink", "SummaryAggregator",
+    "JobOutcome", "SweepResult", "SweepRunner", "SweepError",
+    "FIGURES", "FigureSpec", "run_figure", "render_figure",
+]

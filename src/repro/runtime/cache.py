@@ -1,0 +1,128 @@
+"""Content-addressed on-disk result cache for sweep jobs.
+
+A job's cache key is the SHA-256 of a canonical JSON rendering of its
+target spec and kwargs, salted with a code-version string — so a second
+run of the same figure, or a different figure sharing design points
+with a first, resolves instantly, while a version bump (or an explicit
+``SWORDFISH_CODE_SALT``) invalidates everything at once.
+
+Values are stored with :mod:`pickle` (results are small dataclasses /
+row dicts), sharded two-hex-chars deep, and written atomically so a
+killed worker never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["canonical_json", "default_salt", "job_key", "ResultCache"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce a kwargs value to canonical JSON-compatible data."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if hasattr(value, "to_dict"):
+        return _jsonable(value.to_dict())
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for cache hashing; "
+        f"job kwargs must be plain data, dataclasses, or have to_dict()")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, tuples as lists."""
+    return json.dumps(_jsonable(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def default_salt() -> str:
+    """Code-version salt: ``SWORDFISH_CODE_SALT`` or the package version."""
+    salt = os.environ.get("SWORDFISH_CODE_SALT")
+    if salt:
+        return salt
+    from .. import __version__
+    return f"repro-{__version__}"
+
+
+def job_key(job, salt: str | None = None) -> str:
+    """Content address of one job (stable across processes and runs)."""
+    if getattr(job, "key", None):
+        return job.key
+    payload = canonical_json({
+        "fn": job.fn,
+        "kwargs": job.kwargs,
+        "salt": salt if salt is not None else default_salt(),
+    })
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Two-level sharded pickle store keyed by content address."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def lookup(self, key: str) -> tuple[bool, Any]:
+        """``(hit, value)``; corrupt or unreadable entries count as misses."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError):
+            return False, None
+        return True, payload.get("value")
+
+    def get(self, key: str) -> Any:
+        hit, value = self.lookup(key)
+        if not hit:
+            raise KeyError(key)
+        return value
+
+    def put(self, key: str, value: Any, meta: dict | None = None) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "value": value, "meta": meta or {},
+                   "saved_at": time.time()}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.directory.glob("*/*.pkl")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*/*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

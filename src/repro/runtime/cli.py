@@ -1,0 +1,117 @@
+"""Command-line entry point for sweep execution.
+
+Usage::
+
+    python -m repro.runtime run fig08 --workers 4 \
+        --cache-dir ~/.cache/swordfish-repro/results \
+        --telemetry runs/fig08.jsonl --save benchmarks/results
+    python -m repro.runtime list
+    python -m repro.runtime cache --cache-dir ... [--clear]
+
+``run`` builds a :class:`~repro.runtime.SweepRunner` from the flags,
+submits the figure's grid through it, prints the paper-style table,
+and (with ``--save``) persists the :class:`ExperimentRecord` JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .cache import ResultCache
+from .executor import SweepError, SweepRunner
+from .figures import FIGURES, available, render_figure, run_figure
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Run Swordfish paper sweeps through the parallel "
+                    "job runtime.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one figure's sweep")
+    run.add_argument("figure", choices=available(),
+                     help="paper figure/table id")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes (1 = serial, default)")
+    run.add_argument("--cache-dir", default=None,
+                     help="result-cache directory (enables caching)")
+    run.add_argument("--telemetry", default=None, metavar="PATH",
+                     help="append per-job JSONL events to this file")
+    run.add_argument("--timeout", type=float, default=None,
+                     help="per-job wall-clock limit in seconds")
+    run.add_argument("--retries", type=int, default=2,
+                     help="extra attempts per failed job (default 2)")
+    run.add_argument("--backoff", type=float, default=0.25,
+                     help="base retry backoff in seconds (default 0.25)")
+    run.add_argument("--scale", type=float, default=None,
+                     help="set SWORDFISH_SCALE for this run")
+    run.add_argument("--save", default=None, metavar="DIR",
+                     help="save the ExperimentRecord JSON under DIR")
+
+    sub.add_parser("list", help="list runnable figures")
+
+    cache = sub.add_parser("cache", help="inspect or clear a result cache")
+    cache.add_argument("--cache-dir", required=True)
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached entry")
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in FIGURES)
+    for name, spec in FIGURES.items():
+        print(f"{name.ljust(width)}  {spec.description}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached results from {cache.directory}")
+    else:
+        print(f"{len(cache)} cached results in {cache.directory}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.scale is not None:
+        os.environ["SWORDFISH_SCALE"] = str(args.scale)
+    runner = SweepRunner(
+        workers=args.workers,
+        cache=args.cache_dir,
+        telemetry_path=args.telemetry,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        strict=True,
+    )
+    try:
+        record = run_figure(args.figure, runner=runner)
+    except SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    render_figure(args.figure, record)
+    if args.save:
+        from ..core import save_record
+        path = save_record(record, args.save)
+        print(f"saved {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "cache":
+        return _cmd_cache(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,486 @@
+"""Sweep execution: worker pool, retries, timeouts, cache, telemetry.
+
+:class:`SweepRunner` drives a :class:`~repro.runtime.job.SweepPlan`
+through (in order of preference):
+
+1. the result cache — content-addressed, so any job seen before (in
+   this run, a previous run, or a *different* figure sharing design
+   points) resolves without executing;
+2. a :mod:`multiprocessing` worker pool — each worker is a long-lived
+   process pulling tasks from its own queue, so the parent can enforce
+   a per-job wall-clock timeout by terminating exactly the offending
+   worker and respawning it;
+3. in-process serial execution — used when ``workers <= 1`` and as the
+   graceful fallback when worker processes cannot be spawned at all
+   (restricted sandboxes, missing semaphores).
+
+Failed attempts (exception, timeout, or worker crash) are retried with
+exponential backoff up to ``retries`` extra attempts; a job that
+exhausts its attempts is recorded as failed without aborting the rest
+of the sweep (``strict=True`` or ``SweepResult.raise_on_failure()``
+escalate afterwards).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .cache import ResultCache, default_salt, job_key
+from .job import Job, SweepPlan, resolve_target
+from .telemetry import JsonlSink, SummaryAggregator, Telemetry
+
+__all__ = ["JobOutcome", "SweepResult", "SweepRunner", "SweepError"]
+
+#: Floor/ceiling for the parent's poll interval while supervising workers.
+_POLL_MIN_S = 0.01
+_POLL_MAX_S = 0.25
+
+
+class SweepError(RuntimeError):
+    """Raised when a strict sweep finishes with failed jobs."""
+
+
+@dataclass
+class JobOutcome:
+    """Terminal record for one job of a plan."""
+
+    job: Job
+    status: str = "pending"          # "ok" | "failed"
+    value: Any = None
+    error: str | None = None
+    attempts: int = 0
+    wall_s: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class SweepResult:
+    """Outcomes of a plan, aligned with ``plan.jobs`` order."""
+
+    plan: SweepPlan
+    outcomes: list[JobOutcome]
+    summary: dict = field(default_factory=dict)
+
+    @property
+    def values(self) -> list:
+        return [outcome.value for outcome in self.outcomes]
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def raise_on_failure(self) -> "SweepResult":
+        failed = [o for o in self.outcomes if not o.ok]
+        if failed:
+            first = failed[0]
+            raise SweepError(
+                f"{len(failed)}/{len(self.outcomes)} jobs of plan "
+                f"{self.plan.name!r} failed; first: {first.job.tag}: "
+                f"{first.error}")
+        return self
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(task_q, result_q) -> None:
+    """Long-lived worker loop: ``(index, fn, kwargs)`` in, result out.
+
+    Results are pre-pickled here so that an unpicklable value surfaces
+    as an ordinary job error instead of wedging the queue's feeder
+    thread.
+    """
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        index, fn, kwargs = task
+        started = time.perf_counter()
+        try:
+            value = resolve_target(fn)(**kwargs)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException:
+            result_q.put((index, "err", None,
+                          traceback.format_exc(limit=20),
+                          time.perf_counter() - started))
+        else:
+            result_q.put((index, "ok", payload, None,
+                          time.perf_counter() - started))
+
+
+class _Worker:
+    """Parent-side handle: a process plus its private task queue."""
+
+    def __init__(self, ctx, result_q):
+        self.task_q = ctx.Queue()
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(self.task_q, result_q), daemon=True)
+        self.proc.start()
+        self.index: int | None = None     # job index in flight, if any
+        self.attempt = 0
+        self.deadline: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.index is not None
+
+    def dispatch(self, index: int, job: Job, attempt: int,
+                 timeout: float | None) -> None:
+        self.index = index
+        self.attempt = attempt
+        self.deadline = (time.monotonic() + timeout) if timeout else None
+        self.task_q.put((index, job.fn, job.kwargs))
+
+    def release(self) -> None:
+        self.index = None
+        self.attempt = 0
+        self.deadline = None
+
+    def stop(self, kill: bool = False) -> None:
+        if self.proc.is_alive() and not kill:
+            try:
+                self.task_q.put(None)
+            except (OSError, ValueError):
+                kill = True
+        if kill and self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=2.0)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=1.0)
+        self.task_q.cancel_join_thread()
+        self.task_q.close()
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class SweepRunner:
+    """Execute sweep plans with caching, retries, and telemetry.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``<= 1`` means serial in-process.
+    cache:
+        A :class:`ResultCache`, a directory path, or ``None`` (off).
+    telemetry / telemetry_path:
+        An existing :class:`Telemetry` to emit into, and/or a JSONL
+        file to append events to.
+    timeout:
+        Per-job wall-clock limit in seconds (parallel mode only — a
+        serial job cannot be interrupted from within its own process).
+    retries:
+        Extra attempts after the first (so a job runs at most
+        ``retries + 1`` times).
+    backoff:
+        Base delay before attempt *n*'s re-dispatch:
+        ``backoff * 2**(n-1)`` seconds.
+    salt:
+        Cache-key salt override (defaults to the package version /
+        ``SWORDFISH_CODE_SALT``).
+    strict:
+        Raise :class:`SweepError` from :meth:`run` if any job fails.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache: ResultCache | str | Path | None = None,
+                 telemetry: Telemetry | None = None,
+                 telemetry_path: str | Path | None = None,
+                 timeout: float | None = None,
+                 retries: int = 2,
+                 backoff: float = 0.25,
+                 salt: str | None = None,
+                 start_method: str | None = None,
+                 strict: bool = False):
+        self.workers = max(int(workers), 1)
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.telemetry = telemetry or Telemetry()
+        if telemetry_path:
+            self.telemetry.subscribe(JsonlSink(telemetry_path))
+        self.timeout = timeout
+        self.retries = max(int(retries), 0)
+        self.backoff = max(float(backoff), 0.0)
+        self.salt = salt if salt is not None else default_salt()
+        self.start_method = start_method
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+    def run(self, plan: SweepPlan) -> SweepResult:
+        """Execute every job of ``plan``; results keep plan order."""
+        aggregator = SummaryAggregator()
+        self.telemetry.subscribe(aggregator)
+        started = time.perf_counter()
+        try:
+            outcomes = self._run(plan)
+            summary = aggregator.summary()
+            summary["plan"] = plan.name
+            summary["run_wall_s"] = round(time.perf_counter() - started, 6)
+            self.telemetry.emit("summary", **summary)
+        finally:
+            self.telemetry.unsubscribe(aggregator)
+        result = SweepResult(plan=plan, outcomes=outcomes, summary=summary)
+        if self.strict:
+            result.raise_on_failure()
+        return result
+
+    # ------------------------------------------------------------------
+    def _run(self, plan: SweepPlan) -> list[JobOutcome]:
+        outcomes = [JobOutcome(job=job) for job in plan.jobs]
+        keys = [job_key(job, self.salt) for job in plan.jobs]
+        pending: deque[tuple[int, int, float]] = deque()
+
+        for index, (job, key) in enumerate(zip(plan.jobs, keys)):
+            self.telemetry.emit("submit", plan=plan.name, job=job.tag,
+                                key=key, index=index)
+            if self.cache is not None:
+                hit, value = self.cache.lookup(key)
+                if hit:
+                    outcome = outcomes[index]
+                    outcome.status = "ok"
+                    outcome.value = value
+                    outcome.cache_hit = True
+                    self._finish(plan, index, job, key, outcome)
+                    continue
+            pending.append((index, 1, 0.0))
+
+        if pending:
+            if self.workers > 1:
+                pool = self._start_pool(plan, min(self.workers, len(pending)))
+                if pool is not None:
+                    self._run_parallel(plan, keys, pending, outcomes, *pool)
+                else:
+                    self._run_serial(plan, keys, pending, outcomes)
+            else:
+                self._run_serial(plan, keys, pending, outcomes)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Serial path (also the graceful fallback)
+    # ------------------------------------------------------------------
+    def _run_serial(self, plan: SweepPlan, keys: list[str],
+                    pending: deque, outcomes: list[JobOutcome]) -> None:
+        for index, attempt, _ in list(pending):
+            job, key = plan.jobs[index], keys[index]
+            while True:
+                self.telemetry.emit("start", plan=plan.name, job=job.tag,
+                                    key=key, attempt=attempt,
+                                    where="in-process")
+                started = time.perf_counter()
+                try:
+                    value = job.execute()
+                except Exception:
+                    elapsed = time.perf_counter() - started
+                    error = traceback.format_exc(limit=20)
+                    if attempt <= self.retries:
+                        delay = self._delay(attempt)
+                        self.telemetry.emit("retry", plan=plan.name,
+                                            job=job.tag, key=key,
+                                            attempt=attempt, reason="error",
+                                            delay_s=delay)
+                        if delay:
+                            time.sleep(delay)
+                        attempt += 1
+                        continue
+                    self._record_failure(plan, index, job, key,
+                                         outcomes[index], attempt,
+                                         elapsed, "error", error)
+                    break
+                else:
+                    elapsed = time.perf_counter() - started
+                    self._record_success(plan, index, job, key,
+                                         outcomes[index], attempt,
+                                         elapsed, value)
+                    break
+
+    # ------------------------------------------------------------------
+    # Parallel path
+    # ------------------------------------------------------------------
+    def _start_pool(self, plan: SweepPlan, count: int):
+        """Spawn the pool, or return None to fall back to serial."""
+        try:
+            methods = mp.get_all_start_methods()
+            method = self.start_method or (
+                "fork" if "fork" in methods else methods[0])
+            ctx = mp.get_context(method)
+            result_q = ctx.Queue()
+            workers = [_Worker(ctx, result_q) for _ in range(count)]
+        except Exception as exc:
+            self.telemetry.emit("fallback", plan=plan.name,
+                                reason=f"worker pool unavailable: {exc}")
+            return None
+        return ctx, result_q, workers
+
+    def _run_parallel(self, plan: SweepPlan, keys: list[str],
+                      pending: deque, outcomes: list[JobOutcome],
+                      ctx, result_q, workers: list[_Worker]) -> None:
+        busy: dict[int, _Worker] = {}
+        try:
+            while pending or busy:
+                now = time.monotonic()
+
+                # Dispatch ready jobs to idle workers.
+                for worker in workers:
+                    if worker.busy or not pending:
+                        continue
+                    item = self._pop_ready(pending, now)
+                    if item is None:
+                        break
+                    index, attempt, _ = item
+                    job, key = plan.jobs[index], keys[index]
+                    worker.dispatch(index, job, attempt, self.timeout)
+                    busy[index] = worker
+                    self.telemetry.emit("start", plan=plan.name, job=job.tag,
+                                        key=key, attempt=attempt,
+                                        where=f"worker:{worker.proc.pid}")
+
+                # Wait for the next result / deadline / ready time.
+                try:
+                    msg = result_q.get(timeout=self._poll_interval(
+                        busy.values(), pending, now))
+                except queue_mod.Empty:
+                    msg = None
+
+                if msg is not None:
+                    index, status, payload, error, elapsed = msg
+                    worker = busy.pop(index, None)
+                    if worker is None:
+                        # Stale result (job already timed out and was
+                        # re-dispatched, or worker died right after
+                        # reporting): drop it.
+                        continue
+                    attempt = worker.attempt
+                    worker.release()
+                    job, key = plan.jobs[index], keys[index]
+                    if status == "ok":
+                        try:
+                            value = pickle.loads(payload)
+                        except Exception:
+                            status, error = "err", traceback.format_exc(limit=5)
+                    if status == "ok":
+                        self._record_success(plan, index, job, key,
+                                             outcomes[index], attempt,
+                                             elapsed, value)
+                    else:
+                        self._retry_or_fail(plan, index, job, key,
+                                            outcomes[index], attempt,
+                                            elapsed, "error", error, pending)
+                    continue
+
+                now = time.monotonic()
+                # Enforce per-job deadlines.
+                for index, worker in list(busy.items()):
+                    if worker.deadline is not None and now > worker.deadline:
+                        job, key = plan.jobs[index], keys[index]
+                        attempt = worker.attempt
+                        del busy[index]
+                        worker.stop(kill=True)
+                        workers[workers.index(worker)] = _Worker(ctx, result_q)
+                        self._retry_or_fail(
+                            plan, index, job, key, outcomes[index], attempt,
+                            self.timeout or 0.0, "timeout",
+                            f"job exceeded {self.timeout:.3f}s timeout",
+                            pending)
+
+                # Detect crashed workers (died without reporting).
+                for index, worker in list(busy.items()):
+                    if not worker.proc.is_alive():
+                        job, key = plan.jobs[index], keys[index]
+                        attempt = worker.attempt
+                        exitcode = worker.proc.exitcode
+                        del busy[index]
+                        worker.stop(kill=True)
+                        workers[workers.index(worker)] = _Worker(ctx, result_q)
+                        self._retry_or_fail(
+                            plan, index, job, key, outcomes[index], attempt,
+                            0.0, "crash",
+                            f"worker died (exit code {exitcode})", pending)
+        finally:
+            for worker in workers:
+                worker.stop()
+
+    @staticmethod
+    def _pop_ready(pending: deque, now: float):
+        """First pending item whose backoff delay has elapsed, if any."""
+        for _ in range(len(pending)):
+            item = pending.popleft()
+            if item[2] <= now:
+                return item
+            pending.append(item)
+        return None
+
+    @staticmethod
+    def _poll_interval(busy_workers, pending: deque, now: float) -> float:
+        wake_times = [w.deadline for w in busy_workers
+                      if w.deadline is not None]
+        wake_times.extend(ready for _, _, ready in pending if ready > now)
+        if not wake_times:
+            return _POLL_MAX_S if not pending else _POLL_MIN_S
+        return min(max(min(wake_times) - now, _POLL_MIN_S), _POLL_MAX_S)
+
+    # ------------------------------------------------------------------
+    # Outcome bookkeeping (shared by both paths)
+    # ------------------------------------------------------------------
+    def _delay(self, attempt: int) -> float:
+        return self.backoff * (2 ** (attempt - 1)) if self.backoff else 0.0
+
+    def _retry_or_fail(self, plan, index, job, key, outcome, attempt,
+                       elapsed, reason, error, pending: deque) -> None:
+        if attempt <= self.retries:
+            delay = self._delay(attempt)
+            self.telemetry.emit("retry", plan=plan.name, job=job.tag,
+                                key=key, attempt=attempt, reason=reason,
+                                delay_s=delay)
+            pending.append((index, attempt + 1, time.monotonic() + delay))
+        else:
+            self._record_failure(plan, index, job, key, outcome, attempt,
+                                 elapsed, reason, error)
+
+    def _record_success(self, plan, index, job, key, outcome, attempt,
+                        elapsed, value) -> None:
+        outcome.status = "ok"
+        outcome.value = value
+        outcome.attempts = attempt
+        outcome.wall_s = elapsed
+        if self.cache is not None:
+            self.cache.put(key, value, meta={"plan": plan.name,
+                                             "job": job.tag})
+        self._finish(plan, index, job, key, outcome)
+
+    def _record_failure(self, plan, index, job, key, outcome, attempt,
+                        elapsed, reason, error) -> None:
+        outcome.status = "failed"
+        outcome.error = error
+        outcome.attempts = attempt
+        outcome.wall_s = elapsed
+        self._finish(plan, index, job, key, outcome, reason=reason)
+
+    def _finish(self, plan, index, job, key, outcome: JobOutcome,
+                reason: str | None = None) -> None:
+        fields = {
+            "plan": plan.name,
+            "job": job.tag,
+            "key": key,
+            "index": index,
+            "status": outcome.status,
+            "cache": "hit" if outcome.cache_hit else "miss",
+            "wall_s": round(outcome.wall_s, 6),
+            "attempts": outcome.attempts,
+        }
+        if reason:
+            fields["reason"] = reason
+        self.telemetry.emit("finish", **fields)

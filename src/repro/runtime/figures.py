@@ -1,0 +1,86 @@
+"""Named sweeps: paper figure ids → experiment runners.
+
+The registry is what makes ``python -m repro.runtime run fig08`` work:
+each entry names the experiment module that reproduces a paper figure,
+plus the kwargs that select the right variant (e.g. ``fig09`` is the
+``fig08`` runner at crossbar size 256).  Experiment modules are
+imported lazily so that listing figures stays cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+__all__ = ["FigureSpec", "FIGURES", "available", "get_spec",
+           "run_figure", "render_figure"]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One launchable sweep: experiment module plus preset kwargs."""
+
+    name: str
+    module: str
+    description: str
+    run_kwargs: dict = field(default_factory=dict)
+
+
+_SPECS = (
+    FigureSpec("fig01", "repro.experiments.fig01_pipeline",
+               "Fig. 1 — pipeline execution-time breakdown"),
+    FigureSpec("tab03", "repro.experiments.tab03_quantization",
+               "Table 3 — accuracy after quantization"),
+    FigureSpec("fig07", "repro.experiments.fig07_write_variation",
+               "Fig. 7 — accuracy vs write-variation rate"),
+    FigureSpec("fig08", "repro.experiments.fig08_nonidealities",
+               "Fig. 8 — non-idealities on 64x64 crossbars",
+               {"crossbar_size": 64}),
+    FigureSpec("fig09", "repro.experiments.fig08_nonidealities",
+               "Fig. 9 — non-idealities on 256x256 crossbars",
+               {"crossbar_size": 256}),
+    FigureSpec("fig10", "repro.experiments.fig10_enhance_quant",
+               "Fig. 10 — enhancement vs quantization configs"),
+    FigureSpec("fig11", "repro.experiments.fig11_enhance_writevar",
+               "Fig. 11 — enhancement vs write variation"),
+    FigureSpec("fig12", "repro.experiments.fig12_enhance_nonideal",
+               "Fig. 12 — enhancement vs non-idealities, 64x64",
+               {"crossbar_size": 64}),
+    FigureSpec("fig13", "repro.experiments.fig12_enhance_nonideal",
+               "Fig. 13 — enhancement vs non-idealities, 256x256",
+               {"crossbar_size": 256}),
+    FigureSpec("fig14", "repro.experiments.fig14_throughput",
+               "Fig. 14 — SwordfishAccel throughput vs Bonito-GPU"),
+    FigureSpec("fig15", "repro.experiments.fig15_area_accuracy",
+               "Fig. 15 — accuracy vs area for RSA+KD designs"),
+)
+
+FIGURES: dict[str, FigureSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def available() -> list[str]:
+    return list(FIGURES)
+
+
+def get_spec(name: str) -> FigureSpec:
+    try:
+        return FIGURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; available: {', '.join(FIGURES)}"
+        ) from None
+
+
+def run_figure(name: str, runner=None, **overrides):
+    """Run one figure's sweep through ``runner``; returns its record."""
+    spec = get_spec(name)
+    module = importlib.import_module(spec.module)
+    kwargs = {**spec.run_kwargs, **overrides}
+    return module.run(runner=runner, **kwargs)
+
+
+def render_figure(name: str, record) -> None:
+    """Print the paper-style table for an already-computed record."""
+    spec = get_spec(name)
+    module = importlib.import_module(spec.module)
+    module.main(record=record)

@@ -1,0 +1,128 @@
+"""Schedulable units for design-space sweeps.
+
+A :class:`Job` names an importable function (``"pkg.module:function"``)
+plus picklable keyword arguments — everything a worker process needs to
+recompute the result from scratch, and everything the cache needs to
+derive a stable content address.  A :class:`SweepPlan` is an ordered
+collection of jobs with a name; the executor preserves plan order in
+its results, so refactored experiment loops stay row-for-row identical
+to their previous inline form.
+
+:func:`run_swordfish_config` is the generic job target that turns any
+:class:`~repro.core.SwordfishConfig` into a schedulable unit — the
+bridge between the façade and the runtime.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+__all__ = ["Job", "SweepPlan", "resolve_target", "run_swordfish_config"]
+
+
+def resolve_target(spec: str) -> Callable:
+    """Import the callable named by a ``"pkg.module:function"`` spec."""
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(
+            f"job target must look like 'pkg.module:function', got {spec!r}")
+    module = importlib.import_module(module_name)
+    target: Any = module
+    for part in attr.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError:
+            raise AttributeError(
+                f"module {module_name!r} has no attribute {attr!r}") from None
+    if not callable(target):
+        raise TypeError(f"job target {spec!r} is not callable")
+    return target
+
+
+@dataclass
+class Job:
+    """One schedulable unit of work.
+
+    ``fn`` is a dotted target spec (``"pkg.module:function"``); the
+    function must be importable from a fresh process and ``kwargs`` must
+    be picklable.  ``tag`` is a human-readable label used in telemetry;
+    ``key`` optionally overrides the content-addressed cache key.
+    """
+
+    fn: str
+    kwargs: dict = field(default_factory=dict)
+    tag: str = ""
+    key: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tag:
+            self.tag = self.fn.rsplit(":", 1)[-1]
+
+    def resolve(self) -> Callable:
+        return resolve_target(self.fn)
+
+    def execute(self) -> Any:
+        """Run the job in the current process."""
+        return self.resolve()(**self.kwargs)
+
+
+@dataclass
+class SweepPlan:
+    """A named, ordered collection of jobs (one figure grid, usually)."""
+
+    name: str
+    jobs: list[Job] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def add(self, job: Job) -> Job:
+        self.jobs.append(job)
+        return job
+
+    @classmethod
+    def from_configs(cls, name: str, configs: Iterable,
+                     metric: str = "full") -> "SweepPlan":
+        """Build a plan from an iterable of :class:`SwordfishConfig`.
+
+        Each config becomes one :func:`run_swordfish_config` job;
+        ``metric`` selects the full metric set or accuracy only.
+        """
+        plan = cls(name)
+        for index, config in enumerate(configs):
+            if hasattr(config, "to_dict"):
+                data = config.to_dict()
+            else:
+                data = dict(config)
+            if hasattr(config, "cache_key"):
+                tag = config.cache_key()
+            else:
+                tag = f"{name}[{index}]"
+            plan.add(Job(fn="repro.runtime.job:run_swordfish_config",
+                         kwargs={"config": data, "metric": metric},
+                         tag=tag))
+        return plan
+
+
+def run_swordfish_config(config: dict, metric: str = "full"):
+    """Generic job target: answer one design question.
+
+    ``config`` is a :meth:`SwordfishConfig.to_dict` payload (plain data
+    so the job pickles and hashes identically everywhere); ``metric``
+    is ``"full"`` (:class:`DesignMetrics`) or ``"accuracy"`` (per-
+    dataset accuracy dict).
+    """
+    from ..core import Swordfish, SwordfishConfig
+
+    cfg = SwordfishConfig.from_dict(config)
+    framework = Swordfish()
+    if metric == "full":
+        return framework.run(cfg)
+    if metric == "accuracy":
+        return framework.accuracy_only(cfg)
+    raise ValueError(f"unknown metric {metric!r} (want 'full' or 'accuracy')")

@@ -1,0 +1,132 @@
+"""Structured telemetry for sweep runs.
+
+Every lifecycle transition of every job emits one flat event dict:
+
+``submit``  — job entered the run (fields: ``job``, ``key``, ``index``)
+``start``   — an attempt began executing (``attempt``, ``where``)
+``retry``   — an attempt failed and will be retried (``reason``,
+              ``attempt``, ``delay_s``)
+``finish``  — terminal outcome (``status`` ``ok``/``failed``,
+              ``cache`` ``hit``/``miss``, ``wall_s``, ``attempts``)
+``summary`` — one per run, with the aggregate counters.
+
+Events fan out to pluggable hooks — any callable taking the event dict.
+:class:`JsonlSink` appends each event as a JSON line (the on-disk run
+log); :class:`SummaryAggregator` folds events into run counters.
+Benchmarks and tests subscribe their own hooks via
+:meth:`Telemetry.subscribe`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["Telemetry", "JsonlSink", "SummaryAggregator"]
+
+TelemetryHook = Callable[[dict], None]
+
+
+class Telemetry:
+    """Hook fan-out. A broken hook is dropped, never a sweep-killer."""
+
+    def __init__(self, hooks: tuple[TelemetryHook, ...] = (),
+                 run_id: str = ""):
+        self._hooks: list[TelemetryHook] = list(hooks)
+        self.run_id = run_id
+        self.hook_errors: list[str] = []
+
+    def subscribe(self, hook: TelemetryHook) -> TelemetryHook:
+        self._hooks.append(hook)
+        return hook
+
+    def unsubscribe(self, hook: TelemetryHook) -> None:
+        if hook in self._hooks:
+            self._hooks.remove(hook)
+
+    def emit(self, event: str, **fields: Any) -> dict:
+        record = {"event": event, "ts": round(time.time(), 6)}
+        if self.run_id:
+            record["run"] = self.run_id
+        record.update(fields)
+        for hook in list(self._hooks):
+            try:
+                hook(dict(record))
+            except Exception as exc:  # a sink must not break the sweep
+                self.hook_errors.append(f"{hook!r}: {exc}")
+                self.unsubscribe(hook)
+        return record
+
+
+class JsonlSink:
+    """Append-only JSONL event log (one event per line, flushed)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = None
+
+    def __call__(self, event: dict) -> None:
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            if self._fh is None:
+                self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+class SummaryAggregator:
+    """Fold per-job events into run counters (one instance per run)."""
+
+    def __init__(self) -> None:
+        self.jobs = 0
+        self.completed = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.exec_wall_s = 0.0
+
+    def __call__(self, event: dict) -> None:
+        kind = event.get("event")
+        if kind == "submit":
+            self.jobs += 1
+        elif kind == "retry":
+            self.retries += 1
+            if event.get("reason") == "timeout":
+                self.timeouts += 1
+        elif kind == "finish":
+            if event.get("status") == "ok":
+                self.completed += 1
+            else:
+                self.failed += 1
+                if event.get("reason") == "timeout":
+                    self.timeouts += 1
+            if event.get("cache") == "hit":
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self.exec_wall_s += float(event.get("wall_s", 0.0))
+
+    def summary(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "exec_wall_s": round(self.exec_wall_s, 6),
+        }

@@ -37,6 +37,17 @@ class TestQuantizeSymmetric:
     def test_zeros_input(self):
         assert np.allclose(nn.quantize_symmetric(np.zeros(5), 8), 0.0)
 
+    def test_zero_step_emits_no_warning(self):
+        # Regression: a constant-zero tensor (or an explicit zero step)
+        # used to divide by zero and raise a RuntimeWarning.
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            q = nn.quantize_symmetric(np.zeros(7), 8)
+            assert np.array_equal(q, np.zeros(7))
+            q = nn.quantize_symmetric(np.ones(3), 8, step=0.0)
+            assert np.array_equal(q, np.zeros(3))
+
     def test_rejects_too_few_bits(self):
         with pytest.raises(ValueError):
             nn.quantize_symmetric(np.ones(3), 1)

@@ -1,0 +1,436 @@
+"""Tests for ``repro.runtime`` — jobs, cache, executor, telemetry, CLI.
+
+Job targets used by the worker-pool tests live at module level so a
+worker process can resolve them by dotted name
+(``"tests.test_runtime:..."``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import EnhanceConfig, SwordfishConfig
+from repro.runtime import (
+    Job,
+    JsonlSink,
+    ResultCache,
+    SweepError,
+    SweepPlan,
+    SweepRunner,
+    Telemetry,
+    canonical_json,
+    job_key,
+    resolve_target,
+)
+from tests.conftest import TINY_CONFIG
+
+FAST_ENHANCE = EnhanceConfig(retrain_epochs=1, online_epochs=1,
+                             num_chunks=24)
+
+
+# ----------------------------------------------------------------------
+# Worker-resolvable job targets
+# ----------------------------------------------------------------------
+def _square(x: int) -> int:
+    return x * x
+
+
+def _simulate(seed: int) -> dict:
+    """Deterministic seeded computation (stand-in for a design point)."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=256)
+    return {"seed": seed, "mean": float(values.mean()),
+            "norm": float(np.linalg.norm(values))}
+
+
+def _sleepy(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def _flaky(marker: str):
+    """Fails on the first attempt, succeeds once the marker exists."""
+    path = Path(marker)
+    if path.exists():
+        return "recovered"
+    path.touch()
+    raise RuntimeError("transient failure (first attempt)")
+
+
+def _suicide() -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _unpicklable():
+    return lambda x: x
+
+
+# ----------------------------------------------------------------------
+# Job / plan / target resolution
+# ----------------------------------------------------------------------
+class TestJob:
+    def test_resolve_and_execute(self):
+        job = Job(fn="tests.test_runtime:_square", kwargs={"x": 7})
+        assert job.resolve() is _square
+        assert job.execute() == 49
+        assert job.tag == "_square"
+
+    def test_bad_target_specs(self):
+        with pytest.raises(ValueError):
+            resolve_target("no_colon_here")
+        with pytest.raises(AttributeError):
+            resolve_target("tests.test_runtime:_missing")
+        with pytest.raises(TypeError):
+            resolve_target("tests.test_runtime:FAST_ENHANCE")
+
+    def test_plan_from_configs(self):
+        configs = [SwordfishConfig(seed=s, model=TINY_CONFIG,
+                                   enhance=FAST_ENHANCE) for s in (0, 1)]
+        plan = SweepPlan.from_configs("demo", configs, metric="accuracy")
+        assert len(plan) == 2
+        assert plan.jobs[0].fn == "repro.runtime.job:run_swordfish_config"
+        assert plan.jobs[0].kwargs["metric"] == "accuracy"
+        # Tags come from the config content hash, so they differ by seed.
+        assert plan.jobs[0].tag != plan.jobs[1].tag
+        rebuilt = SwordfishConfig.from_dict(plan.jobs[0].kwargs["config"])
+        assert rebuilt == configs[0]
+
+
+class TestConfigSerialization:
+    def test_round_trip(self):
+        config = SwordfishConfig(
+            quantization="FPP 8-8", crossbar_size=256,
+            write_variation=0.2, bundle="combined", technique="rsa_kd",
+            datasets=("D2", "D3"), reads_per_dataset=4, seed=11,
+            model=TINY_CONFIG, enhance=FAST_ENHANCE,
+        )
+        data = config.to_dict()
+        # The payload must survive JSON (the runtime ships it to
+        # workers and hashes it for cache keys).
+        data = json.loads(json.dumps(data))
+        assert SwordfishConfig.from_dict(data) == config
+
+    def test_cache_key_stable_and_sensitive(self):
+        a = SwordfishConfig(model=TINY_CONFIG, enhance=FAST_ENHANCE)
+        b = SwordfishConfig(model=TINY_CONFIG, enhance=FAST_ENHANCE)
+        assert a.cache_key() == b.cache_key()
+        c = SwordfishConfig(model=TINY_CONFIG, enhance=FAST_ENHANCE,
+                            seed=99)
+        assert c.cache_key() != a.cache_key()
+        assert a.cache_key().startswith("swordfish_fpp16_16_x64_")
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_canonical_json_is_order_insensitive(self):
+        assert (canonical_json({"b": 1, "a": (1, 2)})
+                == canonical_json({"a": [1, 2], "b": 1}))
+        assert canonical_json({"e": FAST_ENHANCE}) == canonical_json(
+            {"e": dict(FAST_ENHANCE.__dict__)})
+
+    def test_job_key_salt_and_kwargs_sensitivity(self):
+        job = Job(fn="tests.test_runtime:_square", kwargs={"x": 1})
+        same = Job(fn="tests.test_runtime:_square", kwargs={"x": 1})
+        other = Job(fn="tests.test_runtime:_square", kwargs={"x": 2})
+        assert job_key(job, "s1") == job_key(same, "s1")
+        assert job_key(job, "s1") != job_key(other, "s1")
+        assert job_key(job, "s1") != job_key(job, "s2")
+        pinned = Job(fn="tests.test_runtime:_square", kwargs={"x": 1},
+                     key="explicit")
+        assert job_key(pinned, "s1") == "explicit"
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, {"value": [1.5, 2.5]})
+        assert ("ab" + "0" * 62) in cache
+        assert cache.get("ab" + "0" * 62) == {"value": [1.5, 2.5]}
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        with pytest.raises(KeyError):
+            cache.get("ab" + "0" * 62)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put(key, 42)
+        cache.path_for(key).write_bytes(b"not a pickle")
+        hit, value = cache.lookup(key)
+        assert not hit and value is None
+
+
+# ----------------------------------------------------------------------
+# Executor: serial, cache hits, retries, failures
+# ----------------------------------------------------------------------
+def _plan(n: int = 6) -> SweepPlan:
+    return SweepPlan("squares", [
+        Job(fn="tests.test_runtime:_square", kwargs={"x": i},
+            tag=f"sq/{i}") for i in range(n)
+    ])
+
+
+class TestSerialExecution:
+    def test_results_keep_plan_order(self):
+        result = SweepRunner(workers=1).run(_plan())
+        assert result.ok
+        assert result.values == [0, 1, 4, 9, 16, 25]
+        assert all(o.attempts == 1 and not o.cache_hit
+                   for o in result.outcomes)
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = SweepRunner(workers=1, cache=cache,
+                            salt="t").run(_plan())
+        assert first.summary["cache_hits"] == 0
+        assert first.summary["cache_misses"] == 6
+
+        log = tmp_path / "run2.jsonl"
+        second = SweepRunner(workers=1, cache=cache, salt="t",
+                             telemetry_path=log).run(_plan())
+        # 100% cache hits on the second run, same values.
+        assert second.summary["cache_hits"] == 6
+        assert second.summary["cache_misses"] == 0
+        assert second.values == first.values
+        assert all(o.cache_hit for o in second.outcomes)
+
+        # The telemetry JSONL records every job with cache and timing.
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        finishes = [e for e in events if e["event"] == "finish"]
+        assert len(finishes) == 6
+        for event in finishes:
+            assert event["cache"] == "hit"
+            assert event["status"] == "ok"
+            assert "wall_s" in event and "job" in event and "key" in event
+        assert events[-1]["event"] == "summary"
+        assert events[-1]["cache_hits"] == 6
+
+    def test_cross_figure_sharing(self, tmp_path):
+        """A second plan reusing a first plan's jobs hits its cache."""
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache, salt="t").run(_plan(4))
+        other = SweepPlan("other-figure", [
+            Job(fn="tests.test_runtime:_square", kwargs={"x": 2}),
+            Job(fn="tests.test_runtime:_square", kwargs={"x": 99}),
+        ])
+        result = SweepRunner(cache=cache, salt="t").run(other)
+        assert result.summary["cache_hits"] == 1
+        assert result.summary["cache_misses"] == 1
+        assert result.values == [4, 9801]
+
+    def test_retry_then_success(self, tmp_path):
+        events = []
+        telemetry = Telemetry()
+        telemetry.subscribe(events.append)
+        job = Job(fn="tests.test_runtime:_flaky",
+                  kwargs={"marker": str(tmp_path / "marker")})
+        result = SweepRunner(workers=1, retries=2, backoff=0.0,
+                             telemetry=telemetry).run(SweepPlan("f", [job]))
+        assert result.ok
+        assert result.values == ["recovered"]
+        assert result.outcomes[0].attempts == 2
+        assert [e["event"] for e in events].count("retry") == 1
+
+    def test_failure_after_retries(self):
+        job = Job(fn="tests.test_runtime:_missing_target",
+                  kwargs={})
+        result = SweepRunner(workers=1, retries=1, backoff=0.0).run(
+            SweepPlan("f", [job]))
+        assert not result.ok
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 2
+        assert "AttributeError" in outcome.error
+        with pytest.raises(SweepError):
+            result.raise_on_failure()
+
+    def test_strict_runner_raises(self):
+        runner = SweepRunner(workers=1, retries=0, strict=True)
+        with pytest.raises(SweepError):
+            runner.run(SweepPlan("f", [
+                Job(fn="tests.test_runtime:_missing_target")]))
+
+    def test_broken_hook_is_dropped_not_fatal(self):
+        telemetry = Telemetry()
+
+        def bad_hook(event):
+            raise RuntimeError("boom")
+
+        telemetry.subscribe(bad_hook)
+        result = SweepRunner(workers=1, telemetry=telemetry).run(_plan(2))
+        assert result.ok
+        assert telemetry.hook_errors
+
+
+# ----------------------------------------------------------------------
+# Executor: worker pool
+# ----------------------------------------------------------------------
+class TestParallelExecution:
+    def test_parallel_matches_serial_on_grid(self):
+        """A 4-worker run of an 8-job grid equals the serial path."""
+        jobs = [Job(fn="tests.test_runtime:_simulate",
+                    kwargs={"seed": seed}, tag=f"sim/{seed}")
+                for seed in range(8)]
+        serial = SweepRunner(workers=1).run(SweepPlan("serial", jobs))
+        parallel = SweepRunner(workers=4, retries=1).run(
+            SweepPlan("parallel", jobs))
+        assert parallel.ok
+        assert parallel.values == serial.values  # bitwise-equal floats
+
+    def test_parallel_cache_hits_second_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [Job(fn="tests.test_runtime:_simulate",
+                    kwargs={"seed": s}) for s in range(8)]
+        first = SweepRunner(workers=4, cache=cache, salt="t").run(
+            SweepPlan("p1", jobs))
+        second = SweepRunner(workers=4, cache=cache, salt="t").run(
+            SweepPlan("p2", jobs))
+        assert second.summary["cache_hits"] == 8
+        assert second.values == first.values
+
+    def test_timeout_kills_worker_and_fails_job(self):
+        jobs = [Job(fn="tests.test_runtime:_sleepy",
+                    kwargs={"seconds": 30.0}, tag="sleeper"),
+                Job(fn="tests.test_runtime:_square", kwargs={"x": 3})]
+        runner = SweepRunner(workers=2, timeout=1.0, retries=1,
+                             backoff=0.0)
+        started = time.monotonic()
+        result = runner.run(SweepPlan("t", jobs))
+        elapsed = time.monotonic() - started
+        assert elapsed < 20.0  # both attempts killed, not slept out
+        sleeper, square = result.outcomes
+        assert sleeper.status == "failed"
+        assert sleeper.attempts == 2
+        assert "timeout" in sleeper.error
+        assert square.ok and square.value == 9
+        assert result.summary["timeouts"] >= 1
+
+    def test_worker_crash_is_retried_then_failed(self):
+        job = Job(fn="tests.test_runtime:_suicide", kwargs={},
+                  tag="crasher")
+        result = SweepRunner(workers=2, retries=1, backoff=0.0).run(
+            SweepPlan("c", [job]))
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 2
+        assert "worker died" in outcome.error
+        assert result.summary["retries"] == 1
+
+    def test_unpicklable_result_is_an_error_not_a_hang(self):
+        job = Job(fn="tests.test_runtime:_unpicklable", kwargs={})
+        result = SweepRunner(workers=2, retries=0).run(SweepPlan("u", [job]))
+        assert result.outcomes[0].status == "failed"
+
+    def test_fallback_to_serial_when_pool_unavailable(self, monkeypatch):
+        import repro.runtime.executor as executor
+
+        def broken_pool(self, plan, count):
+            self.telemetry.emit("fallback", plan=plan.name,
+                                reason="forced by test")
+            return None
+
+        monkeypatch.setattr(executor.SweepRunner, "_start_pool",
+                            broken_pool)
+        events = []
+        telemetry = Telemetry()
+        telemetry.subscribe(events.append)
+        result = SweepRunner(workers=4, telemetry=telemetry).run(_plan(3))
+        assert result.ok
+        assert result.values == [0, 1, 4]
+        assert any(e["event"] == "fallback" for e in events)
+
+
+# ----------------------------------------------------------------------
+# Determinism across process boundaries
+# ----------------------------------------------------------------------
+class TestProcessDeterminism:
+    def test_subprocess_matches_in_process(self, tiny_trained, monkeypatch):
+        """The same seeded config is bitwise-identical in a worker."""
+        import repro.core.framework as fw
+        from repro.basecaller import BonitoModel
+
+        def fake_default_model(config=None):
+            clone = BonitoModel(TINY_CONFIG)
+            clone.load_state_dict(tiny_trained.state_dict())
+            clone.eval()
+            return clone
+
+        monkeypatch.setattr(fw, "default_model", fake_default_model)
+
+        config = SwordfishConfig(
+            technique="none", bundle="write_only", datasets=("D1",),
+            reads_per_dataset=2, seed=5, model=TINY_CONFIG,
+            enhance=FAST_ENHANCE,
+        )
+        plan = SweepPlan.from_configs("determinism", [config],
+                                      metric="accuracy")
+        in_process = SweepRunner(workers=1).run(plan)
+        subprocess = SweepRunner(workers=2, retries=0).run(plan)
+        assert in_process.ok and subprocess.ok
+        # Bitwise-identical accuracy metrics across the process boundary.
+        assert subprocess.values[0] == in_process.values[0]
+
+
+# ----------------------------------------------------------------------
+# Figure integration + CLI
+# ----------------------------------------------------------------------
+class TestFigureIntegration:
+    def test_figure_grid_through_cache(self, tmp_path):
+        """fig14's grid through the runtime: second run = 100% hits."""
+        from repro.experiments import fig14_throughput
+
+        cache = ResultCache(tmp_path)
+        first = fig14_throughput.run(
+            datasets=("D1",),
+            runner=SweepRunner(cache=cache, salt="t"))
+        log = tmp_path / "events.jsonl"
+        second = fig14_throughput.run(
+            datasets=("D1",),
+            runner=SweepRunner(cache=cache, salt="t",
+                               telemetry_path=log))
+        assert second.rows == first.rows
+        events = [json.loads(line)
+                  for line in log.read_text().splitlines()]
+        finishes = [e for e in events if e["event"] == "finish"]
+        assert finishes and all(e["cache"] == "hit" for e in finishes)
+
+    def test_registry_covers_every_figure(self):
+        from repro.runtime import FIGURES
+        assert set(FIGURES) == {"fig01", "tab03", "fig07", "fig08",
+                                "fig09", "fig10", "fig11", "fig12",
+                                "fig13", "fig14", "fig15"}
+
+    def test_cli_list_and_cache(self, tmp_path, capsys):
+        from repro.runtime.cli import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "fig14" in out
+
+        ResultCache(tmp_path).put("ef" + "2" * 62, 1)
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "1 cached results" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", str(tmp_path),
+                     "--clear"]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+
+    def test_cli_run_fig14(self, tmp_path, capsys):
+        from repro.runtime.cli import main
+        code = main(["run", "fig14",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--telemetry", str(tmp_path / "run.jsonl"),
+                     "--save", str(tmp_path / "results")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 14" in out
+        saved = tmp_path / "results" / "fig14_throughput.json"
+        assert saved.exists()
+        record = json.loads(saved.read_text())
+        assert record["experiment_id"] == "fig14_throughput"
+        assert (tmp_path / "run.jsonl").exists()
