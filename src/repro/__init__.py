@@ -15,7 +15,7 @@ Subpackages
                       result cache, telemetry, CLI.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import nn, genomics, basecaller, crossbar, arch, core, runtime
 

@@ -223,12 +223,7 @@ def rsa_online_retrain(deployed: DeployedModel, chunks: Sequence[Chunk],
                   if hasattr(layer, "weight_hh") else [layer.weight])
         banks = deployed.banks[name]
         for param, bank, eff in zip(params, banks, effective[name]):
-            mask = np.zeros(param.data.shape, dtype=bool)
-            size = bank.config.size
-            for i, tile_row in enumerate(bank.tiles):
-                for j, tile in enumerate(tile_row):
-                    mask[i * size:i * size + tile.rows,
-                         j * size:j * size + tile.cols] = tile.sram_mask
+            mask = bank.sram_matrix()
             param_info.append((param, param.data.copy(), mask))
             param.data = eff.copy()
 
@@ -306,7 +301,8 @@ def build_design(base_model: BonitoModel, technique: str,
                  chunks: Sequence[Chunk] | None = None,
                  seed: int = 0,
                  use_cache: bool = True,
-                 cache_tag: str = "") -> EnhancedDesign:
+                 cache_tag: str = "",
+                 backend: str | None = None) -> EnhancedDesign:
     """Compose a technique stack into a deployable design.
 
     ``base_model`` is consumed (retrained/hooked in place); pass a fresh
@@ -314,7 +310,9 @@ def build_design(base_model: BonitoModel, technique: str,
     incoming (pre-retraining) model, mirroring the paper's FP32 teacher.
     ``cache_tag`` must distinguish callers whose ``base_model`` state
     differs in ways the other key fields cannot see (e.g. the
-    quantization applied before retraining).
+    quantization applied before retraining).  ``backend`` selects the
+    VMM execution engine of the deployed banks (see
+    ``repro.crossbar.engine``); results are backend-independent.
     """
     if isinstance(bundle, str):
         bundle = get_bundle(bundle)
@@ -354,7 +352,8 @@ def build_design(base_model: BonitoModel, technique: str,
                    if uses_wrv else None)
     deployed = DeployedModel(base_model, bundle, crossbar_size=crossbar_size,
                              write_variation=write_variation,
-                             programming=programming, seed=seed)
+                             programming=programming, seed=seed,
+                             backend=backend)
 
     sram_fraction = 0.0
     if technique in ("rsa_kd", "all"):

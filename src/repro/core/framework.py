@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass, field
 
 from ..arch import ArchConfig, GPUConfig
 from ..basecaller import BonitoConfig, BonitoModel, default_model
+from ..crossbar import BACKENDS
 from ..nn import QuantizedModel, get_quant_config
 from .enhance import EnhanceConfig, EnhancedDesign, TECHNIQUES, build_design
 from .evaluator import DesignMetrics, SystemEvaluator
@@ -40,6 +41,10 @@ class SwordfishConfig:
     seed: int = 0
     model: BonitoConfig = field(default_factory=BonitoConfig)
     enhance: EnhanceConfig = field(default_factory=EnhanceConfig)
+    #: VMM execution backend for the deployed banks ("loop"/"batched");
+    #: None defers to SWORDFISH_VMM_BACKEND.  Results are
+    #: backend-independent, so this is a performance knob only.
+    vmm_backend: str | None = None
 
     def __post_init__(self) -> None:
         get_quant_config(self.quantization)  # validate early
@@ -47,6 +52,11 @@ class SwordfishConfig:
             raise ValueError(f"unknown bundle {self.bundle!r}")
         if self.technique not in TECHNIQUES:
             raise ValueError(f"unknown technique {self.technique!r}")
+        if self.vmm_backend is not None and self.vmm_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown VMM backend {self.vmm_backend!r}; "
+                f"available: {sorted(BACKENDS)}"
+            )
 
     # ------------------------------------------------------------------
     # Serialization (run provenance, runtime cache keys, cross-process
@@ -85,9 +95,13 @@ class SwordfishConfig:
 
         Human-skimmable prefix plus a digest of the canonical
         serialization — equal configs hash equal across processes and
-        sessions, and any field change changes the key.
+        sessions, and any result-affecting field change changes the
+        key.  ``vmm_backend`` is excluded: backends are numerically
+        equivalent, so it must never split the cache.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True,
+        payload = self.to_dict()
+        payload.pop("vmm_backend", None)
+        canonical = json.dumps(payload, sort_keys=True,
                                separators=(",", ":"))
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
         quant = self.quantization.replace(" ", "").replace("-", "_").lower()
@@ -132,6 +146,7 @@ class Swordfish:
             config=config.enhance,
             teacher=teacher,
             seed=config.seed,
+            backend=config.vmm_backend,
         )
 
     def run(self, config: SwordfishConfig) -> DesignMetrics:

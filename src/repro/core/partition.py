@@ -18,6 +18,7 @@ import numpy as np
 
 from ..arch import LayerStage
 from ..basecaller import BonitoModel
+from ..crossbar import tile_grid
 from .. import nn
 
 __all__ = ["LayerMapping", "NetworkMapping", "partition_network"]
@@ -89,11 +90,6 @@ class NetworkMapping:
         return stages
 
 
-def _grid(shape: tuple[int, int], size: int) -> tuple[int, int]:
-    rows, cols = shape
-    return (-(-rows // size), -(-cols // size))
-
-
 def partition_network(model: BonitoModel, crossbar_size: int,
                       samples_per_base: float = 5.0) -> NetworkMapping:
     """Compute the crossbar mapping of a :class:`BonitoModel`.
@@ -124,7 +120,7 @@ def partition_network(model: BonitoModel, crossbar_size: int,
             name=f"conv{conv_index}",
             kind="conv",
             weight_shapes=shapes,
-            tile_grids=tuple(_grid(s, crossbar_size) for s in shapes),
+            tile_grids=tuple(tile_grid(s, crossbar_size) for s in shapes),
             serial_vmms=1,
             rate=rate,
         ))
@@ -136,7 +132,7 @@ def partition_network(model: BonitoModel, crossbar_size: int,
             name=f"lstm{i}",
             kind="lstm",
             weight_shapes=shapes,
-            tile_grids=tuple(_grid(s, crossbar_size) for s in shapes),
+            tile_grids=tuple(tile_grid(s, crossbar_size) for s in shapes),
             # The input projection is feedforward and pipelines ahead;
             # only the recurrent VMM serializes with the frame stream.
             serial_vmms=1,
@@ -149,7 +145,7 @@ def partition_network(model: BonitoModel, crossbar_size: int,
             name="skip",
             kind="linear",
             weight_shapes=shapes,
-            tile_grids=tuple(_grid(s, crossbar_size) for s in shapes),
+            tile_grids=tuple(tile_grid(s, crossbar_size) for s in shapes),
             serial_vmms=1,
             rate=1.0,
         ))
@@ -159,7 +155,7 @@ def partition_network(model: BonitoModel, crossbar_size: int,
         name="decoder",
         kind="linear",
         weight_shapes=shapes,
-        tile_grids=tuple(_grid(s, crossbar_size) for s in shapes),
+        tile_grids=tuple(tile_grid(s, crossbar_size) for s in shapes),
         serial_vmms=1,
         rate=1.0,
     ))

@@ -81,12 +81,17 @@ class DeployedModel:
         Optional programming scheme (R-V-W mitigation plugs in here).
     seed:
         Seed for all programming-time and per-call noise.
+    backend:
+        VMM execution backend for every bank (``"loop"`` /
+        ``"batched"``); ``None`` defers to the crossbar config and the
+        ``SWORDFISH_VMM_BACKEND`` environment variable.  Results are
+        backend-independent (per-tile RNG streams).
     """
 
     def __init__(self, model: BonitoModel, bundle: NonidealityBundle,
                  crossbar_size: int = 64, write_variation: float = 0.10,
                  programming: ProgrammingScheme | None = None,
-                 seed: int = 0):
+                 seed: int = 0, backend: str | None = None):
         self.model = model
         self.bundle = bundle
         self.crossbar_size = crossbar_size
@@ -108,7 +113,7 @@ class DeployedModel:
                                        self._rng)
                 banks.append(CrossbarBank(w, config, self._rng,
                                           programming=programming,
-                                          name=name))
+                                          name=name, backend=backend))
             self.banks[name] = banks
         self.model.set_matmul_hook(self._matmul)
 
@@ -173,6 +178,18 @@ class DeployedModel:
             for bank in banks:
                 bank.reprogram(self._rng)
 
+    @property
+    def engines(self) -> dict[str, list]:
+        """Per-layer :class:`~repro.crossbar.TileEngine` instances."""
+        return {name: [bank.engine for bank in banks]
+                for name, banks in self.banks.items()}
+
+    def set_backend(self, backend: str | None) -> None:
+        """Switch every bank's VMM execution backend in place."""
+        for banks in self.banks.values():
+            for bank in banks:
+                bank.set_backend(backend)
+
     def release(self) -> BonitoModel:
         """Detach the hook; the model computes exact VMMs again."""
         self.model.set_matmul_hook(None)
@@ -181,9 +198,11 @@ class DeployedModel:
 
 def deploy(model: BonitoModel, bundle: NonidealityBundle,
            crossbar_size: int = 64, write_variation: float = 0.10,
-           use_wrv: bool = False, seed: int = 0) -> DeployedModel:
+           use_wrv: bool = False, seed: int = 0,
+           backend: str | None = None) -> DeployedModel:
     """Convenience constructor for a deployed design point."""
     programming = WriteReadVerify() if use_wrv else None
     return DeployedModel(model, bundle, crossbar_size=crossbar_size,
                          write_variation=write_variation,
-                         programming=programming, seed=seed)
+                         programming=programming, seed=seed,
+                         backend=backend)

@@ -25,6 +25,18 @@ from .adc import ADCConfig, apply_adc
 from .programming import ProgrammingScheme, SetResetProgramming, WriteReadVerify
 from .drift import DriftConfig, apply_retention_drift, RefreshPolicy
 from .crossbar import CrossbarConfig, CrossbarTile, CrossbarBank
+from .engine import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ENV_BACKEND,
+    TileEngine,
+    TileStacks,
+    available_backends,
+    iter_tile_blocks,
+    resolve_backend,
+    spawn_generators,
+    tile_grid,
+)
 from .library import MeasurementLibrary
 
 __all__ = [
@@ -38,5 +50,8 @@ __all__ = [
     "ProgrammingScheme", "SetResetProgramming", "WriteReadVerify",
     "DriftConfig", "apply_retention_drift", "RefreshPolicy",
     "CrossbarConfig", "CrossbarTile", "CrossbarBank",
+    "BACKENDS", "DEFAULT_BACKEND", "ENV_BACKEND",
+    "TileEngine", "TileStacks", "available_backends",
+    "iter_tile_blocks", "resolve_backend", "spawn_generators", "tile_grid",
     "MeasurementLibrary",
 ]

@@ -44,7 +44,7 @@ class ADCConfig:
 
 
 def apply_adc(outputs: np.ndarray, config: ADCConfig,
-              full_scale: float,
+              full_scale: float | np.ndarray,
               rng: np.random.Generator | None = None,
               gain: np.ndarray | None = None,
               offset: np.ndarray | None = None) -> np.ndarray:
@@ -52,10 +52,14 @@ def apply_adc(outputs: np.ndarray, config: ADCConfig,
 
     ``full_scale`` is the hardware's fixed sensing range in the same
     units as ``outputs`` (callers derive it from the tile geometry, not
-    from the data, because a real ADC cannot adapt per input).
+    from the data, because a real ADC cannot adapt per input).  It may
+    be a scalar, or — for stacked ``(tiles, batch, cols)`` outputs — an
+    array broadcastable against ``outputs`` (one range per tile).  When
+    ``outputs`` is stacked, pass pre-drawn stacked ``gain``/``offset``
+    mismatch instead of ``rng`` (a single draw cannot cover all tiles).
     """
     y = np.asarray(outputs, dtype=np.float64)
-    if full_scale <= 0:
+    if not np.all(np.asarray(full_scale) > 0):
         raise ValueError("full_scale must be positive")
 
     if gain is None and config.gain_std > 0 and rng is not None:
@@ -76,6 +80,13 @@ def apply_adc(outputs: np.ndarray, config: ADCConfig,
     y = np.clip(y, -full_scale, full_scale)  # saturation
 
     if config.bits is not None:
+        # ``y`` is fresh after the clip, so quantization runs in place
+        # with the same per-element operation order as
+        # round(y / full_scale * levels) / levels * full_scale.
         levels = 2 ** (config.bits - 1) - 1
-        y = np.round(y / full_scale * levels) / levels * full_scale
+        y /= full_scale
+        y *= levels
+        np.round(y, out=y)
+        y /= levels
+        y *= full_scale
     return y

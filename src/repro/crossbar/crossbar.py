@@ -31,6 +31,13 @@ from .device import (
     conductance_to_weight,
     weight_to_conductance,
 )
+from .engine import (
+    BACKENDS,
+    TileEngine,
+    iter_tile_blocks,
+    spawn_generators,
+    tile_grid,
+)
 from .noise import (
     VariationConfig,
     apply_device_variation,
@@ -45,7 +52,13 @@ __all__ = ["CrossbarConfig", "CrossbarTile", "CrossbarBank"]
 
 @dataclass(frozen=True)
 class CrossbarConfig:
-    """Complete description of one crossbar design point."""
+    """Complete description of one crossbar design point.
+
+    ``backend`` selects the bank-level VMM execution engine: ``"loop"``
+    (per-tile reference path) or ``"batched"`` (vectorized, default).
+    ``None`` defers to the ``SWORDFISH_VMM_BACKEND`` environment
+    variable, falling back to ``"batched"``.
+    """
 
     size: int = 64
     device: DeviceConfig = field(default_factory=DeviceConfig)
@@ -53,10 +66,16 @@ class CrossbarConfig:
     wire: WireConfig = field(default_factory=WireConfig)
     dac: DACConfig = field(default_factory=DACConfig)
     adc: ADCConfig = field(default_factory=ADCConfig)
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.size < 2:
             raise ValueError("crossbar size must be >= 2")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown VMM backend {self.backend!r}; "
+                f"available: {sorted(BACKENDS)}"
+            )
 
     def ideal(self) -> "CrossbarConfig":
         """A copy of this design with every non-ideality disabled."""
@@ -73,6 +92,7 @@ class CrossbarConfig:
             wire=WireConfig(0.0, 0.0),
             dac=DACConfig(bits=None),
             adc=ADCConfig(bits=None, range_headroom=1e6),
+            backend=self.backend,
         )
 
 
@@ -232,32 +252,66 @@ class CrossbarBank:
     Partial sums across row-tiles are accumulated digitally after each
     tile's ADC — so per-tile quantization/saturation errors add, which
     is why larger matrices (and larger tiles) lose more accuracy.
+
+    Every tile owns an independent RNG stream spawned from ``rng`` (a
+    :class:`~numpy.random.Generator`, :class:`~numpy.random.SeedSequence`
+    or integer seed), so neither the execution backend nor the tile
+    evaluation order can change which noise a tile draws.  Execution is
+    delegated to a :class:`~repro.crossbar.engine.TileEngine`; tile
+    state must be mutated through the bank's methods (``assign_sram``,
+    ``update_sram_weights``, ``reprogram``, ``age``) — or followed by
+    :meth:`sync_engine` — so the engine's stacked arrays stay current.
     """
 
     def __init__(self, weights: np.ndarray, config: CrossbarConfig,
-                 rng: np.random.Generator,
+                 rng: np.random.Generator | np.random.SeedSequence | int,
                  programming: ProgrammingScheme | None = None,
-                 name: str = "bank"):
+                 name: str = "bank",
+                 backend: str | None = None):
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
             raise ValueError("bank weights must be 2-D")
         self.name = name
         self.config = config
         self.shape = weights.shape
-        size = config.size
+        self.grid = tile_grid(weights.shape, config.size)
         w_max = max(float(np.abs(weights).max()), 1e-9)
-        self.tiles: list[list[CrossbarTile]] = []
-        for r0 in range(0, weights.shape[0], size):
-            row: list[CrossbarTile] = []
-            for c0 in range(0, weights.shape[1], size):
-                block = weights[r0:r0 + size, c0:c0 + size]
-                row.append(CrossbarTile(block, config, rng,
-                                        programming=programming, w_max=w_max))
-            self.tiles.append(row)
+        self._rng_source = self._as_spawnable(rng)
+        children = spawn_generators(self._rng_source,
+                                    self.grid[0] * self.grid[1])
+        self.tiles: list[list[CrossbarTile]] = [
+            [] for _ in range(self.grid[0])]
+        for (i, _, row_slice, col_slice), child in zip(
+                iter_tile_blocks(weights.shape, config.size), children):
+            self.tiles[i].append(
+                CrossbarTile(weights[row_slice, col_slice], config, child,
+                             programming=programming, w_max=w_max))
+        self.engine = TileEngine(self, backend=backend)
+
+    @staticmethod
+    def _as_spawnable(rng):
+        """Normalize the RNG argument to a stateful spawn source."""
+        if isinstance(rng, (int, np.integer)):
+            return np.random.SeedSequence(int(rng))
+        return rng
 
     @property
     def num_tiles(self) -> int:
         return sum(len(row) for row in self.tiles)
+
+    @property
+    def backend(self) -> str:
+        """The resolved VMM execution backend of this bank."""
+        return self.engine.backend
+
+    def set_backend(self, backend: str | None) -> None:
+        """Switch execution backend (``None`` → env var / default)."""
+        self.engine.set_backend(backend)
+
+    def sync_engine(self) -> None:
+        """Force a full engine re-sync after direct tile mutation."""
+        self.engine.sync_sram()
+        self.engine.sync_effective()
 
     def vmm(self, inputs: np.ndarray) -> np.ndarray:
         """Tiled non-ideal VMM over the full matrix."""
@@ -266,50 +320,64 @@ class CrossbarBank:
             raise ValueError(
                 f"input width {x.shape[-1]} != matrix rows {self.shape[0]}"
             )
-        size = self.config.size
-        out = np.zeros((x.shape[0], self.shape[1]))
-        for i, tile_row in enumerate(self.tiles):
-            x_block = x[:, i * size:(i + 1) * size]
-            col = 0
-            for tile in tile_row:
-                out[:, col:col + tile.cols] += tile.vmm(x_block)
-                col += tile.cols
-        return out
+        return self.engine.execute(x)
 
     def assign_sram(self, fraction: float, use_knowledge: bool = True) -> int:
-        """Apply RSA to every tile; returns total remapped cells."""
-        return sum(tile.assign_sram(fraction, use_knowledge)
-                   for row in self.tiles for tile in row)
+        """Apply RSA to every tile; returns total remapped cells.
+
+        Knowledge-based placement ranks cells by the engine's stacked
+        per-tile error severities (|achieved − ideal|), so no per-tile
+        effective matrices are recomputed.
+        """
+        severity = (self.engine.severity_stack() if use_knowledge else None)
+        moved = 0
+        for t, tile in enumerate(self._flat_tiles()):
+            tile.sram_mask = sample_error_prone_map(
+                (tile.rows, tile.cols), fraction, tile._rng,
+                severity=(severity[t, :tile.rows, :tile.cols]
+                          if severity is not None else None),
+            )
+            moved += int(tile.sram_mask.sum())
+        self.engine.sync_sram()
+        return moved
 
     def update_sram_weights(self, weights: np.ndarray) -> None:
         """Push updated weights into each tile's SRAM-resident cells."""
         weights = np.asarray(weights, dtype=np.float64)
-        size = self.config.size
-        for i, tile_row in enumerate(self.tiles):
-            for j, tile in enumerate(tile_row):
-                block = weights[i * size:i * size + tile.rows,
-                                j * size:j * size + tile.cols]
-                tile.update_sram_weights(block)
+        for (_, _, row_slice, col_slice), tile in zip(
+                iter_tile_blocks(self.shape, self.config.size),
+                self._flat_tiles()):
+            tile.update_sram_weights(weights[row_slice, col_slice])
+        self.engine.sync_sram()
 
-    def reprogram(self, rng: np.random.Generator | None = None) -> None:
-        for row in self.tiles:
-            for tile in row:
-                tile.reprogram(rng)
+    def reprogram(self, rng: np.random.Generator | np.random.SeedSequence
+                  | int | None = None) -> None:
+        """Fresh programming pass over every tile (new noise draws)."""
+        if rng is not None:
+            self._rng_source = self._as_spawnable(rng)
+        children = spawn_generators(self._rng_source, self.num_tiles)
+        for tile, child in zip(self._flat_tiles(), children):
+            tile.reprogram(child)
+        self.engine.sync_effective()
 
     def age(self, elapsed_s: float, drift_config) -> None:
         """Apply retention drift to every tile (see CrossbarTile.age)."""
-        for row in self.tiles:
-            for tile in row:
-                tile.age(elapsed_s, drift_config)
+        for tile in self._flat_tiles():
+            tile.age(elapsed_s, drift_config)
+        self.engine.sync_effective()
 
     def effective_matrix(self) -> np.ndarray:
         """The weight matrix the analog array actually implements."""
-        out = np.zeros(self.shape)
-        size = self.config.size
-        for i, tile_row in enumerate(self.tiles):
-            for j, tile in enumerate(tile_row):
-                block = np.where(tile.sram_mask, tile.ideal_weights,
-                                 tile.effective_weights)
-                out[i * size:i * size + tile.rows,
-                    j * size:j * size + tile.cols] = block
-        return out
+        return self.engine.effective_matrix()
+
+    def error_severity(self) -> np.ndarray:
+        """Full-matrix |achieved − ideal| weight error."""
+        return self.engine.error_severity()
+
+    def sram_matrix(self) -> np.ndarray:
+        """Full-matrix boolean mask of SRAM-resident weights."""
+        return self.engine.sram_matrix()
+
+    def _flat_tiles(self):
+        for row in self.tiles:
+            yield from row

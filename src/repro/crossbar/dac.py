@@ -43,37 +43,63 @@ class DACConfig:
 def apply_dac(inputs: np.ndarray, config: DACConfig,
               rng: np.random.Generator | None = None,
               gain: np.ndarray | None = None,
-              offset: np.ndarray | None = None) -> np.ndarray:
+              offset: np.ndarray | None = None,
+              scale: float | np.ndarray | None = None,
+              active_rows: float | np.ndarray | None = None) -> np.ndarray:
     """Convert ideal digital inputs to the voltages actually driven.
 
     ``inputs`` is ``(batch, rows)`` in weight-domain units (assumed
-    pre-scaled so ``|x| <= v_max`` corresponds to full scale).  ``gain``
-    and ``offset`` allow callers to freeze per-row mismatch across
-    calls (tile-static mismatch); otherwise fresh mismatch is drawn per
-    call when a generator is supplied.
+    pre-scaled so ``|x| <= v_max`` corresponds to full scale), or any
+    stacked layout ``(tiles, batch, rows)`` whose last axis is the row
+    dimension.  ``gain`` and ``offset`` allow callers to freeze per-row
+    mismatch across calls (tile-static mismatch) or to supply per-tile
+    stacked mismatch; otherwise fresh mismatch is drawn per call when a
+    generator is supplied.
+
+    ``scale`` overrides the full-scale normalization (a scalar, or an
+    array broadcastable against ``inputs`` — e.g. per-tile scales for a
+    stacked pass; default: the global input magnitude).  ``active_rows``
+    is the number of *real* rows per slice for the shared-driver demand
+    average — required for zero-padded stacked inputs, where a plain
+    mean over the padded axis would understate the demand.
     """
     x = np.asarray(inputs, dtype=np.float64)
-    scale = max(float(np.abs(x).max()), 1e-12)
-    v = x / scale * config.v_max
+    if scale is None:
+        scale = max(float(np.abs(x).max()), 1e-12)
+    # ``v`` is a fresh array from here on, so the arithmetic below runs
+    # in place (one temporary for the whole chain) while keeping the
+    # exact per-element operation order.
+    v = x / scale
+    v *= config.v_max
 
     if config.bits is not None:
         levels = 2 ** (config.bits - 1) - 1
-        v = np.round(v / config.v_max * levels) / levels * config.v_max
+        v /= config.v_max
+        v *= levels
+        np.round(v, out=v)
+        v /= levels
+        v *= config.v_max
 
     if gain is None and config.gain_std > 0 and rng is not None:
         gain = 1.0 + rng.standard_normal(x.shape[-1]) * config.gain_std
     if offset is None and config.offset_std > 0 and rng is not None:
         offset = rng.standard_normal(x.shape[-1]) * config.offset_std * config.v_max
     if gain is not None:
-        v = v * gain
+        v *= gain
     if offset is not None:
-        v = v + offset
+        v += offset
 
     if config.r_load > 0:
         # Shared-driver sag: the more total drive the array demands, the
         # lower every delivered voltage (R_Load forms a divider with the
         # array's input impedance).
-        demand = np.abs(v).mean(axis=-1, keepdims=True) / config.v_max
-        v = v / (1.0 + config.r_load * demand)
+        if active_rows is None:
+            demand = np.abs(v).mean(axis=-1, keepdims=True) / config.v_max
+        else:
+            demand = (np.abs(v).sum(axis=-1, keepdims=True)
+                      / active_rows / config.v_max)
+        v /= 1.0 + config.r_load * demand
 
-    return v / config.v_max * scale  # back to weight-domain units
+    v /= config.v_max
+    v *= scale  # back to weight-domain units
+    return v

@@ -1,0 +1,445 @@
+"""Batched tile-engine: bank-level execution backends for non-ideal VMMs.
+
+Every accuracy experiment funnels through :meth:`CrossbarBank.vmm`; the
+historical implementation looped over tiles in Python and re-ran the
+DAC → conductance → ADC chain once per tile per call.  This module
+inverts that data layout (the RxNN / DNN+NeuroSim approach): a
+:class:`TileEngine` pre-stacks the bank's per-tile effective
+conductances, SRAM masks, and geometry into contiguous ``(tiles, size,
+size)`` arrays and executes the whole bank as one vectorized pass —
+batched DAC, read noise, IR droop, sneak leakage, and ADC across all
+tiles at once — without changing the modeled physics.
+
+Two backends are registered:
+
+* ``"loop"``    — the reference path: per-tile :meth:`CrossbarTile.vmm`
+  calls, exactly the pre-refactor code.  Authoritative for physics.
+* ``"batched"`` — the vectorized default.  Numerically equivalent to
+  the loop backend (same per-tile RNG streams, same operation order per
+  element; see ``tests/test_engine.py`` for the tolerance contract).
+
+Selection: ``CrossbarConfig.backend`` wins when set; otherwise the
+``SWORDFISH_VMM_BACKEND`` environment variable; otherwise ``"batched"``.
+
+Equivalence rests on per-tile RNG streams: each tile owns an
+independent :class:`numpy.random.Generator` spawned from the bank's
+seed (see :func:`spawn_generators`), so neither the backend choice nor
+the tile evaluation order can change which noise a tile sees.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+import numpy as np
+
+from .adc import apply_adc
+from .dac import apply_dac
+from .wires import dynamic_droop, sneak_leakage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .crossbar import CrossbarBank
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ENV_BACKEND",
+    "TileEngine",
+    "TileStacks",
+    "available_backends",
+    "iter_tile_blocks",
+    "resolve_backend",
+    "spawn_generators",
+    "tile_grid",
+]
+
+ENV_BACKEND = "SWORDFISH_VMM_BACKEND"
+DEFAULT_BACKEND = "batched"
+
+
+# ----------------------------------------------------------------------
+# Tile geometry (shared with repro.core.partition)
+# ----------------------------------------------------------------------
+
+def tile_grid(shape: tuple[int, int], size: int) -> tuple[int, int]:
+    """Number of (row, column) tile blocks covering a weight matrix."""
+    rows, cols = shape
+    return (-(-rows // size), -(-cols // size))
+
+
+def iter_tile_blocks(shape: tuple[int, int], size: int
+                     ) -> Iterator[tuple[int, int, slice, slice]]:
+    """Yield ``(block_row, block_col, row_slice, col_slice)`` row-major.
+
+    Every block except the last of each axis spans the full ``size``;
+    the trailing blocks are ragged when the matrix does not divide
+    evenly — the same tiling :class:`CrossbarBank` programs and
+    ``repro.core.partition`` counts.
+    """
+    rows, cols = shape
+    grid_rows, grid_cols = tile_grid(shape, size)
+    for i in range(grid_rows):
+        row_slice = slice(i * size, min((i + 1) * size, rows))
+        for j in range(grid_cols):
+            col_slice = slice(j * size, min((j + 1) * size, cols))
+            yield i, j, row_slice, col_slice
+
+
+# ----------------------------------------------------------------------
+# Per-tile RNG streams
+# ----------------------------------------------------------------------
+
+def spawn_generators(rng, n: int) -> list[np.random.Generator]:
+    """``n`` independent child generators derived from ``rng``.
+
+    Accepts a :class:`~numpy.random.Generator`, a
+    :class:`~numpy.random.SeedSequence`, or an integer seed.  Children
+    come from SeedSequence spawning, so each stream is statistically
+    independent and — crucially — insensitive to how many draws any
+    *other* stream has consumed.  Generators built without a seed
+    sequence (raw bit-generator state) fall back to seeding children
+    from drawn entropy.
+    """
+    if n < 0:
+        raise ValueError("cannot spawn a negative number of generators")
+    if isinstance(rng, np.random.SeedSequence):
+        return [np.random.default_rng(child) for child in rng.spawn(n)]
+    if isinstance(rng, (int, np.integer)):
+        seq = np.random.SeedSequence(int(rng))
+        return [np.random.default_rng(child) for child in seq.spawn(n)]
+    if isinstance(rng, np.random.Generator):
+        try:
+            return list(rng.spawn(n))
+        except (AttributeError, TypeError, ValueError):
+            return [np.random.default_rng(int(rng.integers(2 ** 63)))
+                    for _ in range(n)]
+    raise TypeError(f"cannot spawn generators from {type(rng).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+def resolve_backend(preference: str | None = None) -> str:
+    """Resolve a backend name: explicit config > env var > default."""
+    name = preference
+    if name is None:
+        name = os.environ.get(ENV_BACKEND) or DEFAULT_BACKEND
+    name = name.strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown VMM backend {name!r}; available: {sorted(BACKENDS)}"
+        )
+    return name
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(sorted(BACKENDS))
+
+
+# ----------------------------------------------------------------------
+# Stacked per-bank state
+# ----------------------------------------------------------------------
+
+@dataclass
+class TileStacks:
+    """Contiguous ``(tiles, size, size)`` mirrors of a bank's tiles.
+
+    ``effective``/``ideal``/``sram`` are zero-padded copies of the
+    per-tile arrays; ``analog`` and ``digital`` are the derived operands
+    the batched VMM actually consumes (SRAM-resident cells contribute
+    digitally, everything else through the analog array).  Padded cells
+    are zero in every operand, so they can never contribute to an
+    output column.
+    """
+
+    effective: np.ndarray      # (T, S, S) float64, zero-padded
+    ideal: np.ndarray          # (T, S, S) float64, zero-padded
+    sram: np.ndarray           # (T, S, S) bool
+    analog: np.ndarray         # (T, S, S) = where(sram, 0, effective)
+    digital: np.ndarray        # (T, S, S) = where(sram, ideal, 0)
+    rows: np.ndarray           # (T,) float64 — true (unpadded) tile rows
+    cols: np.ndarray           # (T,) int64 — true tile cols
+    w_max: np.ndarray          # (T,) float64
+    row_block: np.ndarray      # (T,) int64 — which input slice feeds the tile
+    has_sram: bool
+
+    def refresh_derived(self) -> None:
+        """Recompute ``analog``/``digital`` in place after a sync."""
+        np.copyto(self.analog, self.effective)
+        self.analog[self.sram] = 0.0
+        self.digital.fill(0.0)
+        self.digital[self.sram] = self.ideal[self.sram]
+        self.has_sram = bool(self.sram.any())
+
+
+class TileEngine:
+    """Executes a :class:`CrossbarBank`'s VMM through a chosen backend.
+
+    The engine owns the stacked mirrors (:class:`TileStacks`) and the
+    scratch buffers of the batched pass; the bank's
+    :class:`CrossbarTile` objects stay authoritative for programming
+    physics and for the ``"loop"`` reference backend.  Bank methods
+    that mutate tile state (RSA assignment, SRAM weight updates,
+    reprogramming, retention drift) call :meth:`sync_sram` /
+    :meth:`sync_effective` so the stacks are updated in place.
+    """
+
+    def __init__(self, bank: "CrossbarBank", backend: str | None = None):
+        self.bank = bank
+        self.config = bank.config
+        self.tiles = [tile for row in bank.tiles for tile in row]
+        self.grid = bank.grid
+        self.backend = resolve_backend(
+            backend if backend is not None else bank.config.backend)
+        self._stacks: TileStacks | None = None
+        # Scratch buffers for the batched pass (lazily allocated, reused
+        # across calls; shapes depend only on tile count and size).
+        self._dac_gain: np.ndarray | None = None
+        self._dac_offset: np.ndarray | None = None
+        self._read_jitter: np.ndarray | None = None
+        self._adc_gain: np.ndarray | None = None
+        self._adc_offset: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Stack maintenance
+    # ------------------------------------------------------------------
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    def stacks(self) -> TileStacks:
+        """The stacked mirrors, built on first use."""
+        if self._stacks is None:
+            self._stacks = self._build_stacks()
+        return self._stacks
+
+    def _build_stacks(self) -> TileStacks:
+        size = self.config.size
+        count = len(self.tiles)
+        grid_cols = self.grid[1]
+        effective = np.zeros((count, size, size))
+        ideal = np.zeros((count, size, size))
+        sram = np.zeros((count, size, size), dtype=bool)
+        rows = np.zeros(count)
+        cols = np.zeros(count, dtype=np.int64)
+        w_max = np.zeros(count)
+        row_block = np.zeros(count, dtype=np.int64)
+        for t, tile in enumerate(self.tiles):
+            effective[t, :tile.rows, :tile.cols] = tile.effective_weights
+            ideal[t, :tile.rows, :tile.cols] = tile.ideal_weights
+            sram[t, :tile.rows, :tile.cols] = tile.sram_mask
+            rows[t] = tile.rows
+            cols[t] = tile.cols
+            w_max[t] = tile.w_max
+            row_block[t] = t // grid_cols
+        stacks = TileStacks(
+            effective=effective, ideal=ideal, sram=sram,
+            analog=np.empty_like(effective), digital=np.empty_like(ideal),
+            rows=rows, cols=cols, w_max=w_max, row_block=row_block,
+            has_sram=False,
+        )
+        stacks.refresh_derived()
+        return stacks
+
+    def sync_sram(self) -> None:
+        """Pull SRAM masks and ideal weights back into the stacks."""
+        if self._stacks is None:
+            return
+        st = self._stacks
+        for t, tile in enumerate(self.tiles):
+            st.sram[t, :tile.rows, :tile.cols] = tile.sram_mask
+            st.ideal[t, :tile.rows, :tile.cols] = tile.ideal_weights
+        st.refresh_derived()
+
+    def sync_effective(self) -> None:
+        """Pull reprogrammed/drifted effective weights into the stacks."""
+        if self._stacks is None:
+            return
+        st = self._stacks
+        for t, tile in enumerate(self.tiles):
+            st.effective[t, :tile.rows, :tile.cols] = tile.effective_weights
+        st.refresh_derived()
+
+    def set_backend(self, backend: str | None) -> None:
+        """Re-resolve the execution backend (None → env/default)."""
+        self.backend = resolve_backend(backend)
+
+    # ------------------------------------------------------------------
+    # Whole-matrix views (vectorized assembly from the stacks)
+    # ------------------------------------------------------------------
+    def _assemble(self, blocks: np.ndarray) -> np.ndarray:
+        """Scatter a ``(T, S, S)`` stack back to the full matrix."""
+        grid_rows, grid_cols = self.grid
+        size = self.config.size
+        rows, cols = self.bank.shape
+        full = (blocks.reshape(grid_rows, grid_cols, size, size)
+                .transpose(0, 2, 1, 3)
+                .reshape(grid_rows * size, grid_cols * size))
+        return full[:rows, :cols].copy()
+
+    def effective_matrix(self) -> np.ndarray:
+        """The weight matrix the analog array + SRAM actually implement."""
+        st = self.stacks()
+        return self._assemble(np.where(st.sram, st.ideal, st.effective))
+
+    def error_severity(self) -> np.ndarray:
+        """Full-matrix |achieved − ideal| weight error (vectorized)."""
+        st = self.stacks()
+        return self._assemble(np.abs(st.effective - st.ideal))
+
+    def severity_stack(self) -> np.ndarray:
+        """Per-tile ``(T, S, S)`` error magnitudes (padding reads zero)."""
+        st = self.stacks()
+        return np.abs(st.effective - st.ideal)
+
+    def sram_matrix(self) -> np.ndarray:
+        """Full-matrix boolean SRAM-residency mask."""
+        st = self.stacks()
+        return self._assemble(st.sram).astype(bool)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Run the bank's non-ideal VMM for pre-validated inputs."""
+        return BACKENDS[self.backend](self, x)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+def _execute_loop(engine: TileEngine, x: np.ndarray) -> np.ndarray:
+    """Reference backend: per-tile VMMs with digital partial sums."""
+    bank = engine.bank
+    size = bank.config.size
+    out = np.zeros((x.shape[0], bank.shape[1]))
+    for i, tile_row in enumerate(bank.tiles):
+        x_block = x[:, i * size:(i + 1) * size]
+        col = 0
+        for tile in tile_row:
+            out[:, col:col + tile.cols] += tile.vmm(x_block)
+            col += tile.cols
+    return out
+
+
+def _execute_batched(engine: TileEngine, x: np.ndarray) -> np.ndarray:
+    """Vectorized backend: one stacked pass over every tile at once.
+
+    Replicates the loop backend operation-for-operation on zero-padded
+    ``(tiles, batch, size)`` tensors; per-tile RNG draws come from each
+    tile's own generator in the same order the loop backend consumes
+    them, so both backends see identical noise.
+    """
+    st = engine.stacks()
+    config = engine.config
+    size = config.size
+    batch = x.shape[0]
+    grid_rows, grid_cols = engine.grid
+    rows_total, cols_total = engine.bank.shape
+    count = engine.num_tiles
+    tiles = engine.tiles
+
+    # Gather per-tile input blocks: (T, batch, S), zero-padded.
+    x_padded = np.zeros((batch, grid_rows * size))
+    x_padded[:, :rows_total] = x
+    x_blocks = x_padded.reshape(batch, grid_rows, size).transpose(1, 0, 2)
+    scale_blocks = np.maximum(np.abs(x_blocks).max(axis=(1, 2)), 1e-12)
+    xt = x_blocks[st.row_block]                       # (T, B, S)
+    scale_t = scale_blocks[st.row_block]              # (T,)
+    scale = scale_t[:, None, None]
+
+    # --- DAC: quantization, per-row mismatch, shared-driver sag -------
+    dac = config.dac
+    dac_gain = dac_offset = None
+    if dac.gain_std > 0:
+        if engine._dac_gain is None:
+            engine._dac_gain = np.ones((count, size))
+        dac_gain = engine._dac_gain
+        for t, tile in enumerate(tiles):
+            dac_gain[t, :tile.rows] = (
+                1.0 + tile._rng.standard_normal(tile.rows) * dac.gain_std)
+        dac_gain = dac_gain[:, None, :]
+    if dac.offset_std > 0:
+        if engine._dac_offset is None:
+            engine._dac_offset = np.zeros((count, size))
+        dac_offset = engine._dac_offset
+        for t, tile in enumerate(tiles):
+            dac_offset[t, :tile.rows] = (
+                tile._rng.standard_normal(tile.rows)
+                * dac.offset_std * dac.v_max)
+        dac_offset = dac_offset[:, None, :]
+    # Demand averages over each tile's *true* rows (padding stays 0).
+    v = apply_dac(xt, dac, gain=dac_gain, offset=dac_offset,
+                  scale=scale, active_rows=st.rows[:, None, None])
+
+    # --- Analog array: read noise on the programmed conductances ------
+    analog = st.analog
+    if config.device.read_noise > 0:
+        if engine._read_jitter is None:
+            engine._read_jitter = np.zeros((count, size, size))
+        jitter = engine._read_jitter
+        for t, tile in enumerate(tiles):
+            jitter[t, :tile.rows, :tile.cols] = tile._rng.standard_normal(
+                (tile.rows, tile.cols))
+        analog = st.analog * (1.0 + jitter * config.device.read_noise)
+
+    y = np.matmul(v, analog)                           # (T, B, S)
+
+    # --- Wires: input-dependent droop + neighbour sneak coupling ------
+    worst_case = (st.rows * st.w_max * scale_t)[:, None, None]
+    load_fraction = y / worst_case
+    y *= dynamic_droop(load_fraction, st.rows[:, None, None],
+                       config.wire, config.device, out=load_fraction)
+    if config.wire.sneak_coupling > 0:
+        leak = sneak_leakage(y, config.wire)
+        # Ragged tiles: the loop backend edge-replicates at the tile's
+        # true last column; the padded column it sees instead is 0.
+        for t in np.nonzero(st.cols < size)[0]:
+            edge = int(st.cols[t]) - 1
+            leak[t, :, edge] += (config.wire.sneak_coupling * 0.5
+                                 * y[t, :, edge])
+        y = y + leak
+
+    # --- Sense/ADC: fixed range per tile geometry ---------------------
+    adc = config.adc
+    full_scale = (adc.range_headroom * np.sqrt(st.rows) * st.w_max
+                  * scale_t)
+    adc_gain = adc_offset = None
+    if adc.gain_std > 0:
+        if engine._adc_gain is None:
+            engine._adc_gain = np.ones((count, size))
+        adc_gain = engine._adc_gain
+        for t, tile in enumerate(tiles):
+            adc_gain[t, :tile.cols] = (
+                1.0 + tile._rng.standard_normal(tile.cols) * adc.gain_std)
+        adc_gain = adc_gain[:, None, :]
+    if adc.offset_std > 0:
+        if engine._adc_offset is None:
+            engine._adc_offset = np.zeros((count, size))
+        adc_offset = engine._adc_offset
+        for t, tile in enumerate(tiles):
+            adc_offset[t, :tile.cols] = (
+                tile._rng.standard_normal(tile.cols)
+                * adc.offset_std * float(full_scale[t]))
+        adc_offset = adc_offset[:, None, :]
+    y = apply_adc(y, adc, full_scale[:, None, None],
+                  gain=adc_gain, offset=adc_offset)
+
+    # --- Digital contribution of SRAM-resident weights ----------------
+    if st.has_sram:
+        y = y + np.matmul(xt, st.digital)
+
+    # --- Digital partial-sum across row blocks ------------------------
+    summed = y.reshape(grid_rows, grid_cols, batch, size).sum(axis=0)
+    out = summed.transpose(1, 0, 2).reshape(batch, grid_cols * size)
+    return out[:, :cols_total].copy()
+
+
+BACKENDS: dict[str, Callable[[TileEngine, np.ndarray], np.ndarray]] = {
+    "loop": _execute_loop,
+    "batched": _execute_batched,
+}

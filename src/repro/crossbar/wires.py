@@ -60,23 +60,41 @@ def static_attenuation(rows: int, cols: int, config: WireConfig,
     return 1.0 / (1.0 + g_avg * (row_path + col_path))
 
 
-def dynamic_droop(load_fraction: np.ndarray, rows: int,
-                  config: WireConfig, device: DeviceConfig) -> np.ndarray:
+def dynamic_droop(load_fraction: np.ndarray, rows: int | np.ndarray,
+                  config: WireConfig, device: DeviceConfig,
+                  out: np.ndarray | None = None) -> np.ndarray:
     """Input-dependent droop factor per column for one VMM.
 
     ``load_fraction`` is the column output normalized to its worst case
     (all cells at G_max, full drive), i.e. a value in roughly [0, 1].
     The IR drop along a bit line carrying the worst-case current is
     ``rows · R_segment · G_max`` of the drive voltage; actual droop
-    scales with the column's load fraction.
+    scales with the column's load fraction.  ``rows`` may be an array
+    broadcastable against ``load_fraction`` (per-tile row counts for a
+    stacked ``(tiles, batch, cols)`` pass).  Pass ``out`` (which may
+    alias ``load_fraction``) to compute the factor without temporaries;
+    the per-element arithmetic is identical either way.
     """
     kappa = rows * config.segment_ohm * device.g_max
-    return 1.0 / (1.0 + kappa * np.abs(load_fraction))
+    if out is None:
+        return 1.0 / (1.0 + kappa * np.abs(load_fraction))
+    np.abs(load_fraction, out=out)
+    out *= kappa
+    out += 1.0
+    np.reciprocal(out, out=out)
+    return out
 
 
 def sneak_leakage(column_currents: np.ndarray,
                   config: WireConfig) -> np.ndarray:
-    """Additive neighbour-coupling current (zero for 1T1R defaults)."""
+    """Additive neighbour-coupling current (zero for 1T1R defaults).
+
+    Shape-agnostic: couples along the last axis, so stacked
+    ``(tiles, batch, cols)`` arrays are handled per tile.  For
+    zero-padded stacks the caller must correct each ragged tile's true
+    edge column (the physical edge replicates itself; the padded
+    neighbour reads zero) — see ``engine._execute_batched``.
+    """
     if config.sneak_coupling <= 0:
         return np.zeros_like(column_currents)
     padded = np.pad(column_currents, _edge_pad(column_currents.ndim),

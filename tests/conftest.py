@@ -33,8 +33,11 @@ def tiny_chunks():
 def tiny_trained(tiny_chunks):
     """A small basecaller trained briefly (shared, do not mutate)."""
     model = BonitoModel(TINY_CONFIG)
+    # 10 epochs lands the tiny model well above the ~46% identity a
+    # collapsed (noise-dominated) basecaller still scores by chance, so
+    # "non-ideality X hurts accuracy" assertions are not coin flips.
     train_model(model, tiny_chunks,
-                TrainConfig(epochs=3, batch_size=16, lr=8e-3))
+                TrainConfig(epochs=10, batch_size=16, lr=8e-3))
     return model
 
 

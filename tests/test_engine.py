@@ -1,0 +1,359 @@
+"""Tile-engine tests: loop/batched equivalence and backend selection.
+
+The ``"batched"`` backend must reproduce the ``"loop"`` reference to
+within 1e-9 for identical seeds, across every non-ideality bundle and
+for ragged (non-divisible) bank shapes — the contract that makes the
+backend a pure performance knob.  Per-tile RNG streams make that
+possible: each tile draws from its own spawned generator, so neither
+the backend nor the tile evaluation order changes the noise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BUNDLES, get_bundle
+from repro.crossbar import (
+    ADCConfig,
+    CrossbarBank,
+    CrossbarConfig,
+    DACConfig,
+    DeviceConfig,
+    DriftConfig,
+    VariationConfig,
+    WireConfig,
+    available_backends,
+    iter_tile_blocks,
+    resolve_backend,
+    spawn_generators,
+    tile_grid,
+)
+
+TOL = 1e-9
+
+
+def weights_for(shape, seed=99):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+def bank_pair(shape, config, seed=7, **kwargs):
+    """Identically seeded banks on the two backends."""
+    w = weights_for(shape)
+    loop = CrossbarBank(w, config, seed, backend="loop", **kwargs)
+    batched = CrossbarBank(w, config, seed, backend="batched", **kwargs)
+    return loop, batched
+
+
+def assert_equivalent(loop, batched, x, tol=TOL):
+    ya, yb = loop.vmm(x), batched.vmm(x)
+    np.testing.assert_allclose(yb, ya, rtol=0.0, atol=tol)
+
+
+# ----------------------------------------------------------------------
+# Geometry helpers
+# ----------------------------------------------------------------------
+
+class TestTileGeometry:
+    def test_tile_grid_matches_ceil_division(self):
+        assert tile_grid((64, 64), 64) == (1, 1)
+        assert tile_grid((65, 64), 64) == (2, 1)
+        assert tile_grid((1, 129), 64) == (1, 3)
+
+    def test_iter_tile_blocks_covers_matrix_once(self):
+        shape, size = (70, 45), 32
+        seen = np.zeros(shape, dtype=int)
+        for i, j, rs, cs in iter_tile_blocks(shape, size):
+            assert 0 <= i < 3 and 0 <= j < 2
+            seen[rs, cs] += 1
+        assert (seen == 1).all()
+
+    def test_iter_tile_blocks_row_major(self):
+        order = [(i, j) for i, j, _, _ in iter_tile_blocks((70, 45), 32)]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
+
+
+class TestSpawnGenerators:
+    def test_children_are_independent_and_deterministic(self):
+        a = spawn_generators(np.random.SeedSequence(5), 4)
+        b = spawn_generators(np.random.SeedSequence(5), 4)
+        draws_a = [g.standard_normal(3) for g in a]
+        draws_b = [g.standard_normal(3) for g in b]
+        for da, db in zip(draws_a, draws_b):
+            np.testing.assert_array_equal(da, db)
+        # distinct streams
+        assert not np.allclose(draws_a[0], draws_a[1])
+
+    def test_accepts_int_and_generator(self):
+        assert len(spawn_generators(3, 2)) == 2
+        assert len(spawn_generators(np.random.default_rng(3), 2)) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+class TestBackendSelection:
+    def test_available(self):
+        assert set(available_backends()) >= {"loop", "batched"}
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("SWORDFISH_VMM_BACKEND", "batched")
+        assert resolve_backend("loop") == "loop"
+
+    def test_env_var_applies(self, monkeypatch):
+        monkeypatch.setenv("SWORDFISH_VMM_BACKEND", "loop")
+        assert resolve_backend(None) == "loop"
+        bank = CrossbarBank(weights_for((10, 10)), CrossbarConfig(size=8), 0)
+        assert bank.backend == "loop"
+
+    def test_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv("SWORDFISH_VMM_BACKEND", raising=False)
+        assert resolve_backend(None) == "batched"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("cuda")
+        with pytest.raises(ValueError):
+            CrossbarConfig(size=8, backend="cuda")
+
+    def test_config_backend_propagates(self):
+        config = CrossbarConfig(size=8, backend="loop")
+        bank = CrossbarBank(weights_for((10, 10)), config, 0)
+        assert bank.backend == "loop"
+        assert config.ideal().backend == "loop"
+
+    def test_set_backend_switches_in_place(self):
+        bank = CrossbarBank(weights_for((20, 20)), CrossbarConfig(size=8), 0,
+                            backend="loop")
+        x = weights_for((3, 20), seed=1)
+        y_loop = bank.vmm(x)
+        bank.set_backend("batched")
+        assert bank.backend == "batched"
+        assert bank.vmm(x).shape == y_loop.shape
+
+
+# ----------------------------------------------------------------------
+# Loop vs batched equivalence
+# ----------------------------------------------------------------------
+
+#: One config per non-ideality family, plus kitchen-sink combinations.
+EQUIV_CONFIGS = {
+    "quiet": CrossbarConfig(size=16),
+    "dac_only": CrossbarConfig(
+        size=16, dac=DACConfig(bits=6, r_load=0.3, gain_std=0.02,
+                               offset_std=0.01)),
+    "adc_only": CrossbarConfig(
+        size=16, adc=ADCConfig(bits=6, range_headroom=1.5, gain_std=0.02,
+                               offset_std=0.01, inl=0.05)),
+    "read_noise": CrossbarConfig(
+        size=16, device=DeviceConfig(read_noise=0.05)),
+    "stuck_cells": CrossbarConfig(
+        size=16, variation=VariationConfig(0.05, 0.05, 0.03, 0.03)),
+    "wires": CrossbarConfig(
+        size=16, wire=WireConfig(segment_ohm=2.0, sneak_coupling=0.01)),
+    "everything": CrossbarConfig(
+        size=16,
+        device=DeviceConfig(read_noise=0.03),
+        variation=VariationConfig(0.05, 0.05, 0.01, 0.01),
+        wire=WireConfig(segment_ohm=2.0, sneak_coupling=0.01),
+        dac=DACConfig(bits=6, r_load=0.2, gain_std=0.02, offset_std=0.01),
+        adc=ADCConfig(bits=7, range_headroom=1.8, gain_std=0.02,
+                      offset_std=0.01, inl=0.03)),
+}
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("name", sorted(EQUIV_CONFIGS))
+    @pytest.mark.parametrize("shape", [(16, 16), (40, 23), (17, 50)])
+    def test_single_call(self, name, shape):
+        loop, batched = bank_pair(shape, EQUIV_CONFIGS[name])
+        x = weights_for((4, shape[0]), seed=11)
+        assert_equivalent(loop, batched, x)
+
+    @pytest.mark.parametrize("name", sorted(EQUIV_CONFIGS))
+    def test_sequential_calls_share_streams(self, name):
+        """Noise draws advance identically across repeated calls."""
+        loop, batched = bank_pair((40, 23), EQUIV_CONFIGS[name])
+        for call in range(3):
+            x = weights_for((2, 40), seed=100 + call)
+            assert_equivalent(loop, batched, x)
+
+    @pytest.mark.parametrize("bundle_name", sorted(BUNDLES))
+    def test_all_bundles(self, bundle_name):
+        """Every paper bundle's design point is backend-independent."""
+        config = get_bundle(bundle_name).crossbar_config(
+            32, write_variation=0.10)
+        loop, batched = bank_pair((70, 45), config)
+        x = weights_for((4, 70), seed=21)
+        assert_equivalent(loop, batched, x)
+
+    def test_sram_remap_and_update(self):
+        config = EQUIV_CONFIGS["everything"]
+        loop, batched = bank_pair((40, 23), config)
+        assert loop.assign_sram(0.1) == batched.assign_sram(0.1)
+        x = weights_for((4, 40), seed=31)
+        assert_equivalent(loop, batched, x)
+        new_w = weights_for((40, 23), seed=41)
+        loop.update_sram_weights(new_w)
+        batched.update_sram_weights(new_w)
+        assert_equivalent(loop, batched, x)
+
+    def test_random_sram_placement_matches(self):
+        loop, batched = bank_pair((40, 23), EQUIV_CONFIGS["stuck_cells"])
+        assert (loop.assign_sram(0.2, use_knowledge=False)
+                == batched.assign_sram(0.2, use_knowledge=False))
+        np.testing.assert_array_equal(loop.sram_matrix(),
+                                      batched.sram_matrix())
+
+    def test_reprogram_matches(self):
+        loop, batched = bank_pair((40, 23), EQUIV_CONFIGS["stuck_cells"])
+        loop.reprogram()
+        batched.reprogram()
+        np.testing.assert_allclose(batched.effective_matrix(),
+                                   loop.effective_matrix(),
+                                   rtol=0.0, atol=TOL)
+        assert_equivalent(loop, batched, weights_for((4, 40), seed=51))
+
+    def test_age_matches(self):
+        loop, batched = bank_pair((40, 23), EQUIV_CONFIGS["quiet"])
+        drift = DriftConfig(relaxation_per_decade=0.05, diffusion=0.01)
+        loop.age(3600.0, drift)
+        batched.age(3600.0, drift)
+        assert_equivalent(loop, batched, weights_for((4, 40), seed=61))
+
+    def test_evaluation_order_independent_streams(self):
+        """A bank whose tiles were consumed in a different order still
+        draws the same per-tile noise (SeedSequence spawning)."""
+        config = EQUIV_CONFIGS["read_noise"]
+        a = CrossbarBank(weights_for((40, 23)), config, 7, backend="loop")
+        b = CrossbarBank(weights_for((40, 23)), config, 7, backend="loop")
+        x = weights_for((2, 40), seed=71)
+        expected = a.vmm(x)
+        # Drain tile noise in reverse order on b, then compare the next
+        # call on a fresh pair: streams must be per-tile, not shared.
+        for tile in reversed(list(b._flat_tiles())):
+            tile.vmm(np.zeros((1, tile.rows)))
+        c = CrossbarBank(weights_for((40, 23)), config, 7, backend="loop")
+        np.testing.assert_allclose(c.vmm(x), expected, rtol=0.0, atol=0.0)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        rows=st.integers(min_value=1, max_value=70),
+        cols=st.integers(min_value=1, max_value=70),
+        size=st.integers(min_value=2, max_value=33),
+        batch=st.integers(min_value=1, max_value=5),
+    )
+    def test_property_random_shapes(self, rows, cols, size, batch):
+        """Equivalence holds for arbitrary (ragged) bank geometries."""
+        config = CrossbarConfig(
+            size=size,
+            device=DeviceConfig(read_noise=0.02),
+            variation=VariationConfig(0.05, 0.02, 0.01, 0.01),
+            wire=WireConfig(segment_ohm=1.5, sneak_coupling=0.005),
+            dac=DACConfig(bits=6, r_load=0.1, gain_std=0.01,
+                          offset_std=0.01),
+            adc=ADCConfig(bits=7, gain_std=0.01, offset_std=0.01,
+                          inl=0.02),
+        )
+        loop, batched = bank_pair((rows, cols), config, seed=rows * 97 + cols)
+        x = np.random.default_rng(batch).standard_normal((batch, rows))
+        assert_equivalent(loop, batched, x)
+
+
+# ----------------------------------------------------------------------
+# Vectorized whole-matrix views
+# ----------------------------------------------------------------------
+
+class TestAssembledViews:
+    def reference_effective(self, bank):
+        """Pre-engine double-loop reconstruction."""
+        out = np.zeros(bank.shape)
+        size = bank.config.size
+        for i, tile_row in enumerate(bank.tiles):
+            col = 0
+            for tile in tile_row:
+                block = np.where(tile.sram_mask, tile.ideal_weights,
+                                 tile.effective_weights)
+                out[i * size:i * size + tile.rows,
+                    col:col + tile.cols] = block
+                col += tile.cols
+        return out
+
+    @pytest.mark.parametrize("shape", [(16, 16), (40, 23), (17, 50)])
+    def test_effective_matrix_matches_reference(self, shape):
+        bank = CrossbarBank(weights_for(shape),
+                            EQUIV_CONFIGS["stuck_cells"], 7)
+        bank.assign_sram(0.1)
+        np.testing.assert_array_equal(bank.effective_matrix(),
+                                      self.reference_effective(bank))
+
+    def test_error_severity_matches_tiles(self):
+        bank = CrossbarBank(weights_for((40, 23)),
+                            EQUIV_CONFIGS["stuck_cells"], 7)
+        severity = bank.error_severity()
+        size = bank.config.size
+        for i, tile_row in enumerate(bank.tiles):
+            col = 0
+            for tile in tile_row:
+                np.testing.assert_array_equal(
+                    severity[i * size:i * size + tile.rows,
+                             col:col + tile.cols],
+                    tile.error_severity())
+                col += tile.cols
+
+    def test_sram_matrix_tracks_assignment(self):
+        bank = CrossbarBank(weights_for((40, 23)),
+                            EQUIV_CONFIGS["stuck_cells"], 7)
+        assert not bank.sram_matrix().any()
+        moved = bank.assign_sram(0.25)
+        assert bank.sram_matrix().sum() == moved
+
+    def test_sync_engine_after_direct_mutation(self):
+        bank = CrossbarBank(weights_for((40, 23)),
+                            EQUIV_CONFIGS["quiet"], 7)
+        bank.effective_matrix()  # force stack build
+        tile = bank.tiles[0][0]
+        tile.sram_mask[:] = True
+        bank.sync_engine()
+        assert bank.sram_matrix()[:tile.rows, :tile.cols].all()
+
+
+# ----------------------------------------------------------------------
+# Deployed-model end-to-end equivalence
+# ----------------------------------------------------------------------
+
+class TestDeployedEquivalence:
+    def test_deployed_model_backend_independent(self, tiny_model):
+        from repro.basecaller import BonitoModel
+        from repro.core import deploy, get_bundle
+
+        signal = np.random.default_rng(5).standard_normal((1, 192))
+        outputs = {}
+        for backend in ("loop", "batched"):
+            clone = BonitoModel(tiny_model.config)
+            clone.load_state_dict(tiny_model.state_dict())
+            clone.eval()
+            deployed = deploy(clone, get_bundle("combined"),
+                              crossbar_size=32, write_variation=0.05,
+                              seed=3, backend=backend)
+            assert all(b.backend == backend
+                       for bs in deployed.banks.values() for b in bs)
+            outputs[backend] = clone(signal).data
+            deployed.release()
+        np.testing.assert_allclose(outputs["batched"], outputs["loop"],
+                                   rtol=0.0, atol=1e-8)
+
+    def test_set_backend_on_deployed(self, tiny_model):
+        from repro.core import deploy, get_bundle
+
+        deployed = deploy(tiny_model, get_bundle("write_only"),
+                          crossbar_size=32, seed=3, backend="loop")
+        deployed.set_backend("batched")
+        assert all(b.backend == "batched"
+                   for bs in deployed.banks.values() for b in bs)
+        assert deployed.engines.keys() == deployed.banks.keys()
+        deployed.release()
