@@ -1,0 +1,38 @@
+"""Swordfish-specific static analysis.
+
+The repo's correctness story rests on invariants a generic linter
+cannot see: seeded-Generator determinism (loop≡batched), config/cache
+coherence (every result-affecting field reaches ``cache_key``),
+float64 discipline and aliasing safety in the crossbar hot kernels,
+guarded division, and a resolvable export graph.  ``repro.analysis``
+enforces them as rules SWD001–SWD006 with a ratcheting baseline —
+``python -m repro.analysis`` from the repo root; see DESIGN.md §7 for
+the catalog, baseline, and suppression syntax.
+"""
+
+from .baseline import Baseline, BaselineDiff, diff_findings
+from .cli import main
+from .config import AnalysisConfig, CACHE_EXCLUDED_FIELDS, DEFAULT_CONFIG
+from .core import AnalysisResult, Finding, Rule, SourceModule
+from .reporters import render_json, render_text
+from .runner import ALL_RULES, AnalysisContext, default_rules, run_analysis
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisConfig",
+    "AnalysisContext",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineDiff",
+    "CACHE_EXCLUDED_FIELDS",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "default_rules",
+    "diff_findings",
+    "main",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

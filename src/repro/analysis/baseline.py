@@ -1,0 +1,100 @@
+"""Baseline file with ratchet semantics.
+
+The committed baseline (``.swordfish-lint-baseline.json``) is the
+burn-down list: findings whose fingerprint appears there are *known
+debt* and do not fail the build; anything else is *new* and does.
+Fingerprints hash rule id + path + source-line text (not line
+numbers), so unrelated edits that shift code do not churn the file.
+
+Stale entries — baseline fingerprints no current finding matches —
+are reported so fixed debt gets deleted; ``--write-baseline``
+regenerates the file from the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core import Finding
+
+__all__ = ["Baseline", "BaselineDiff", "diff_findings"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    path: Path | None
+    entries: dict[str, dict] = field(default_factory=dict)  # fp -> info
+
+    @classmethod
+    def load(cls, path: Path | str | None) -> "Baseline":
+        if path is None:
+            return cls(path=None)
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}")
+        entries = {entry["fingerprint"]: entry
+                   for entry in data.get("findings", [])}
+        return cls(path=path, entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding],
+                      path: Path | str | None = None) -> "Baseline":
+        baseline = cls(path=Path(path) if path else None)
+        for finding in findings:
+            baseline.entries[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+            }
+        return baseline
+
+    def write(self, path: Path | str | None = None) -> Path:
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no baseline path to write to")
+        entries = sorted(self.entries.values(),
+                         key=lambda e: (e["path"], e["rule"],
+                                        e.get("line", 0), e["fingerprint"]))
+        payload = {"version": _VERSION, "findings": entries}
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+        return target
+
+
+@dataclass
+class BaselineDiff:
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[dict]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.new)
+
+
+def diff_findings(findings: list[Finding], baseline: Baseline) -> BaselineDiff:
+    """Split findings into new vs. baselined; collect stale entries."""
+    matched: set[str] = set()
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint
+        if fingerprint in baseline.entries:
+            matched.add(fingerprint)
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = [entry for fingerprint, entry in sorted(baseline.entries.items())
+             if fingerprint not in matched]
+    return BaselineDiff(new=new, baselined=baselined, stale=stale)

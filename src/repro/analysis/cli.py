@@ -1,0 +1,121 @@
+"""``python -m repro.analysis`` — the Swordfish repo linter.
+
+Exit codes: 0 = no new violations, 1 = new violations (or stale-only
+with ``--strict-stale``), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import Baseline, diff_findings
+from .reporters import render_json, render_text
+from .runner import ALL_RULES, run_analysis
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = ".swordfish-lint-baseline.json"
+DEFAULT_PATHS = ("src", "examples", "benchmarks")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Swordfish-specific static analysis (rules SWD001–"
+                    "SWD006) with a ratcheting baseline.")
+    parser.add_argument("paths", nargs="*",
+                        help=f"files/directories to analyze (default: "
+                             f"{' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help=f"baseline file (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline: every finding is new")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule ids to run")
+    parser.add_argument("--ignore", metavar="IDS",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--strict-stale", action="store_true",
+                        help="also fail when the baseline lists already-"
+                             "fixed findings")
+    parser.add_argument("--root", default=None,
+                        help="directory report paths are relative to "
+                             "(default: cwd)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = ["Swordfish analyzer rules:"]
+    for cls in ALL_RULES:
+        rule = cls()
+        lines.append(f"  {rule.id}  {rule.name:<24} [{rule.severity}]")
+        lines.append(f"         hint: {rule.hint}")
+    lines.append("")
+    lines.append("suppress: `# swd-ok: SWD005 -- reason` on the reported "
+                 "line, `# swd-file-ok: SWD004 -- reason` for a file")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = Path(args.root) if args.root else Path.cwd()
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        paths = [root / p for p in DEFAULT_PATHS if (root / p).is_dir()]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        result = run_analysis(paths, root=root, select=select, ignore=ignore)
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"error: analysis failed: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = None if args.no_baseline else root / args.baseline
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: --write-baseline conflicts with --no-baseline",
+                  file=sys.stderr)
+            return 2
+        written = Baseline.from_findings(result.findings,
+                                         baseline_path).write()
+        print(f"wrote {len(result.findings)} finding(s) to {written}")
+        return 0
+
+    try:
+        baseline = Baseline.load(baseline_path)
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_findings(result.findings, baseline)
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result, diff, baseline))
+
+    if diff.failed:
+        return 1
+    if args.strict_stale and diff.stale:
+        return 1
+    return 0

@@ -1,0 +1,66 @@
+"""Repo policy consumed by the analyzer rules.
+
+Everything here is data, so tests can substitute a narrow
+:class:`AnalysisConfig` (e.g. scope patterns that match fixture
+files) without monkeypatching the rules themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AnalysisConfig", "DEFAULT_CONFIG", "CACHE_EXCLUDED_FIELDS"]
+
+
+# Fields deliberately excluded from a config class's cache key.  Every
+# entry needs a human-readable justification; SWD002 treats an empty
+# justification (or an entry for a covered/unknown field) as a
+# violation, so this list cannot silently rot.
+CACHE_EXCLUDED_FIELDS: dict[str, dict[str, str]] = {
+    "SwordfishConfig": {
+        # Backends are bitwise-equivalent on identical seeds (the PR 2
+        # loop≡batched contract); letting the backend into the key
+        # would split the result cache for identical physics.
+        "vmm_backend": "execution backend is numerically equivalent; "
+                       "must not split the result cache",
+    },
+    "CrossbarConfig": {
+        # Same contract one level down: CrossbarConfig.backend selects
+        # the tile-engine execution path, never the modeled physics.
+        "backend": "execution backend is numerically equivalent; "
+                   "must not split the result cache",
+    },
+}
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Scopes and policy tables for the rule set."""
+
+    # SWD002: dataclasses whose fields must reach to_dict/cache_key.
+    config_classes: tuple[str, ...] = (
+        "SwordfishConfig", "CrossbarConfig", "BonitoConfig", "EnhanceConfig",
+    )
+    cache_excluded_fields: dict[str, dict[str, str]] = field(
+        default_factory=lambda: CACHE_EXCLUDED_FIELDS)
+
+    # SWD003: hot kernels with a strict float64 convention.  A path
+    # matches when it contains any of these substrings.
+    dtype_scope: tuple[str, ...] = ("repro/crossbar/",)
+
+    # SWD004: modules whose functions must not mutate caller arrays.
+    alias_scope: tuple[str, ...] = ("repro/crossbar/",)
+
+    # SWD005: numeric modules (division / float-equality hygiene).
+    numeric_scope: tuple[str, ...] = ("src/repro/",)
+    numeric_exclude: tuple[str, ...] = ("repro/analysis/",)
+
+    def in_scope(self, rel: str, patterns: tuple[str, ...],
+                 exclude: tuple[str, ...] = ()) -> bool:
+        rel = rel.replace("\\", "/")
+        if any(pattern in rel for pattern in exclude):
+            return False
+        return any(pattern in rel for pattern in patterns)
+
+
+DEFAULT_CONFIG = AnalysisConfig()

@@ -1,0 +1,272 @@
+"""Infrastructure for the Swordfish static analyzer.
+
+The analyzer is a plain AST pass over the repo's own source: no
+imports of the analyzed code, no third-party lint framework.  Each
+rule is a small class with an ``id``, ``severity``, and ``hint``; the
+driver parses every file once into a :class:`SourceModule`, builds a
+cross-module binding index (for export checks), runs every rule, and
+applies suppression comments before findings reach the reporters.
+
+Suppression syntax (documented in DESIGN.md):
+
+* line:  ``# swd-ok: SWD005 -- reason``   (comma-separate several ids,
+  or ``all``; the comment lives on the reported line itself, or on a
+  comment-only line directly above it)
+* file:  ``# swd-file-ok: SWD004 -- reason``  (anywhere in the file)
+
+Findings are identified across runs by a *fingerprint* — a hash of
+rule id, file path, and the stripped source line text (plus an
+occurrence counter for identical lines) — so the checked-in baseline
+survives unrelated edits that only shift line numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "SourceModule",
+    "dotted_name",
+    "iter_python_files",
+    "module_name_for",
+]
+
+#: Rule id for files the parser itself rejects.
+SYNTAX_RULE_ID = "SWD000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*swd-(?P<scope>file-ok|ok)\s*:\s*(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"\s*(?:--\s*(?P<reason>.*))?$"
+)
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str              # "error" | "warning"
+    path: str                  # posix path relative to the analysis root
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    line_text: str = ""
+    occurrence: int = 0        # disambiguates identical lines in a file
+
+    @property
+    def fingerprint(self) -> str:
+        payload = (f"{self.rule}|{self.path}|{self.line_text.strip()}"
+                   f"|{self.occurrence}")
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+
+# ----------------------------------------------------------------------
+# Parsed source files
+# ----------------------------------------------------------------------
+
+@dataclass
+class SourceModule:
+    """One parsed file plus its suppression comments."""
+
+    path: Path
+    rel: str
+    name: str                  # dotted module name ("repro.crossbar.dac")
+    source: str
+    lines: list[str]
+    tree: ast.Module | None
+    syntax_error: str | None
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceModule":
+        source = path.read_text(encoding="utf-8")
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        tree: ast.Module | None = None
+        error: str | None = None
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:  # SWD000
+            error = f"{exc.msg} (line {exc.lineno})"
+        module = cls(path=path, rel=rel, name=module_name_for(path),
+                     source=source, lines=source.splitlines(),
+                     tree=tree, syntax_error=error)
+        module._parse_suppressions()
+        return module
+
+    def _parse_suppressions(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            if "swd-" not in text:
+                continue
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = {part.strip().upper()
+                     for part in match.group("rules").split(",")
+                     if part.strip()}
+            if match.group("scope") == "file-ok":
+                self.file_suppressions |= rules
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(rules)
+                # A comment-only line also covers the following line, so
+                # suppressions for long statements stay readable.
+                if text[:match.start()].strip() == "":
+                    self.line_suppressions.setdefault(
+                        lineno + 1, set()).update(rules)
+
+    def is_suppressed(self, rule: str, line: int,
+                      end_line: int | None = None) -> bool:
+        if rule in self.file_suppressions or "ALL" in self.file_suppressions:
+            return True
+        last = end_line if end_line is not None else line
+        for lineno in range(line, max(line, last) + 1):
+            rules = self.line_suppressions.get(lineno)
+            if rules and (rule in rules or "ALL" in rules):
+                return True
+        return False
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+# ----------------------------------------------------------------------
+# Cross-module binding index (for export-coherence checks)
+# ----------------------------------------------------------------------
+
+@dataclass
+class ModuleInfo:
+    """Top-level names a module binds, plus its declared ``__all__``."""
+
+    name: str
+    rel: str
+    bindings: set[str] = field(default_factory=set)
+    all_names: list[tuple[str, int]] = field(default_factory=list)
+    all_lines: dict[str, int] = field(default_factory=dict)
+    star_imports: list[str] = field(default_factory=list)  # resolved targets
+    expanded: bool = False
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+class Rule:
+    """Base class: subclasses set the class attributes and ``check``."""
+
+    id: str = "SWD???"
+    name: str = ""
+    severity: str = "error"
+    hint: str = ""
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # Helper: build a finding anchored at an AST node.
+    def finding(self, module: SourceModule, node: ast.AST, message: str,
+                hint: str | None = None) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=self.id, severity=self.severity, path=module.rel,
+                       line=line, col=col, message=message,
+                       hint=self.hint if hint is None else hint,
+                       line_text=module.line_at(line))
+
+
+@dataclass
+class AnalysisResult:
+    findings: list[Finding]
+    files_analyzed: int
+    suppressed: int
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` source text of a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted import name inferred from ``__init__.py`` ancestry."""
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``*.py`` files."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            if "__pycache__" in candidate.parts:
+                continue
+            if any(part.startswith(".") and part not in (".", "..")
+                   for part in candidate.parts):
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number findings that share (rule, path, line text) for stable
+    fingerprints when the same violation appears on identical lines."""
+    counters: dict[tuple[str, str, str], int] = {}
+    out: list[Finding] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = (finding.rule, finding.path, finding.line_text.strip())
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        if occurrence != finding.occurrence:
+            finding = Finding(rule=finding.rule, severity=finding.severity,
+                              path=finding.path, line=finding.line,
+                              col=finding.col, message=finding.message,
+                              hint=finding.hint, line_text=finding.line_text,
+                              occurrence=occurrence)
+        out.append(finding)
+    return out

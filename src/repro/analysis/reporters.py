@@ -1,0 +1,80 @@
+"""Text and JSON renderings of an analysis run."""
+
+from __future__ import annotations
+
+import json
+
+from .baseline import Baseline, BaselineDiff
+from .core import AnalysisResult, Finding
+
+__all__ = ["render_json", "render_text"]
+
+
+def _status(finding: Finding, diff: BaselineDiff) -> str:
+    return "baselined" if finding in diff.baselined else "new"
+
+
+def render_text(result: AnalysisResult, diff: BaselineDiff,
+                baseline: Baseline) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        status = _status(finding, diff)
+        marker = "" if status == "new" else "  [baselined]"
+        lines.append(f"{finding.location()}: {finding.rule} "
+                     f"{finding.severity}: {finding.message}{marker}")
+        if finding.hint and status == "new":
+            lines.append(f"    hint: {finding.hint}")
+    if diff.stale:
+        lines.append("")
+        lines.append(f"stale baseline entries ({len(diff.stale)} fixed "
+                     f"finding(s) still listed — regenerate with "
+                     f"--write-baseline):")
+        for entry in diff.stale:
+            lines.append(f"    {entry['path']}: {entry['rule']}: "
+                         f"{entry.get('message', '')}")
+    lines.append("")
+    baseline_note = (str(baseline.path) if baseline.path is not None
+                     else "disabled")
+    lines.append(
+        f"{result.files_analyzed} files · {len(result.findings)} finding(s) "
+        f"({len(diff.new)} new, {len(diff.baselined)} baselined, "
+        f"{result.suppressed} suppressed) · baseline: {baseline_note}")
+    if diff.new:
+        lines.append(f"FAILED: {len(diff.new)} new violation(s) — fix them "
+                     f"or (for accepted debt) add them to the baseline")
+    else:
+        lines.append("OK: no new violations")
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult, diff: BaselineDiff,
+                baseline: Baseline) -> str:
+    payload = {
+        "version": 1,
+        "findings": [
+            {
+                "rule": finding.rule,
+                "severity": finding.severity,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "hint": finding.hint,
+                "fingerprint": finding.fingerprint,
+                "status": _status(finding, diff),
+            }
+            for finding in result.findings
+        ],
+        "stale_baseline_entries": diff.stale,
+        "summary": {
+            "files": result.files_analyzed,
+            "total": len(result.findings),
+            "new": len(diff.new),
+            "baselined": len(diff.baselined),
+            "suppressed": result.suppressed,
+            "stale": len(diff.stale),
+            "baseline": str(baseline.path) if baseline.path else None,
+            "ok": not diff.failed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

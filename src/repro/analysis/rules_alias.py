@@ -1,0 +1,131 @@
+"""SWD004 — in-place aliasing hazards in stacked kernels.
+
+The tile engine passes views and scratch buffers between kernels
+(``apply_dac``, ``dynamic_droop``, …).  A function that writes into
+one of its *parameters* — via augmented assignment, ``out=``, slice
+stores, or ``np.copyto`` — mutates caller-visible memory; when the
+caller passed a view of the stacked conductances, that silently
+corrupts the bank for every later call.  The escape hatch is the
+explicit in-place contract: a parameter named ``out`` (or ``out_*``)
+advertises mutation, exactly like NumPy's own ufuncs, and is exempt.
+
+Local temporaries remain free to use the ``x *= ...`` /
+``np.round(v, out=v)`` idiom — only parameter mutation is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, Rule, SourceModule, dotted_name
+
+__all__ = ["AliasHazardRule"]
+
+_COPYTO_FNS = {"copyto", "put", "place", "fill_diagonal"}
+
+
+def _parameter_names(node: ast.FunctionDef) -> set[str]:
+    args = node.args
+    names = [arg.arg for arg in (*args.posonlyargs, *args.args,
+                                 *args.kwonlyargs)]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return {
+        name for name in names
+        if name not in ("self", "cls")
+        and name != "out" and not name.startswith("out_")
+    }
+
+
+class AliasHazardRule(Rule):
+    id = "SWD004"
+    name = "inplace-alias-hazard"
+    severity = "warning"
+    hint = ("copy the array first, or rename the parameter `out`/`out_*` "
+            "to make the in-place contract explicit at every call site")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        if not context.config.in_scope(module.rel,
+                                       context.config.alias_scope):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module: SourceModule,
+                        fn: ast.FunctionDef) -> Iterator[Finding]:
+        params = _parameter_names(fn)
+        if not params:
+            return
+        # A parameter rebound to a fresh object (the defensive
+        # `x = np.asarray(x).copy()` idiom) no longer aliases the
+        # caller's array; drop it from the hazard set.
+        for node in self._body_walk(fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        params.discard(target.id)
+            elif isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name):
+                params.discard(node.target.id)
+        if not params:
+            return
+        # _body_walk stays out of nested defs; the module-level walk
+        # visits those separately against their own parameter sets.
+        for node in self._body_walk(fn):
+            if isinstance(node, ast.AugAssign) and \
+                    isinstance(node.target, ast.Name) and \
+                    node.target.id in params:
+                yield self.finding(
+                    module, node,
+                    f"augmented assignment mutates parameter "
+                    f"`{node.target.id}` in place — the caller's array "
+                    f"changes behind its back")
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and \
+                            isinstance(target.value, ast.Name) and \
+                            target.value.id in params:
+                        yield self.finding(
+                            module, node,
+                            f"subscript store writes into parameter "
+                            f"`{target.value.id}` — the caller's array "
+                            f"changes behind its back")
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, params)
+
+    def _body_walk(self, fn: ast.FunctionDef) -> Iterator[ast.AST]:
+        """Walk ``fn`` without descending into nested function defs."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_call(self, module: SourceModule, node: ast.Call,
+                    params: set[str]) -> Iterator[Finding]:
+        for keyword in node.keywords:
+            if keyword.arg == "out" and \
+                    isinstance(keyword.value, ast.Name) and \
+                    keyword.value.id in params:
+                yield self.finding(
+                    module, node,
+                    f"`out={keyword.value.id}` writes into a function "
+                    f"parameter — the caller's array changes behind its "
+                    f"back")
+        func_name = dotted_name(node.func) or ""
+        if func_name.split(".")[-1] in _COPYTO_FNS and node.args and \
+                isinstance(node.args[0], ast.Name) and \
+                node.args[0].id in params:
+            yield self.finding(
+                module, node,
+                f"`{func_name}(...)` mutates its first argument "
+                f"`{node.args[0].id}`, a function parameter")

@@ -1,0 +1,194 @@
+"""SWD002 — config/cache coherence.
+
+The runtime's result cache is content-addressed by
+``SwordfishConfig.cache_key()``; a config field that never reaches the
+key means two *different* design questions hash identically and the
+cache silently serves stale sweeps.  This rule makes that invariant
+mechanical for the repo's result-affecting config dataclasses:
+
+* every dataclass field must be *referenced* (``self.field`` or a
+  ``"field"`` string literal) inside ``to_dict``/``cache_key``, or
+  carry a justified entry in
+  :data:`repro.analysis.config.CACHE_EXCLUDED_FIELDS`;
+* references must be **explicit** — ``asdict(self)`` serializes
+  implicitly, which is exactly how a newly added field skips review,
+  so full-``self`` ``asdict`` inside these methods is itself flagged
+  (``asdict(self.nested)`` on a sub-config is fine);
+* a field ``.pop("name")``-ed out of the payload inside ``cache_key``
+  is an *exclusion*, and exclusions require an allowlist entry;
+* allowlist entries that are empty, cover covered fields, or name
+  unknown fields are flagged, so the allowlist cannot rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .core import Finding, Rule, SourceModule, dotted_name
+
+__all__ = ["ConfigCoherenceRule"]
+
+
+@dataclass
+class _MethodRefs:
+    names: set[str] = field(default_factory=set)
+    strings: set[str] = field(default_factory=set)
+    pops: set[str] = field(default_factory=set)
+    calls_to_dict: bool = False
+    full_asdict: ast.Call | None = None
+
+
+def _method_refs(fn: ast.FunctionDef) -> _MethodRefs:
+    refs = _MethodRefs()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and node.value.id == "self":
+            refs.names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            refs.strings.add(node.value)
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in ("asdict", "dataclasses.asdict") and node.args and \
+                    isinstance(node.args[0], ast.Name) and \
+                    node.args[0].id == "self":
+                refs.full_asdict = node
+            elif name == "self.to_dict":
+                refs.calls_to_dict = True
+            elif name is not None and name.endswith(".pop") and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                refs.pops.add(node.args[0].value)
+    return refs
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if dotted_name(target) in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    fields: list[tuple[str, ast.AnnAssign]] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or \
+                not isinstance(stmt.target, ast.Name):
+            continue
+        name = stmt.target.id
+        if name.startswith("_"):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation or "InitVar" in annotation:
+            continue
+        fields.append((name, stmt))
+    return fields
+
+
+class ConfigCoherenceRule(Rule):
+    id = "SWD002"
+    name = "config-cache-coherence"
+    severity = "error"
+    hint = ("reference the field explicitly in to_dict()/cache_key() so "
+            "changing it changes the result-cache key, or add a "
+            "justified entry to "
+            "repro.analysis.config.CACHE_EXCLUDED_FIELDS")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        watched = set(context.config.config_classes)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name in watched \
+                    and _is_dataclass(node):
+                yield from self._check_class(module, node, context)
+
+    def _check_class(self, module: SourceModule, node: ast.ClassDef,
+                     context) -> Iterator[Finding]:
+        fields = _dataclass_fields(node)
+        field_names = {name for name, _ in fields}
+        allowlist = dict(
+            context.config.cache_excluded_fields.get(node.name, {}))
+
+        to_dict = cache_key = None
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                if stmt.name == "to_dict":
+                    to_dict = stmt
+                elif stmt.name == "cache_key":
+                    cache_key = stmt
+
+        if to_dict is None and cache_key is None:
+            for name, stmt in fields:
+                yield self.finding(
+                    module, stmt,
+                    f"{node.name}.{name}: class defines neither to_dict() "
+                    f"nor cache_key(), so no field can reach the result "
+                    f"cache")
+            return
+
+        covered: set[str] = set()
+        excluded: set[str] = set()
+        for method, is_cache_key in ((cache_key, True), (to_dict, False)):
+            if method is None:
+                continue
+            refs = _method_refs(method)
+            if refs.full_asdict is not None:
+                yield self.finding(
+                    module, refs.full_asdict,
+                    f"{node.name}.{method.name}() serializes via "
+                    f"asdict(self); enumerate fields explicitly so a new "
+                    f"field cannot skip cache-key review")
+            consumed = (refs.names | refs.strings) & field_names
+            if is_cache_key:
+                # A field popped out of the payload is excluded unless
+                # it is also referenced directly inside cache_key.
+                direct = (refs.names | (refs.strings - refs.pops))
+                excluded |= (refs.pops & field_names) - direct
+                covered |= consumed - excluded
+                if not refs.calls_to_dict and to_dict is not None:
+                    # cache_key ignores to_dict entirely: to_dict
+                    # references alone do not reach the cache.
+                    break
+            else:
+                covered |= consumed - excluded
+
+        for name, stmt in fields:
+            justification = allowlist.pop(name, None)
+            if name in covered:
+                if justification is not None:
+                    yield self.finding(
+                        module, stmt,
+                        f"{node.name}.{name} has a cache-exclusion "
+                        f"allowlist entry but is consumed by "
+                        f"to_dict/cache_key — remove the stale entry")
+                continue
+            if justification:
+                continue  # explicitly excluded, with a reason
+            if justification is not None:
+                yield self.finding(
+                    module, stmt,
+                    f"{node.name}.{name}: allowlist entry has no "
+                    f"justification text")
+                continue
+            if name in excluded:
+                yield self.finding(
+                    module, stmt,
+                    f"{node.name}.{name} is popped out of cache_key() "
+                    f"without an allowlist justification — silent cache "
+                    f"poisoning if the field affects results")
+            else:
+                yield self.finding(
+                    module, stmt,
+                    f"{node.name}.{name} never reaches "
+                    f"to_dict()/cache_key(): adding this field silently "
+                    f"poisons the result cache")
+
+        for name in allowlist:
+            yield self.finding(
+                module, node,
+                f"allowlist names unknown field {node.name}.{name} — "
+                f"remove or fix the entry")

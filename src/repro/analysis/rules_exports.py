@@ -1,0 +1,205 @@
+"""SWD006 — export coherence.
+
+``repro``'s packages re-export their public API through ``__init__``
+modules, and every module declares ``__all__``.  A name that drifts
+(renamed function, dropped class) fails only at import time of the
+*consumer* — or worse, never, if the import is inside a lazy path.
+This rule resolves the whole export graph statically:
+
+* every ``__all__`` entry must be bound at module top level (defs,
+  classes, assignments, imports — including ``__all__.append`` /
+  ``extend`` / ``+=`` accretion and star-imports one level deep);
+* every ``from .x import name`` whose target lives in the analyzed
+  tree must name a real binding (or submodule) of that target.
+
+Imports from modules outside the analyzed tree (numpy, stdlib) are
+ignored — this is an intra-repo coherence check, not an import linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, ModuleInfo, Rule, SourceModule
+
+__all__ = ["ExportCoherenceRule", "build_module_index"]
+
+
+# ----------------------------------------------------------------------
+# Index construction (runs once per analysis, shared via the context)
+# ----------------------------------------------------------------------
+
+def _harvest_all(info: ModuleInfo, node: ast.stmt) -> bool:
+    """Record ``__all__`` manipulation; True when the statement was one."""
+    def add(elts, lineno: int) -> None:
+        for elt in elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                info.all_names.append((elt.value, elt.lineno or lineno))
+                info.all_lines.setdefault(elt.value, elt.lineno or lineno)
+
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        if any(isinstance(t, ast.Name) and t.id == "__all__"
+               for t in targets):
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                add(node.value.elts, node.lineno)
+            return True
+    if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+        call = node.value
+        if isinstance(call.func, ast.Attribute) and \
+                isinstance(call.func.value, ast.Name) and \
+                call.func.value.id == "__all__":
+            if call.func.attr == "append":
+                add(call.args, node.lineno)
+            elif call.func.attr == "extend" and call.args and \
+                    isinstance(call.args[0], (ast.List, ast.Tuple)):
+                add(call.args[0].elts, node.lineno)
+            return True
+    return False
+
+
+def _relative_target(info_name: str, is_package: bool,
+                     node: ast.ImportFrom) -> str | None:
+    """Absolute dotted target of an import, or None if unresolvable."""
+    if node.level == 0:
+        return node.module
+    package = info_name if is_package else info_name.rpartition(".")[0]
+    parts = package.split(".") if package else []
+    up = node.level - 1
+    if up > len(parts):
+        return None
+    base = parts[:len(parts) - up] if up else parts
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _collect_bindings(info: ModuleInfo, module: SourceModule,
+                      is_package: bool) -> None:
+    def visit_body(body: list[ast.stmt]) -> None:
+        for node in body:
+            if _harvest_all(info, node):
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                info.bindings.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            info.bindings.add(name_node.id)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    info.bindings.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    info.bindings.add(
+                        alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                target = _relative_target(info.name, is_package, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        if target is not None:
+                            info.star_imports.append(target)
+                    else:
+                        info.bindings.add(alias.asname or alias.name)
+            elif isinstance(node, ast.If):
+                visit_body(node.body)
+                visit_body(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit_body(node.body)
+                for handler in node.handlers:
+                    visit_body(handler.body)
+                visit_body(node.orelse)
+                visit_body(node.finalbody)
+            elif isinstance(node, (ast.With, ast.For, ast.While)):
+                visit_body(node.body)
+
+    if module.tree is not None:
+        visit_body(module.tree.body)
+
+
+def build_module_index(modules: list[SourceModule]) -> dict[str, ModuleInfo]:
+    index: dict[str, ModuleInfo] = {}
+    for module in modules:
+        info = ModuleInfo(name=module.name, rel=module.rel)
+        _collect_bindings(info, module,
+                          is_package=module.path.name == "__init__.py")
+        index[module.name] = info
+    for info in index.values():
+        _expand_stars(info, index, set())
+    return index
+
+
+def _expand_stars(info: ModuleInfo, index: dict[str, ModuleInfo],
+                  visiting: set[str]) -> None:
+    if info.expanded or info.name in visiting:
+        return
+    visiting.add(info.name)
+    for target_name in info.star_imports:
+        target = index.get(target_name)
+        if target is None:
+            continue
+        _expand_stars(target, index, visiting)
+        if target.all_names:
+            info.bindings |= {name for name, _ in target.all_names}
+        else:
+            info.bindings |= {name for name in target.bindings
+                              if not name.startswith("_")}
+    info.expanded = True
+
+
+# ----------------------------------------------------------------------
+# The rule
+# ----------------------------------------------------------------------
+
+class ExportCoherenceRule(Rule):
+    id = "SWD006"
+    name = "export-coherence"
+    severity = "error"
+    hint = ("bind the name in the module (or fix the spelling) — stale "
+            "exports fail at the consumer's import site, far from the "
+            "edit that broke them")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        index = context.module_index
+        info = index.get(module.name)
+        if info is None:
+            return
+        is_package = module.path.name == "__init__.py"
+
+        for name, lineno in info.all_names:
+            if name in info.bindings:
+                continue
+            if is_package and f"{module.name}.{name}" in index:
+                continue  # submodule listed in __all__
+            anchor = ast.Constant(value=name)
+            anchor.lineno, anchor.col_offset = lineno, 0
+            yield self.finding(
+                module, anchor,
+                f"__all__ exports `{name}`, which is never bound in "
+                f"{module.name}")
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            target_name = _relative_target(module.name, is_package, node)
+            if target_name is None or target_name not in index:
+                continue
+            target = index[target_name]
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if alias.name in target.bindings:
+                    continue
+                if f"{target_name}.{alias.name}" in index:
+                    continue  # importing a submodule
+                yield self.finding(
+                    module, node,
+                    f"`from {'.' * node.level}{node.module or ''} import "
+                    f"{alias.name}` does not resolve: {target_name} "
+                    f"binds no `{alias.name}`")

@@ -1,0 +1,354 @@
+"""SWD003 (dtype drift) and SWD005 (unguarded division / float ==).
+
+SWD003 — the crossbar hot kernels run a strict float64 convention
+(``tests/test_engine.py``'s loop≡batched tolerance contract depends on
+it).  Introducing float32/float16 anywhere in ``repro/crossbar/`` —
+via ``dtype=`` arguments, ``astype`` casts, or scalar constructors —
+silently halves precision on one path and breaks bitwise backend
+equivalence; ``astype`` round-trip chains lose precision even when
+they end on the right dtype.
+
+SWD005 — the ``quantize_symmetric`` zero-step bug class: a division
+whose denominator can reach exact zero produces inf/nan that
+propagates through a whole sweep instead of failing loudly.  The rule
+flags divisions by plain names/attributes (and ``len(...)``/
+``abs(...)`` calls) that are not *visibly guarded* — guarded meaning a
+``max``/``np.maximum``/``clip`` floor, a nonzero additive constant, a
+zero-check on the same name anywhere in the function, or an assignment
+from such an expression.  It also flags ``==``/``!=`` against nonzero
+float literals, which are brittle under rounding (exact-zero
+comparisons are well-defined guards and stay legal).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, Rule, SourceModule, dotted_name
+
+__all__ = ["DtypeDriftRule", "NumericSafetyRule"]
+
+
+# ----------------------------------------------------------------------
+# SWD003
+# ----------------------------------------------------------------------
+
+_NARROW_DTYPES = {"float32", "float16", "half", "single"}
+
+
+def _is_narrow_dtype(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+            and node.value in _NARROW_DTYPES:
+        return node.value
+    name = dotted_name(node)
+    if name is None:
+        return None
+    leaf = name.split(".")[-1]
+    if leaf in _NARROW_DTYPES:
+        return leaf
+    return None
+
+
+class DtypeDriftRule(Rule):
+    id = "SWD003"
+    name = "dtype-drift"
+    severity = "warning"
+    hint = ("crossbar kernels are float64 end-to-end (the loop≡batched "
+            "equivalence contract); keep narrow dtypes out of the hot "
+            "path or confine the cast to an explicitly documented "
+            "boundary")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        if not context.config.in_scope(module.rel,
+                                       context.config.dtype_scope):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_call(module, node)
+
+    def _check_call(self, module: SourceModule,
+                    node: ast.Call) -> Iterator[Finding]:
+        func_name = dotted_name(node.func)
+        # np.float32(x) scalar constructors.
+        if func_name is not None:
+            leaf = func_name.split(".")[-1]
+            if leaf in _NARROW_DTYPES and func_name != leaf:
+                yield self.finding(
+                    module, node,
+                    f"`{func_name}(...)` materializes a narrow float in "
+                    f"a float64 kernel")
+                return
+        # dtype= keyword on any call (zeros/empty/asarray/astype/...).
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                narrow = _is_narrow_dtype(keyword.value)
+                if narrow is not None:
+                    yield self.finding(
+                        module, node,
+                        f"`dtype={narrow}` in a float64 kernel drifts "
+                        f"precision mid-pipeline")
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            # .astype(float32-ish)
+            for arg in node.args:
+                narrow = _is_narrow_dtype(arg)
+                if narrow is not None:
+                    yield self.finding(
+                        module, node,
+                        f"`.astype({narrow})` in a float64 kernel drifts "
+                        f"precision mid-pipeline")
+            # .astype(a).astype(b) round-trips lose precision even when
+            # the final dtype is right.
+            inner = node.func.value
+            if isinstance(inner, ast.Call) and \
+                    isinstance(inner.func, ast.Attribute) and \
+                    inner.func.attr == "astype":
+                yield self.finding(
+                    module, node,
+                    "`.astype(...).astype(...)` round-trip: the "
+                    "intermediate cast quantizes values even though the "
+                    "final dtype looks unchanged")
+
+
+# ----------------------------------------------------------------------
+# SWD005
+# ----------------------------------------------------------------------
+
+_GUARD_CALLS = {"max", "maximum", "fmax", "clip"}
+
+#: Well-known nonzero module constants — dividing by these is safe.
+_NONZERO_CONSTANTS = {
+    "math.pi", "math.e", "math.tau", "np.pi", "np.e", "numpy.pi", "numpy.e",
+}
+
+
+def _expr_source(node: ast.AST) -> str | None:
+    """Dotted text for hashable guard tracking (names/attributes only)."""
+    return dotted_name(node)
+
+
+def _side_keys(side: ast.AST) -> list[str]:
+    """Guard keys a compared/truth-tested expression establishes.
+
+    ``x``/``a.b`` yield their dotted text.  ``len(x)``/``abs(x)`` yield
+    a ``len(x)``-style key so ``if len(xs) == 0: ...`` guards a later
+    ``/ len(xs)``.  Value-preserving wrappers (``asarray``/``array``/
+    ``float``/``int``) are unwrapped, so ``np.all(np.asarray(fs) > 0)``
+    guards ``/ fs``.
+    """
+    source = _expr_source(side)
+    if source is not None:
+        return [source]
+    if isinstance(side, ast.Call) and side.args:
+        leaf = (dotted_name(side.func) or "").split(".")[-1]
+        if leaf in ("len", "abs"):
+            inner = dotted_name(side.args[0])
+            if inner is not None:
+                return [f"{leaf}({inner})"]
+        if leaf in ("asarray", "array", "float", "int"):
+            return _side_keys(side.args[0])
+    return []
+
+
+def _zero_checked_names(fn: ast.AST) -> set[str]:
+    """Names/attributes compared against zero (or truth-tested) anywhere
+    in the function — treated as guarded for every division inside."""
+    checked: set[str] = set()
+
+    def harvest_test(test: ast.AST) -> None:
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            harvest_test(test.operand)
+            return
+        if isinstance(test, ast.BoolOp):
+            for value in test.values:
+                harvest_test(value)
+            return
+        if isinstance(test, ast.Call) and test.args:
+            # np.all(x > 0) / np.any(x == 0) element-wise reductions.
+            leaf = (dotted_name(test.func) or "").split(".")[-1]
+            if leaf in ("all", "any"):
+                harvest_test(test.args[0])
+                return
+        for key in _side_keys(test):    # `if x:` / `if len(x):` truthiness
+            checked.add(key)
+        if isinstance(test, ast.Compare):
+            sides = [test.left, *test.comparators]
+            numeric_zero = any(
+                isinstance(side, ast.Constant) and
+                isinstance(side.value, (int, float)) and side.value == 0
+                for side in sides)
+            if numeric_zero:
+                for side in sides:
+                    for key in _side_keys(side):
+                        checked.add(key)
+
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.If, ast.IfExp, ast.While)):
+            harvest_test(node.test)
+        elif isinstance(node, ast.Assert):
+            harvest_test(node.test)
+        elif isinstance(node, ast.Call) and node.args:
+            # np.where(d > 0, x / d, fallback): the select condition is
+            # a guard for the divisions it dominates.
+            leaf = (dotted_name(node.func) or "").split(".")[-1]
+            if leaf == "where":
+                harvest_test(node.args[0])
+    return checked
+
+
+class _DivisionVisitor(ast.NodeVisitor):
+    """Per-function scan: assignment environment + division checks."""
+
+    def __init__(self, rule: "NumericSafetyRule", module: SourceModule):
+        self.rule = rule
+        self.module = module
+        self.findings: list[Finding] = []
+        self._scope_stack: list[dict[str, ast.AST]] = [{}]
+        self._checked_stack: list[set[str]] = [set()]
+
+    # -- scope handling -------------------------------------------------
+    def _enter_function(self, node) -> None:
+        self._scope_stack.append({})
+        self._checked_stack.append(_zero_checked_names(node))
+        self.generic_visit(node)
+        self._scope_stack.pop()
+        self._checked_stack.pop()
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._scope_stack[-1][target.id] = node.value
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            self._scope_stack[-1][node.target.id] = node.value
+        self.generic_visit(node)
+
+    # -- checks ---------------------------------------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod)):
+            self._check_division(node, node.right)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod)):
+            self._check_division(node, node.value)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            for side in [node.left, *node.comparators]:
+                if isinstance(side, ast.Constant) and \
+                        isinstance(side.value, float) and side.value != 0.0:
+                    self.findings.append(self.rule.finding(
+                        self.module, node,
+                        f"float equality against {side.value!r} is "
+                        f"brittle under rounding",
+                        hint=("compare with math.isclose/np.isclose or an "
+                              "explicit tolerance; exact-zero checks are "
+                              "fine")))
+                    break
+        self.generic_visit(node)
+
+    def _check_division(self, node: ast.AST, denominator: ast.AST) -> None:
+        if self._guarded(denominator, depth=4):
+            return
+        if not self._flaggable(denominator):
+            return
+        label = dotted_name(denominator)
+        if label is None and isinstance(denominator, ast.Call):
+            label = f"{dotted_name(denominator.func)}(...)"
+        self.findings.append(self.rule.finding(
+            self.module, node,
+            f"division by `{label}` has no visible nonzero guard "
+            f"(inf/nan would propagate silently)"))
+
+    def _flaggable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            return dotted_name(node) is not None
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name is not None and name.split(".")[-1] in ("len", "abs")
+        return False
+
+    def _guarded(self, node: ast.AST, depth: int) -> bool:
+        if depth <= 0:
+            return False
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, float)) and node.value != 0
+        if isinstance(node, ast.UnaryOp):
+            return self._guarded(node.operand, depth - 1)
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            source = dotted_name(node)
+            if source in _NONZERO_CONSTANTS:
+                return True
+            if source is not None and any(source in checked for checked
+                                          in self._checked_stack):
+                return True
+            if isinstance(node, ast.Name):
+                for scope in reversed(self._scope_stack):
+                    if node.id in scope:
+                        return self._guarded(scope[node.id], depth - 1)
+            return False
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            leaf = name.split(".")[-1]
+            if leaf in _GUARD_CALLS:
+                return True
+            if leaf in ("float", "int"):
+                return bool(node.args) and \
+                    self._guarded(node.args[0], depth - 1)
+            if leaf in ("len", "abs") and node.args:
+                # Guarded when `len(x)` itself was zero-checked, or the
+                # container `x` was truth-tested (`if not x: return`).
+                inner = dotted_name(node.args[0])
+                if inner is not None:
+                    keys = (f"{leaf}({inner})", inner)
+                    return any(key in checked for key in keys
+                               for checked in self._checked_stack)
+            return False
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Add):
+                return self._guarded(node.left, depth - 1) or \
+                    self._guarded(node.right, depth - 1)
+            if isinstance(node.op, ast.Mult):
+                return self._guarded(node.left, depth - 1) and \
+                    self._guarded(node.right, depth - 1)
+            if isinstance(node.op, ast.Pow):
+                return self._guarded(node.left, depth - 1)
+            return False
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+            return any(self._guarded(value, depth - 1)
+                       for value in node.values)
+        if isinstance(node, ast.IfExp):
+            return self._guarded(node.body, depth - 1) and \
+                self._guarded(node.orelse, depth - 1)
+        return False
+
+
+class NumericSafetyRule(Rule):
+    id = "SWD005"
+    name = "numeric-safety"
+    severity = "warning"
+    hint = ("floor the denominator (np.maximum(d, eps) / max(d, 1)), "
+            "early-return on the zero case, or zero-check the name in "
+            "the same function")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        if not context.config.in_scope(module.rel,
+                                       context.config.numeric_scope,
+                                       context.config.numeric_exclude):
+            return
+        visitor = _DivisionVisitor(self, module)
+        visitor._checked_stack[0] = _zero_checked_names(module.tree)
+        visitor.visit(module.tree)
+        yield from visitor.findings

@@ -1,0 +1,125 @@
+"""SWD001 — determinism: no ambient randomness.
+
+Every noise stream in Swordfish must flow from an explicit, seeded
+``np.random.Generator`` / ``SeedSequence`` so that the loop≡batched
+backend equivalence and run-to-run reproducibility hold.  This rule
+flags the three ways ambient randomness sneaks in:
+
+* legacy module-level samplers (``np.random.normal(...)``,
+  ``np.random.seed(...)``) that share one hidden global stream;
+* ``np.random.default_rng()`` / ``np.random.RandomState()`` built
+  without a seed (OS entropy → different results every run);
+* the stdlib ``random`` module's global functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, Rule, SourceModule, dotted_name
+
+__all__ = ["AmbientRandomnessRule"]
+
+#: numpy.random attributes that are legitimate, explicitly-seeded
+#: entry points (classes/constructors), not global-stream samplers.
+_NP_RANDOM_OK = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "RandomState", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+}
+
+#: Constructors that take the seed as their first argument — calling
+#: them with no arguments means OS entropy (non-reproducible).
+_SEEDED_CONSTRUCTORS = {"default_rng", "RandomState", "SeedSequence",
+                        "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+
+_NP_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+#: stdlib ``random`` functions that read or mutate the global stream.
+_STDLIB_RANDOM_FNS = {
+    "seed", "random", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate",
+    "betavariate", "expovariate", "getrandbits", "triangular",
+    "lognormvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate",
+}
+
+
+class AmbientRandomnessRule(Rule):
+    id = "SWD001"
+    name = "no-ambient-randomness"
+    severity = "error"
+    hint = ("thread an explicit np.random.Generator (or SeedSequence) "
+            "seeded from the experiment config; see "
+            "repro.crossbar.engine.spawn_generators for fan-out")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        stdlib_aliases, stdlib_names = _stdlib_random_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            finding = self._check_call(module, node, name,
+                                       stdlib_aliases, stdlib_names)
+            if finding is not None:
+                yield finding
+
+    def _check_call(self, module: SourceModule, node: ast.Call, name: str,
+                    stdlib_aliases: set[str],
+                    stdlib_names: set[str]) -> Finding | None:
+        for prefix in _NP_RANDOM_PREFIXES:
+            if name.startswith(prefix):
+                attr = name[len(prefix):]
+                if attr not in _NP_RANDOM_OK:
+                    return self.finding(
+                        module, node,
+                        f"`{name}()` samples the hidden global NumPy "
+                        f"stream; results depend on call order across "
+                        f"the whole process")
+                if attr in _SEEDED_CONSTRUCTORS and not node.args:
+                    return self.finding(
+                        module, node,
+                        f"`{name}()` without a seed draws OS entropy — "
+                        f"every run produces different noise")
+                return None
+        # `from numpy.random import default_rng` style direct names.
+        if name in stdlib_names:
+            return self.finding(
+                module, node,
+                f"stdlib `random.{name}()` uses the interpreter-global "
+                f"stream; Swordfish noise must come from numpy "
+                f"Generators")
+        root = name.split(".", 1)[0]
+        if root in stdlib_aliases and "." in name:
+            fn = name.split(".")[-1]
+            if fn in _STDLIB_RANDOM_FNS:
+                return self.finding(
+                    module, node,
+                    f"stdlib `{name}()` uses the interpreter-global "
+                    f"stream; Swordfish noise must come from numpy "
+                    f"Generators")
+        return None
+
+
+def _stdlib_random_imports(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names under which the stdlib ``random`` module is reachable.
+
+    Returns ``(module_aliases, directly_imported_functions)``.
+    """
+    aliases: set[str] = set()
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or "random")
+        elif isinstance(node, ast.ImportFrom) and node.module == "random" \
+                and node.level == 0:
+            for alias in node.names:
+                if alias.name in _STDLIB_RANDOM_FNS:
+                    names.add(alias.asname or alias.name)
+    return aliases, names

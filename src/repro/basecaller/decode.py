@@ -72,6 +72,7 @@ def basecall_chunked(model: BonitoModel, signal: np.ndarray,
 
         # Trim half the overlap worth of *frames* at stitched edges.
         frames = log_probs.shape[0]
+        assert len(chunk) > 0  # start < len(signal) bounds every slice
         frames_per_sample = frames / len(chunk)
         trim = int(round(overlap / 2 * frames_per_sample))
         lo = trim if start > 0 else 0

@@ -48,6 +48,8 @@ class HMMBasecaller:
     def __post_init__(self) -> None:
         if self.pore is None:
             self.pore = default_pore_model()
+        if self.samples_per_base <= 0:
+            raise ValueError("samples_per_base must be positive")
         if self.p_stay is None:
             # A geometric dwell of mean `samples_per_base` stays with
             # probability 1 - 1/mean.
@@ -69,6 +71,10 @@ class HMMBasecaller:
         levels = self.pore.level_mean
         med = np.median(levels)
         mad = np.median(np.abs(levels - med)) * 1.4826
+        if mad == 0:
+            # A constant level table cannot discriminate k-mers and
+            # would make the med/MAD normalization divide by zero.
+            raise ValueError("degenerate pore model: zero MAD level table")
         self._norm_means = (levels - med) / mad
         if self.table_noise > 0:
             table_rng = np.random.default_rng(self.table_seed)
@@ -86,6 +92,7 @@ class HMMBasecaller:
         """(T, S) Gaussian log-likelihood of each sample per k-mer."""
         diff = (signal[:, None] - self._norm_means[None, :])
         var = self._norm_stdvs[None, :] ** 2
+        # swd-ok: SWD005 -- _norm_stdvs is floored at 1e-3 in __post_init__
         return -0.5 * (diff ** 2 / var) - 0.5 * np.log(2 * np.pi * var)
 
     def viterbi(self, signal: np.ndarray) -> np.ndarray:
@@ -145,6 +152,7 @@ class HMMBasecaller:
             if abs(slope) < 1e-6:
                 break
             intercept = float(signal.mean() - slope * predicted.mean())
+            # swd-ok: SWD005 -- abs(slope) >= 1e-6 guaranteed by the break above
             signal = (signal - intercept) / slope
             path = self.viterbi(signal)
         changes = np.concatenate(([True], path[1:] != path[:-1]))

@@ -58,11 +58,17 @@ class BonitoConfig:
     def cache_key(self) -> str:
         """Stable string identifying this architecture."""
         convs = "x".join(str(c) for c in self.conv_channels)
-        return (
+        key = (
             f"bonito_c{convs}_k{self.conv_kernel}_s{self.conv_stride}"
             f"_h{self.lstm_hidden}_l{self.num_lstm_layers}"
             f"_skip{int(self.use_skip)}_seed{self.seed}"
         )
+        # Dropout changes the trained weights, so it must split the
+        # model cache; appended only when nonzero to keep every
+        # pre-existing cache key (dropout-free models) valid.
+        if self.dropout:
+            key += f"_d{self.dropout}"
+        return key
 
 
 #: The real Bonito's dimensions (conv encoder into a 384-wide

@@ -24,6 +24,7 @@ Retrained models are cached on disk because every figure reuses them.
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -75,6 +76,36 @@ class EnhanceConfig:
     wrv_iterations: int = 5
     wrv_fraction: float = 0.25
     seed: int = 1337
+
+    # ------------------------------------------------------------------
+    # Serialization.  Fields are enumerated explicitly (not asdict) so
+    # the SWD002 analyzer can prove each one reaches the cache key.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data rendering; round-trips through :meth:`from_dict`."""
+        return {
+            "retrain_epochs": self.retrain_epochs,
+            "retrain_lr": self.retrain_lr,
+            "num_chunks": self.num_chunks,
+            "kd_alpha": self.kd_alpha,
+            "kd_temperature": self.kd_temperature,
+            "sram_fraction": self.sram_fraction,
+            "online_epochs": self.online_epochs,
+            "online_lr": self.online_lr,
+            "wrv_iterations": self.wrv_iterations,
+            "wrv_fraction": self.wrv_fraction,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnhanceConfig":
+        return cls(**data)
+
+    def cache_key(self) -> str:
+        """Stable content hash of the mitigation hyperparameters."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 # ----------------------------------------------------------------------

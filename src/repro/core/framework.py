@@ -63,11 +63,28 @@ class SwordfishConfig:
     # job submission).
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Plain-data rendering; round-trips through :meth:`from_dict`."""
-        data = asdict(self)
-        data["datasets"] = list(self.datasets)
-        data["model"]["conv_channels"] = list(self.model.conv_channels)
-        return data
+        """Plain-data rendering; round-trips through :meth:`from_dict`.
+
+        Fields are enumerated explicitly — never ``asdict(self)`` — so
+        the SWD002 analyzer can prove every result-affecting field
+        reaches :meth:`cache_key` (a new field that skips this method
+        fails ``python -m repro.analysis``).
+        """
+        model = asdict(self.model)
+        model["conv_channels"] = list(self.model.conv_channels)
+        return {
+            "quantization": self.quantization,
+            "crossbar_size": self.crossbar_size,
+            "write_variation": self.write_variation,
+            "bundle": self.bundle,
+            "technique": self.technique,
+            "datasets": list(self.datasets),
+            "reads_per_dataset": self.reads_per_dataset,
+            "seed": self.seed,
+            "model": model,
+            "enhance": self.enhance.to_dict(),
+            "vmm_backend": self.vmm_backend,
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SwordfishConfig":

@@ -34,8 +34,10 @@ class ADCConfig:
     inl: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.bits is not None and self.bits < 1:
-            raise ValueError("ADC bits must be >= 1")
+        if self.bits is not None and self.bits < 2:
+            # bits=1 would give 2**(bits-1) - 1 = 0 signed levels and a
+            # divide-by-zero in apply_adc.
+            raise ValueError("ADC bits must be >= 2 for signed levels")
         if self.range_headroom <= 0:
             raise ValueError("range_headroom must be positive")
         for name in ("gain_std", "offset_std", "inl"):
@@ -84,6 +86,7 @@ def apply_adc(outputs: np.ndarray, config: ADCConfig,
         # with the same per-element operation order as
         # round(y / full_scale * levels) / levels * full_scale.
         levels = 2 ** (config.bits - 1) - 1
+        assert levels > 0  # bits >= 2 enforced in ADCConfig.__post_init__
         y /= full_scale
         y *= levels
         np.round(y, out=y)

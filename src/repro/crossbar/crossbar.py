@@ -20,7 +20,9 @@ computed exactly in the digital domain (Fig. 6 of the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -76,6 +78,51 @@ class CrossbarConfig:
                 f"unknown VMM backend {self.backend!r}; "
                 f"available: {sorted(BACKENDS)}"
             )
+
+    # ------------------------------------------------------------------
+    # Serialization.  Fields are enumerated explicitly (not
+    # ``asdict(self)``) so the SWD002 analyzer can prove each one
+    # reaches the cache key; the nested sub-configs are plain frozen
+    # dataclasses and serialize via ``asdict``.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data rendering; round-trips through :meth:`from_dict`."""
+        return {
+            "size": self.size,
+            "device": asdict(self.device),
+            "variation": asdict(self.variation),
+            "wire": asdict(self.wire),
+            "dac": asdict(self.dac),
+            "adc": asdict(self.adc),
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrossbarConfig":
+        return cls(
+            size=data["size"],
+            device=DeviceConfig(**data["device"]),
+            variation=VariationConfig(**data["variation"]),
+            wire=WireConfig(**data["wire"]),
+            dac=DACConfig(**data["dac"]),
+            adc=ADCConfig(**data["adc"]),
+            backend=data.get("backend"),
+        )
+
+    def cache_key(self) -> str:
+        """Stable content hash of the modeled physics.
+
+        ``backend`` is popped: the loop/batched engines are bitwise-
+        equivalent on identical seeds, so the execution backend must
+        never split a result cache (see
+        ``repro.analysis.config.CACHE_EXCLUDED_FIELDS``).
+        """
+        payload = self.to_dict()
+        payload.pop("backend", None)
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        return f"crossbar_x{self.size}_{digest}"
 
     def ideal(self) -> "CrossbarConfig":
         """A copy of this design with every non-ideality disabled."""
@@ -225,6 +272,7 @@ class CrossbarTile:
         y = v @ analog_weights
         x_scale = max(float(np.abs(x).max()), 1e-12)
         worst_case_output = self.rows * self.w_max * x_scale
+        # swd-ok: SWD005 -- rows >= 1, w_max floored at 1e-9, x_scale at 1e-12
         y = y * dynamic_droop(y / worst_case_output, self.rows,
                               config.wire, config.device)
         y = y + sneak_leakage(y, config.wire)

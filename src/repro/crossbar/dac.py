@@ -33,8 +33,12 @@ class DACConfig:
     v_max: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.bits is not None and self.bits < 1:
-            raise ValueError("DAC bits must be >= 1")
+        if self.bits is not None and self.bits < 2:
+            # bits=1 would give 2**(bits-1) - 1 = 0 signed levels and a
+            # divide-by-zero in apply_dac.
+            raise ValueError("DAC bits must be >= 2 for signed levels")
+        if self.v_max <= 0:
+            raise ValueError("v_max must be positive")
         for name in ("r_load", "gain_std", "offset_std"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
@@ -64,6 +68,7 @@ def apply_dac(inputs: np.ndarray, config: DACConfig,
     mean over the padded axis would understate the demand.
     """
     x = np.asarray(inputs, dtype=np.float64)
+    assert config.v_max > 0  # DACConfig.__post_init__ invariant
     if scale is None:
         scale = max(float(np.abs(x).max()), 1e-12)
     # ``v`` is a fresh array from here on, so the arithmetic below runs
@@ -74,6 +79,7 @@ def apply_dac(inputs: np.ndarray, config: DACConfig,
 
     if config.bits is not None:
         levels = 2 ** (config.bits - 1) - 1
+        assert levels > 0  # bits >= 2 enforced in DACConfig.__post_init__
         v /= config.v_max
         v *= levels
         np.round(v, out=v)
@@ -96,6 +102,8 @@ def apply_dac(inputs: np.ndarray, config: DACConfig,
         if active_rows is None:
             demand = np.abs(v).mean(axis=-1, keepdims=True) / config.v_max
         else:
+            # Each slice carries at least one real row by construction.
+            assert np.all(np.asarray(active_rows) > 0)
             demand = (np.abs(v).sum(axis=-1, keepdims=True)
                       / active_rows / config.v_max)
         v /= 1.0 + config.r_load * demand

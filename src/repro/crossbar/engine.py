@@ -391,6 +391,7 @@ def _execute_batched(engine: TileEngine, x: np.ndarray) -> np.ndarray:
 
     # --- Wires: input-dependent droop + neighbour sneak coupling ------
     worst_case = (st.rows * st.w_max * scale_t)[:, None, None]
+    # swd-ok: SWD005 -- rows >= 1, w_max floored at 1e-9, scale_t at 1e-12
     load_fraction = y / worst_case
     y *= dynamic_droop(load_fraction, st.rows[:, None, None],
                        config.wire, config.device, out=load_fraction)

@@ -103,6 +103,13 @@ def run(num_reads: int | None = None,
     return record
 
 
+def _mean(values: list[float]) -> float:
+    """Mean that fails loudly on an empty sweep cell instead of 0/0."""
+    if not values:
+        raise ValueError("empty accuracy cell in the sweep record")
+    return sum(values) / len(values)
+
+
 def main(record: ExperimentRecord | None = None) -> ExperimentRecord:
     record = record or run()
     quants = record.settings["quant_configs"]
@@ -114,15 +121,13 @@ def main(record: ExperimentRecord | None = None) -> ExperimentRecord:
     for quant in quants:
         row = [quant]
         for technique in techniques:
-            values = acc[(quant, technique)]
-            row.append(sum(values) / len(values))
+            row.append(_mean(acc[(quant, technique)]))
         rows.append(row)
     print(render_table(
         "Fig. 10 — enhancement vs quantization (accuracy %, mean over datasets)",
         ["quant"] + list(techniques), rows))
     base = record.settings["baseline_accuracy"]
-    print(f"Baseline DFP 32-32: "
-          f"{sum(base.values()) / len(base):.2f}%")
+    print(f"Baseline DFP 32-32: {_mean(list(base.values())):.2f}%")
     return record
 
 

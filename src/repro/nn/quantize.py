@@ -84,6 +84,8 @@ def quantization_step(values: np.ndarray, bits: int) -> float:
     if max_abs == 0.0:
         return 1.0
     levels = 2 ** (bits - 1) - 1
+    if levels <= 0:
+        raise ValueError("need at least 2 bits for signed fixed point")
     return max_abs / levels
 
 
@@ -122,6 +124,8 @@ class FakeQuant(Module):
 
     def __init__(self, bits: int | None, percentile: float = 99.5):
         super().__init__()
+        if bits is not None and bits < 2:
+            raise ValueError("need at least 2 bits for signed fixed point")
         self.bits = bits
         self.percentile = percentile
 
@@ -130,6 +134,7 @@ class FakeQuant(Module):
             return as_tensor(x)
         x = as_tensor(x)
         levels = 2 ** (self.bits - 1) - 1
+        assert levels > 0  # bits >= 2 enforced in __init__
         if self.bits <= 4:
             scale = float(np.percentile(np.abs(x.data), self.percentile))
         else:

@@ -1,0 +1,5 @@
+"""SWD006 fixture: ``__all__`` names and re-exports that don't resolve."""
+
+from .mod import present
+
+__all__ = ["present", "missing_name"]

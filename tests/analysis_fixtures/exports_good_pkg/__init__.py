@@ -1,0 +1,5 @@
+"""SWD006 fixture: coherent exports."""
+
+from .mod import present
+
+__all__ = ["present"]

@@ -1,0 +1,3 @@
+present = 1
+
+__all__ = ["present"]

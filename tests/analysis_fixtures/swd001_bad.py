@@ -1,0 +1,9 @@
+"""SWD001 fixture: ambient (unseeded) randomness — every line flagged."""
+
+import random
+
+import numpy as np
+
+noise = np.random.normal(0.0, 1.0, 8)
+rng = np.random.default_rng()
+value = random.random()

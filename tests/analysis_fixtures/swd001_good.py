@@ -1,0 +1,7 @@
+"""SWD001 fixture: all randomness flows from explicit seeds."""
+
+import numpy as np
+
+rng = np.random.default_rng(1234)
+noise = rng.normal(0.0, 1.0, 8)
+children = np.random.SeedSequence(7).spawn(4)

@@ -1,0 +1,17 @@
+"""SWD002 fixture: a config field that never reaches the cache key."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SwordfishConfig:
+    quantization: str = "FPP 16-16"
+    seed: int = 0
+    new_knob: float = 1.0      # missing from to_dict/cache_key: flagged
+
+    def to_dict(self) -> dict:
+        return {"quantization": self.quantization, "seed": self.seed}
+
+    def cache_key(self) -> str:
+        payload = self.to_dict()
+        return str(sorted(payload.items()))

@@ -1,0 +1,26 @@
+"""SWD002 fixture: every field reaches cache_key or the allowlist.
+
+``vmm_backend`` is popped before hashing, which is legal because the
+analyzer's allowlist documents it as numerically irrelevant.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SwordfishConfig:
+    quantization: str = "FPP 16-16"
+    seed: int = 0
+    vmm_backend: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "quantization": self.quantization,
+            "seed": self.seed,
+            "vmm_backend": self.vmm_backend,
+        }
+
+    def cache_key(self) -> str:
+        payload = self.to_dict()
+        payload.pop("vmm_backend", None)
+        return str(sorted(payload.items()))

@@ -1,0 +1,10 @@
+"""SWD003 fixture: narrow dtypes drifting into a float64 kernel."""
+
+import numpy as np
+
+
+def kernel(x):
+    y = np.asarray(x, dtype=np.float32)
+    z = y.astype("float16").astype(np.float64)
+    w = np.float32(3.0)
+    return y, z, w

@@ -1,0 +1,8 @@
+"""SWD003 fixture: the kernel stays float64 end to end."""
+
+import numpy as np
+
+
+def kernel(x):
+    y = np.asarray(x, dtype=np.float64)
+    return y * np.float64(2.0)

@@ -1,0 +1,23 @@
+"""SWD004 fixture: kernels that mutate caller-owned arrays in place."""
+
+import numpy as np
+
+
+def scale_rows(matrix, factors):
+    matrix *= factors[:, None]      # augmented assign on a parameter
+    return matrix
+
+
+def write_diag(weights, value):
+    np.fill_diagonal(weights, value)  # mutating np call on a parameter
+    return weights
+
+
+def round_values(values):
+    np.round(values, out=values)    # out= aimed at a parameter
+    return values
+
+
+def mask_columns(bank, columns):
+    bank[:, columns] = 0.0          # subscript store into a parameter
+    return bank

@@ -1,0 +1,19 @@
+"""SWD004 fixture: defensive copies and the explicit `out` contract."""
+
+import numpy as np
+
+
+def scale_rows(matrix, factors):
+    matrix = np.asarray(matrix, dtype=np.float64).copy()
+    matrix *= factors[:, None]      # local temporary after the rebind
+    return matrix
+
+
+def round_values(out):
+    np.round(out, out=out)          # `out` name advertises mutation
+    return out
+
+
+def accumulate(out_buffer, update):
+    out_buffer += update            # `out_*` prefix advertises mutation
+    return out_buffer

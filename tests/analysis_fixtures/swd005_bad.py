@@ -1,0 +1,9 @@
+"""SWD005 fixture: unguarded division and brittle float equality."""
+
+
+def ratio(a, b):
+    return a / b                    # b can reach exact zero
+
+
+def brittle(x):
+    return x == 0.25                # nonzero float equality

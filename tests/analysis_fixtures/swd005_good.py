@@ -1,0 +1,33 @@
+"""SWD005 fixture: every division carries a visible nonzero guard."""
+
+import numpy as np
+
+
+def checked(a, b):
+    if b == 0:
+        raise ValueError("b must be nonzero")
+    return a / b
+
+
+def floored(a, b):
+    return a / max(b, 1e-12)
+
+
+def mean(values):
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def masked(top, coverage):
+    return np.where(coverage > 0, top / coverage, 0.0)
+
+
+def broadcast_positive(a, full_scale):
+    if not np.all(np.asarray(full_scale) > 0):
+        raise ValueError("full_scale must be positive")
+    return a / full_scale
+
+
+def zero_comparison_is_fine(x):
+    return x == 0.0

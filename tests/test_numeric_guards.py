@@ -1,0 +1,108 @@
+"""Regression tests for the division guards SWD005 surfaced.
+
+Same bug class as the PR 1 ``quantize_symmetric`` zero-step fix: a
+denominator that can silently reach zero.  Each guard added while
+burning down the analyzer's findings gets a test pinning the loud
+failure (or the validated construction) in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basecaller.hmm import HMMBasecaller
+from repro.crossbar.adc import ADCConfig, apply_adc
+from repro.crossbar.dac import DACConfig, apply_dac
+from repro.experiments.fig10_enhance_quant import _mean
+from repro.genomics import PoreModel
+from repro.nn.quantize import FakeQuant, quantization_step, quantize_symmetric
+
+
+# ----------------------------------------------------------------------
+# nn/quantize.py
+# ----------------------------------------------------------------------
+
+def test_quantization_step_rejects_sub_2bit():
+    with pytest.raises(ValueError, match="2 bits"):
+        quantization_step(np.array([1.0, -2.0]), bits=1)
+
+
+def test_quantization_step_positive_for_valid_bits():
+    step = quantization_step(np.array([1.0, -2.0]), bits=8)
+    assert step == pytest.approx(2.0 / 127)
+
+
+def test_quantize_symmetric_still_handles_zero_tensor():
+    out = quantize_symmetric(np.zeros(5), bits=8)
+    assert np.array_equal(out, np.zeros(5))
+
+
+def test_fakequant_rejects_sub_2bit():
+    with pytest.raises(ValueError, match="2 bits"):
+        FakeQuant(1)
+
+
+def test_fakequant_roundtrip_error_bounded_by_step():
+    quant = FakeQuant(8)
+    x = np.linspace(-1.0, 1.0, 23)
+    out = quant(x)
+    assert np.all(np.abs(out.data - x) <= (1.0 / 127) + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# crossbar/dac.py and crossbar/adc.py
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    {"bits": 1},            # 0 signed levels -> divide-by-zero
+    {"bits": 0},
+    {"v_max": 0.0},
+    {"v_max": -1.0},
+])
+def test_dac_config_rejects_degenerate_parameters(kwargs):
+    with pytest.raises(ValueError):
+        DACConfig(**kwargs)
+
+
+def test_dac_minimum_valid_bits_produces_finite_voltages():
+    config = DACConfig(bits=2)
+    v = apply_dac(np.array([[0.5, -0.25, 1.0]]), config)
+    assert np.all(np.isfinite(v))
+
+
+def test_adc_config_rejects_sub_2bit():
+    with pytest.raises(ValueError):
+        ADCConfig(bits=1)
+
+
+def test_adc_minimum_valid_bits_produces_finite_outputs():
+    config = ADCConfig(bits=2)
+    y = apply_adc(np.array([[0.5, -0.25]]), config, full_scale=1.0)
+    assert np.all(np.isfinite(y))
+
+
+# ----------------------------------------------------------------------
+# basecaller/hmm.py
+# ----------------------------------------------------------------------
+
+def test_hmm_rejects_nonpositive_samples_per_base():
+    with pytest.raises(ValueError, match="samples_per_base"):
+        HMMBasecaller(samples_per_base=0.0)
+
+
+def test_hmm_rejects_degenerate_pore_model():
+    flat = PoreModel(k=1, level_mean=np.full(4, 80.0),
+                     level_stdv=np.full(4, 1.5))
+    with pytest.raises(ValueError, match="degenerate"):
+        HMMBasecaller(pore=flat, table_noise=0.0)
+
+
+# ----------------------------------------------------------------------
+# experiments/fig10_enhance_quant.py
+# ----------------------------------------------------------------------
+
+def test_fig10_mean_guards_empty_cells():
+    assert _mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError, match="empty"):
+        _mean([])
