@@ -13,11 +13,14 @@ Subpackages
 ``repro.experiments`` One runner per paper table/figure.
 ``repro.runtime``     Parallel sweep execution: jobs, worker pool,
                       result cache, telemetry, CLI.
+``repro.reliability`` Fault tolerance: numeric health guards, chaos
+                      harness, sweep journals, checkpoint/resume glue.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from . import nn, genomics, basecaller, crossbar, arch, core, runtime
+from . import reliability
 
 __all__ = ["nn", "genomics", "basecaller", "crossbar", "arch", "core",
-           "runtime", "__version__"]
+           "runtime", "reliability", "__version__"]

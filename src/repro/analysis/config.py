@@ -55,6 +55,10 @@ class AnalysisConfig:
     numeric_scope: tuple[str, ...] = ("src/repro/",)
     numeric_exclude: tuple[str, ...] = ("repro/analysis/",)
 
+    # SWD007: fault-handling layers where a silently swallowed broad
+    # exception defeats the layer's purpose.
+    swallow_scope: tuple[str, ...] = ("repro/reliability/", "repro/runtime/")
+
     def in_scope(self, rel: str, patterns: tuple[str, ...],
                  exclude: tuple[str, ...] = ()) -> bool:
         rel = rel.replace("\\", "/")

@@ -1,0 +1,86 @@
+"""SWD007 — silently swallowed broad exceptions in reliability code.
+
+The reliability layer's whole job is to turn failures into *visible*,
+structured outcomes — retried jobs, quarantined cache entries, failed
+``JobOutcome``s, ``DivergenceError``s.  A ``try/except Exception:
+pass`` in that layer defeats the layer: the fault disappears instead
+of being counted, recorded, or escalated, and the chaos suite can no
+longer prove the failure paths work.
+
+The rule flags broad handlers — bare ``except:``, ``except
+Exception:``, ``except BaseException:``, including either name inside
+a tuple — whose body does nothing observable (only ``pass``,
+``continue``, ``...``, or bare string/constant expressions).  Handlers
+that bind the exception, log it, re-raise, return a fallback, or run
+any real statement are fine; so are broad handlers *with* real bodies
+(the executor legitimately catches ``Exception`` to retry).  Narrow
+handlers (``except FileNotFoundError: pass``) stay legal everywhere:
+ignoring one specific, anticipated condition is a decision, not a
+swallow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, Rule, SourceModule, dotted_name
+
+__all__ = ["ExceptionSwallowRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_caught(handler: ast.ExceptHandler) -> str | None:
+    """The broad class name this handler catches, if any."""
+    if handler.type is None:
+        return "bare except"
+    candidates = (handler.type.elts
+                  if isinstance(handler.type, ast.Tuple)
+                  else [handler.type])
+    for candidate in candidates:
+        name = dotted_name(candidate)
+        if name is not None and name.split(".")[-1] in _BROAD:
+            return name
+    return None
+
+
+def _is_inert(stmt: ast.stmt) -> bool:
+    """A statement that makes no failure observable."""
+    if isinstance(stmt, (ast.Pass, ast.Continue)):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return True  # stray docstring / `...`
+    return False
+
+
+class ExceptionSwallowRule(Rule):
+    id = "SWD007"
+    name = "exception-swallow"
+    severity = "warning"
+    hint = ("reliability code must surface faults: narrow the exception "
+            "type to the condition being ignored, or make the handler do "
+            "something observable (record/telemetry/re-raise/fallback "
+            "value)")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        if not context.config.in_scope(module.rel,
+                                       context.config.swallow_scope):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _broad_caught(node)
+            if caught is None:
+                continue
+            if not all(_is_inert(stmt) for stmt in node.body):
+                continue
+            label = ("a bare `except:`" if caught == "bare except"
+                     else f"`except {caught}:`")
+            yield self.finding(
+                module, node,
+                f"{label} swallows every failure silently — in the "
+                f"reliability/runtime layer faults must be recorded, "
+                f"retried, or re-raised, never dropped")

@@ -22,6 +22,7 @@ from .rules_config import ConfigCoherenceRule
 from .rules_exports import ExportCoherenceRule, build_module_index
 from .rules_numeric import DtypeDriftRule, NumericSafetyRule
 from .rules_random import AmbientRandomnessRule
+from .rules_swallow import ExceptionSwallowRule
 
 __all__ = ["ALL_RULES", "AnalysisContext", "default_rules", "run_analysis"]
 
@@ -33,6 +34,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     AliasHazardRule,
     NumericSafetyRule,
     ExportCoherenceRule,
+    ExceptionSwallowRule,
 )
 
 

@@ -15,13 +15,16 @@ needs:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
 from .. import nn
 from ..genomics import Read, random_genome, sample_reads
+from ..reliability import DivergenceError, HealthMonitor, default_monitor
 from .model import BonitoModel
 
 __all__ = [
@@ -120,23 +123,81 @@ def _default_loss(model: BonitoModel, signals: nn.Tensor,
     return nn.ctc_loss(logits, targets)
 
 
+def _checkpoint_cadence(checkpoint_every: int | None) -> int:
+    """Epochs between checkpoints: argument, env var, or every epoch."""
+    if checkpoint_every is not None:
+        return max(int(checkpoint_every), 0)
+    raw = os.environ.get("SWORDFISH_CHECKPOINT_EVERY", "").strip()
+    if raw:
+        return max(int(raw), 0)
+    return 1
+
+
+def _perturb_state(weight_perturb) -> dict | None:
+    if weight_perturb is not None and hasattr(weight_perturb, "state_dict"):
+        return weight_perturb.state_dict()
+    return None
+
+
+def _decay_lr(optimizer, schedule, factor: float) -> None:
+    """Scale the effective learning rate through the schedule chain.
+
+    Schedules rewrite ``optimizer.lr`` from their own targets every
+    step, so decaying only the optimizer would be undone immediately.
+    """
+    optimizer.lr *= factor
+    node = schedule
+    while node is not None:
+        for attr in ("target_lr", "lr_max", "lr_min"):
+            if hasattr(node, attr):
+                setattr(node, attr, getattr(node, attr) * factor)
+        node = getattr(node, "after", None)
+
+
 def train_model(model: BonitoModel, chunks: Sequence[Chunk],
                 config: TrainConfig | None = None,
                 loss_fn: LossFn | None = None,
                 weight_perturb: Callable[[BonitoModel], Callable[[], None]] | None = None,
                 progress: Callable[[int, float], None] | None = None,
+                checkpoint_path: str | Path | None = None,
+                checkpoint_every: int | None = None,
+                resume: bool = True,
+                health: HealthMonitor | None = None,
                 ) -> list[float]:
     """Train ``model`` on ``chunks``; returns per-epoch mean losses.
 
     ``weight_perturb(model)`` is called before each forward pass and
     must return an ``undo`` callable; the optimizer step is applied to
     the *clean* weights with gradients from the perturbed ones (the VAT
-    scheme of Liu et al., DAC 2015).
+    scheme of Liu et al., DAC 2015).  A perturb hook that also exposes
+    ``state_dict``/``load_state_dict`` has its state checkpointed, so
+    VAT runs resume on the exact noise stream.
+
+    With ``checkpoint_path`` set, a full training snapshot (model +
+    optimizer + schedule + RNG + completed epoch) is written atomically
+    every ``checkpoint_every`` epochs (``SWORDFISH_CHECKPOINT_EVERY``,
+    default 1); ``resume=True`` restarts from an existing snapshot and
+    yields bitwise-identical results to an uninterrupted run.
+
+    ``health`` (default: :func:`repro.reliability.default_monitor`)
+    watches per-batch losses and gradient norms.  On divergence a
+    ``"fail"`` policy raises the structured
+    :class:`~repro.reliability.DivergenceError`; a ``"rollback"``
+    policy restores the last snapshot with a decayed learning rate, up
+    to ``max_rollbacks`` times.
     """
     config = config or TrainConfig()
     if not chunks:
         raise ValueError("no training chunks supplied")
+    if len(chunks) < config.batch_size:
+        raise ValueError(
+            f"{len(chunks)} training chunks cannot fill one batch of "
+            f"{config.batch_size}: every epoch would be empty and its "
+            f"mean loss undefined — supply more chunks or shrink "
+            f"batch_size")
     loss_fn = loss_fn or _default_loss
+    if health is None:
+        health = default_monitor()
     rng = np.random.default_rng(config.seed)
     optimizer = nn.Adam(model.parameters(), lr=config.lr)
     steps_per_epoch = max(len(chunks) // config.batch_size, 1)
@@ -146,25 +207,89 @@ def train_model(model: BonitoModel, chunks: Sequence[Chunk],
                                 config.epochs * steps_per_epoch,
                                 lr_min=config.lr * 0.05),
     )
+    cadence = _checkpoint_cadence(checkpoint_every)
+    checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+
+    def capture(epoch: int, losses: list[float]) -> dict:
+        return {"model": model.state_dict(),
+                "optimizer": optimizer.state_dict(),
+                "schedule": schedule.state_dict(),
+                "rng": rng.bit_generator.state,
+                "epoch": epoch,
+                "extra": {"epoch_losses": list(losses),
+                          "perturb": _perturb_state(weight_perturb)}}
+
+    def restore(snapshot: dict) -> list[float]:
+        model.load_state_dict(snapshot["model"])
+        optimizer.load_state_dict(snapshot["optimizer"])
+        schedule.load_state_dict(snapshot["schedule"])
+        rng.bit_generator.state = snapshot["rng"]
+        extra = snapshot.get("extra", {})
+        if (weight_perturb is not None
+                and hasattr(weight_perturb, "load_state_dict")
+                and extra.get("perturb") is not None):
+            weight_perturb.load_state_dict(extra["perturb"])
+        return list(extra.get("epoch_losses", []))
+
+    epoch_losses: list[float] = []
+    start_epoch = 0
+    # ``epoch`` in snapshots = index of the last *completed* epoch.
+    last_good = capture(-1, epoch_losses)
+    if checkpoint_path is not None and resume and checkpoint_path.exists():
+        snapshot = nn.load_training_state(checkpoint_path)
+        epoch_losses = restore(snapshot)
+        last_good = snapshot
+        start_epoch = int(snapshot["epoch"]) + 1
 
     model.train()
-    epoch_losses: list[float] = []
-    for epoch in range(config.epochs):
+    epoch = start_epoch
+    step = start_epoch * steps_per_epoch
+    while epoch < config.epochs:
         losses: list[float] = []
-        for signals, targets in batch_iterator(chunks, config.batch_size, rng):
-            undo = weight_perturb(model) if weight_perturb else None
-            loss = loss_fn(model, nn.Tensor(signals), targets)
-            model.zero_grad()
-            loss.backward()
-            if undo is not None:
-                undo()
-            nn.clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
-            schedule.step()
-            losses.append(float(loss.data))
-        mean_loss = float(np.mean(losses)) if losses else float("nan")
+        try:
+            for signals, targets in batch_iterator(chunks,
+                                                   config.batch_size, rng):
+                undo = weight_perturb(model) if weight_perturb else None
+                loss = loss_fn(model, nn.Tensor(signals), targets)
+                model.zero_grad()
+                loss.backward()
+                if undo is not None:
+                    undo()
+                grad_norm = nn.clip_grad_norm(model.parameters(),
+                                              config.grad_clip)
+                if health is not None:
+                    health.check_loss(float(loss.data), step=step)
+                    health.check_grad_norm(grad_norm, step=step)
+                optimizer.step()
+                schedule.step()
+                losses.append(float(loss.data))
+                step += 1
+        except DivergenceError:
+            if health is None or not health.can_roll_back:
+                raise
+            rollbacks = health.note_rollback()
+            epoch_losses = restore(last_good)
+            _decay_lr(optimizer, schedule,
+                      health.policy.lr_decay ** rollbacks)
+            epoch = int(last_good["epoch"]) + 1
+            step = epoch * steps_per_epoch
+            model.train()
+            continue
+        if not losses:
+            raise RuntimeError(
+                f"epoch {epoch} produced no batches from {len(chunks)} "
+                f"chunks (batch_size={config.batch_size})")
+        mean_loss = float(np.mean(losses))
         epoch_losses.append(mean_loss)
+        if cadence and (epoch + 1) % cadence == 0:
+            last_good = capture(epoch, epoch_losses)
+            if checkpoint_path is not None:
+                nn.save_training_state(
+                    checkpoint_path, model=model, optimizer=optimizer,
+                    schedule=schedule, rng=rng, epoch=epoch,
+                    extra=last_good["extra"])
         if progress is not None:
             progress(epoch, mean_loss)
+        epoch += 1
     model.eval()
     return epoch_losses

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -136,18 +138,27 @@ def characterize_weight_noise(model: BonitoModel, bundle: NonidealityBundle,
     return noise
 
 
-def _make_perturb(noise: dict[int, np.ndarray], seed: int):
-    """Weight-perturb hook for :func:`repro.basecaller.train_model`."""
-    rng = np.random.default_rng(seed)
+class _VatPerturb:
+    """Weight-perturb hook for :func:`repro.basecaller.train_model`.
 
-    def perturb(model: BonitoModel):
+    A class (not a closure) so the noise RNG's state can be
+    checkpointed: resuming a killed VAT run then continues on the
+    exact perturbation stream, keeping resume bitwise-identical.
+    """
+
+    def __init__(self, noise: dict[int, np.ndarray], seed: int):
+        self.noise = noise
+        self.rng = np.random.default_rng(seed)
+
+    def __call__(self, model: BonitoModel):
         saved: list[tuple[nn.Parameter, np.ndarray]] = []
         for param in model.parameters():
-            sigma = noise.get(id(param))
+            sigma = self.noise.get(id(param))
             if sigma is None:
                 continue
             saved.append((param, param.data.copy()))
-            param.data = param.data + rng.standard_normal(param.data.shape) * sigma
+            param.data = param.data + \
+                self.rng.standard_normal(param.data.shape) * sigma
 
         def undo() -> None:
             for param, clean in saved:
@@ -155,26 +166,61 @@ def _make_perturb(noise: dict[int, np.ndarray], seed: int):
 
         return undo
 
-    return perturb
+    def state_dict(self) -> dict:
+        return {"rng": self.rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+
+
+def _make_perturb(noise: dict[int, np.ndarray], seed: int) -> _VatPerturb:
+    return _VatPerturb(noise, seed)
+
+
+def _stage_checkpoint(stage: str, key: str) -> "Path | None":
+    """Checkpoint path for one retraining stage, if checkpointing is on.
+
+    ``SWORDFISH_CHECKPOINT_DIR`` opts long retraining loops into
+    periodic full-state checkpoints; unset (the default) keeps the
+    hot path free of checkpoint I/O.
+    """
+    root = os.environ.get("SWORDFISH_CHECKPOINT_DIR", "").strip()
+    if not root:
+        return None
+    return Path(root) / f"{stage}_{key}.ckpt"
 
 
 # ----------------------------------------------------------------------
 # VAT and KD retraining
 # ----------------------------------------------------------------------
 
+def _design_key(bundle: NonidealityBundle, crossbar_size: int,
+                write_variation: float, config: EnhanceConfig) -> str:
+    payload = (f"{bundle.name}|{crossbar_size}|{write_variation:.6f}|"
+               f"{config.cache_key()}")
+    return hashlib.sha1(payload.encode()).hexdigest()[:12]
+
+
 def vat_retrain(model: BonitoModel, bundle: NonidealityBundle,
                 crossbar_size: int, write_variation: float,
                 chunks: Sequence[Chunk], config: EnhanceConfig,
-                ) -> BonitoModel:
+                checkpoint_path: Path | None = None) -> BonitoModel:
     """Variation-aware retraining against this design point's noise."""
     noise = characterize_weight_noise(model, bundle, crossbar_size,
                                       write_variation, seed=config.seed)
+    if checkpoint_path is None:
+        checkpoint_path = _stage_checkpoint(
+            "vat", _design_key(bundle, crossbar_size, write_variation,
+                               config))
     train_model(
         model, chunks,
         TrainConfig(epochs=config.retrain_epochs, lr=config.retrain_lr,
                     seed=config.seed),
         weight_perturb=_make_perturb(noise, config.seed + 1),
+        checkpoint_path=checkpoint_path,
     )
+    if checkpoint_path is not None:
+        checkpoint_path.unlink(missing_ok=True)  # retraining finished
     return model
 
 
@@ -201,7 +247,8 @@ def _kd_loss_fn(teacher: BonitoModel, alpha: float, temperature: float):
 def kd_retrain(student: BonitoModel, teacher: BonitoModel,
                bundle: NonidealityBundle, crossbar_size: int,
                write_variation: float, chunks: Sequence[Chunk],
-               config: EnhanceConfig) -> BonitoModel:
+               config: EnhanceConfig,
+               checkpoint_path: Path | None = None) -> BonitoModel:
     """Knowledge-distillation VAT (Section 3.4.2).
 
     The student trains under crossbar weight noise while matching the
@@ -209,13 +256,20 @@ def kd_retrain(student: BonitoModel, teacher: BonitoModel,
     """
     noise = characterize_weight_noise(student, bundle, crossbar_size,
                                       write_variation, seed=config.seed)
+    if checkpoint_path is None:
+        checkpoint_path = _stage_checkpoint(
+            "kd", _design_key(bundle, crossbar_size, write_variation,
+                              config))
     train_model(
         student, chunks,
         TrainConfig(epochs=config.retrain_epochs, lr=config.retrain_lr,
                     seed=config.seed),
         loss_fn=_kd_loss_fn(teacher, config.kd_alpha, config.kd_temperature),
         weight_perturb=_make_perturb(noise, config.seed + 2),
+        checkpoint_path=checkpoint_path,
     )
+    if checkpoint_path is not None:
+        checkpoint_path.unlink(missing_ok=True)  # retraining finished
     return student
 
 
@@ -226,7 +280,8 @@ def kd_retrain(student: BonitoModel, teacher: BonitoModel,
 def rsa_online_retrain(deployed: DeployedModel, chunks: Sequence[Chunk],
                        config: EnhanceConfig,
                        teacher: BonitoModel | None = None,
-                       sram_fraction: float | None = None) -> DeployedModel:
+                       sram_fraction: float | None = None,
+                       checkpoint_path: Path | None = None) -> DeployedModel:
     """RSA + online retraining (Fig. 6's loop).
 
     1. The worst ``sram_fraction`` of each tile moves to SRAM.
@@ -279,13 +334,20 @@ def rsa_online_retrain(deployed: DeployedModel, chunks: Sequence[Chunk],
 
         return undo
 
+    if checkpoint_path is None:
+        checkpoint_path = _stage_checkpoint(
+            "rsa", _design_key(deployed.bundle, deployed.crossbar_size,
+                               deployed.write_variation, config))
     train_model(
         model, chunks,
         TrainConfig(epochs=config.online_epochs, lr=config.online_lr,
                     seed=config.seed + 3),
         loss_fn=loss_fn,
         weight_perturb=masked_perturb,
+        checkpoint_path=checkpoint_path,
     )
+    if checkpoint_path is not None:
+        checkpoint_path.unlink(missing_ok=True)  # retraining finished
 
     # Push retrained SRAM weights into the banks, restore clean weights.
     deployed.update_sram_weights()

@@ -33,6 +33,7 @@ from ..crossbar import (
     VariationConfig,
     WriteReadVerify,
 )
+from ..reliability import HealthMonitor, default_monitor
 from .nonidealities import NonidealityBundle
 from .partition import NetworkMapping, partition_network
 
@@ -91,8 +92,14 @@ class DeployedModel:
     def __init__(self, model: BonitoModel, bundle: NonidealityBundle,
                  crossbar_size: int = 64, write_variation: float = 0.10,
                  programming: ProgrammingScheme | None = None,
-                 seed: int = 0, backend: str | None = None):
+                 seed: int = 0, backend: str | None = None,
+                 health: HealthMonitor | None = None):
         self.model = model
+        # Numeric guard over every VMM output: a NaN/Inf produced by
+        # extreme non-ideality settings raises a structured
+        # DivergenceError instead of decaying into a garbage accuracy
+        # row.  SWORDFISH_HEALTH=off disables (health stays None).
+        self.health = health if health is not None else default_monitor()
         self.bundle = bundle
         self.crossbar_size = crossbar_size
         self.write_variation = write_variation
@@ -135,7 +142,10 @@ class DeployedModel:
                 f"bank/weight shape mismatch in {layer_name}[{slot}]: "
                 f"{bank.shape} vs {weights.shape}"
             )
-        return bank.vmm(inputs)
+        out = bank.vmm(inputs)
+        if self.health is not None:
+            self.health.check_array(f"vmm:{layer_name}[{slot}]", out)
+        return out
 
     # ------------------------------------------------------------------
     # Mitigation integration

@@ -33,7 +33,13 @@ from .quantize import (
     FakeQuant,
     QuantizedModel,
 )
-from .serialize import save_checkpoint, load_checkpoint
+from .serialize import (
+    CheckpointError,
+    save_checkpoint,
+    load_checkpoint,
+    save_training_state,
+    load_training_state,
+)
 from . import init
 
 __all__ = [
@@ -45,6 +51,7 @@ __all__ = [
     "SGD", "Adam", "clip_grad_norm", "CosineSchedule", "LinearWarmup",
     "QuantConfig", "PAPER_QUANT_CONFIGS", "get_quant_config",
     "quantize_symmetric", "quantization_step", "FakeQuant", "QuantizedModel",
-    "save_checkpoint", "load_checkpoint",
+    "CheckpointError", "save_checkpoint", "load_checkpoint",
+    "save_training_state", "load_training_state",
     "init",
 ]

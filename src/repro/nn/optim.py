@@ -28,6 +28,34 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing.  State dicts carry only the *mutable* optimizer
+    # state (schedules rewrite ``lr`` every step; moment buffers evolve
+    # with training); constructor hyperparameters are the caller's job
+    # to reproduce.  Loading restores training bitwise.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+
+    def _check_buffers(self, name: str, buffers) -> list[np.ndarray]:
+        buffers = list(buffers)
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state has {len(buffers)} {name} buffers for "
+                f"{len(self.parameters)} parameters")
+        out = []
+        for buf, param in zip(buffers, self.parameters):
+            arr = np.asarray(buf, dtype=param.data.dtype)
+            if arr.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch in optimizer {name} buffer: "
+                    f"{arr.shape} vs parameter {param.data.shape}")
+            out.append(arr.copy())
+        return out
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum and weight decay."""
@@ -51,6 +79,14 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr,
+                "velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._velocity = self._check_buffers("velocity", state["velocity"])
 
 
 class Adam(Optimizer):
@@ -85,6 +121,17 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> dict:
+        return {"lr": self.lr, "t": self._t,
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._t = int(state["t"])
+        self._m = self._check_buffers("m", state["m"])
+        self._v = self._check_buffers("v", state["v"])
+
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Clip gradients to a global L2 norm; returns the pre-clip norm."""
@@ -117,6 +164,18 @@ class CosineSchedule:
         self.optimizer.lr = lr
         return lr
 
+    # ``lr_max`` is captured from the optimizer at construction time, so
+    # resuming mid-schedule must restore it explicitly (the optimizer's
+    # saved lr is the *annealed* value, not the peak).
+    def state_dict(self) -> dict:
+        return {"step_count": self.step_count, "lr_max": self.lr_max,
+                "lr_min": self.lr_min}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.step_count = int(state["step_count"])
+        self.lr_max = float(state["lr_max"])
+        self.lr_min = float(state["lr_min"])
+
 
 class LinearWarmup:
     """Linear warmup wrapper around another schedule (or a fixed lr)."""
@@ -138,3 +197,13 @@ class LinearWarmup:
         if self.after is not None:
             return self.after.step()
         return self.optimizer.lr
+
+    def state_dict(self) -> dict:
+        return {"step_count": self.step_count, "target_lr": self.target_lr,
+                "after": self.after.state_dict() if self.after else None}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.step_count = int(state["step_count"])
+        self.target_lr = float(state["target_lr"])
+        if self.after is not None and state.get("after") is not None:
+            self.after.load_state_dict(state["after"])

@@ -1,15 +1,59 @@
-"""Model (de)serialization: ``.npz`` checkpoints for :mod:`repro.nn`."""
+"""Model (de)serialization: ``.npz`` checkpoints for :mod:`repro.nn`.
+
+Two checkpoint flavours:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — model weights
+  only, as a ``.npz`` (one array per parameter/buffer plus a JSON
+  metadata blob).  Used for the retrained-model disk cache.
+* :func:`save_training_state` / :func:`load_training_state` — a *full*
+  training snapshot (model + optimizer moments + schedule counters +
+  RNG state + epoch + arbitrary extra state), checksummed so silent
+  corruption is detected at load time.  This is what makes a training
+  run killed mid-way resumable bitwise-identically.
+
+All writers are atomic: the payload lands in a same-directory temp
+file and is ``os.replace``d into place, so a killed process never
+leaves a truncated checkpoint where a good one should be.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import pickle
 from pathlib import Path
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_training_state",
+    "load_training_state",
+]
+
+#: Bumped whenever the training-state payload layout changes.
+TRAINING_STATE_FORMAT = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupt, or fails its checksum."""
+
+
+def _atomic_write(path: Path, writer) -> None:
+    """Write via ``writer(fh)`` to a temp file, then rename into place."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    try:
+        with tmp.open("wb") as fh:
+            writer(fh)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def save_checkpoint(model: Module, path: str | Path,
@@ -17,16 +61,15 @@ def save_checkpoint(model: Module, path: str | Path,
     """Save a model's state dict (plus JSON metadata) to ``path``.
 
     The checkpoint is a single ``.npz`` with one array per parameter or
-    buffer and a ``__metadata__`` JSON string.
+    buffer and a ``__metadata__`` JSON string, written atomically.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     state = model.state_dict()
     arrays = dict(state)
     arrays["__metadata__"] = np.frombuffer(
         json.dumps(metadata or {}).encode(), dtype=np.uint8
     )
-    np.savez(path, **arrays)
+    _atomic_write(path, lambda fh: np.savez(fh, **arrays))
     return path
 
 
@@ -39,3 +82,79 @@ def load_checkpoint(model: Module, path: str | Path,
         metadata_bytes = archive["__metadata__"].tobytes() if "__metadata__" in archive.files else b"{}"
     model.load_state_dict(state, strict=strict)
     return json.loads(metadata_bytes.decode() or "{}")
+
+
+# ----------------------------------------------------------------------
+# Full training state
+# ----------------------------------------------------------------------
+
+def save_training_state(path: str | Path, *, model: Module,
+                        optimizer=None, schedule=None,
+                        rng: np.random.Generator | None = None,
+                        epoch: int = 0,
+                        extra: dict | None = None) -> Path:
+    """Atomically write a resumable snapshot of a training run.
+
+    ``optimizer``/``schedule`` need ``state_dict()`` (every
+    :mod:`repro.nn.optim` class has one); ``rng`` is the loop's
+    ``numpy`` generator, captured so data shuffling resumes on the
+    exact stream it would have continued on.  ``extra`` is arbitrary
+    picklable caller state (epoch losses, perturb-hook RNGs, ...).
+    """
+    path = Path(path)
+    state = {
+        "format": TRAINING_STATE_FORMAT,
+        "model": model.state_dict(),
+        "optimizer": optimizer.state_dict() if optimizer is not None else None,
+        "schedule": schedule.state_dict() if schedule is not None else None,
+        "rng": rng.bit_generator.state if rng is not None else None,
+        "epoch": int(epoch),
+        "extra": dict(extra or {}),
+    }
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = {"checksum": hashlib.sha256(payload).hexdigest(),
+            "payload": payload}
+    _atomic_write(path, lambda fh: pickle.dump(
+        blob, fh, protocol=pickle.HIGHEST_PROTOCOL))
+    return path
+
+
+def load_training_state(path: str | Path, *, model: Module | None = None,
+                        optimizer=None, schedule=None,
+                        rng: np.random.Generator | None = None) -> dict:
+    """Load a snapshot written by :func:`save_training_state`.
+
+    Verifies the checksum (raising :class:`CheckpointError` on any
+    corruption), then restores whichever of ``model`` / ``optimizer`` /
+    ``schedule`` / ``rng`` the caller passes.  Returns the full state
+    dict (``epoch``, ``extra``, plus the raw sub-states).
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as fh:
+            blob = pickle.load(fh)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path}") from None
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    if not isinstance(blob, dict) or "payload" not in blob:
+        raise CheckpointError(f"{path} is not a training-state checkpoint")
+    payload = blob["payload"]
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != blob.get("checksum"):
+        raise CheckpointError(
+            f"checksum mismatch in {path}: checkpoint is corrupt")
+    state = pickle.loads(payload)
+    if state.get("format") != TRAINING_STATE_FORMAT:
+        raise CheckpointError(
+            f"{path} has training-state format {state.get('format')!r}; "
+            f"this build reads format {TRAINING_STATE_FORMAT}")
+    if model is not None:
+        model.load_state_dict(state["model"])
+    if optimizer is not None and state.get("optimizer") is not None:
+        optimizer.load_state_dict(state["optimizer"])
+    if schedule is not None and state.get("schedule") is not None:
+        schedule.load_state_dict(state["schedule"])
+    if rng is not None and state.get("rng") is not None:
+        rng.bit_generator.state = state["rng"]
+    return state

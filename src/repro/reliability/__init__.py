@@ -1,0 +1,40 @@
+"""``repro.reliability`` — fault tolerance for long-running sweeps.
+
+Swordfish's premise is surviving non-ideal hardware; this package
+makes the *reproduction itself* survive non-ideal execution:
+
+* :mod:`~repro.reliability.health` — :class:`HealthMonitor` numeric
+  guards (NaN/Inf/explosion in losses, gradient norms, VMM outputs)
+  with a configurable fail-or-rollback :class:`HealthPolicy`.
+* :mod:`~repro.reliability.chaos` — :class:`FaultInjector`, a seeded
+  deterministic fault plan (transient exceptions, worker crashes,
+  hangs, cache corruption) pluggable into the sweep executor so the
+  retry/timeout/fallback paths are provably exercised.
+* :mod:`~repro.reliability.journal` — :class:`RunJournal`, the
+  crash-safe per-run progress record behind the runtime CLI's
+  ``--resume``.
+
+Checkpoint/resume for training lives with its substrate:
+:func:`repro.nn.save_training_state` writes the atomic full-state
+snapshots (model + optimizer + RNG + epoch) that
+:func:`repro.basecaller.train_model` saves periodically and resumes
+from.
+"""
+
+from .chaos import (
+    CRASH_EXIT_CODE,
+    FAULT_KINDS,
+    ChaosError,
+    FaultInjector,
+    FaultSpec,
+    chaotic_call,
+)
+from .health import DivergenceError, HealthMonitor, HealthPolicy, default_monitor
+from .journal import JournalError, RunJournal, plan_fingerprint
+
+__all__ = [
+    "ChaosError", "FaultInjector", "FaultSpec", "chaotic_call",
+    "FAULT_KINDS", "CRASH_EXIT_CODE",
+    "DivergenceError", "HealthMonitor", "HealthPolicy", "default_monitor",
+    "JournalError", "RunJournal", "plan_fingerprint",
+]

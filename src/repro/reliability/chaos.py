@@ -1,0 +1,204 @@
+"""Deterministic chaos harness for the sweep runtime.
+
+The :class:`~repro.runtime.SweepRunner`'s fault-tolerance machinery —
+retry-with-backoff, timeout kills, crashed-worker respawn, serial
+fallback, corrupt-cache-entry-as-miss — exists to survive faults, so
+it must be *tested under* faults, deterministically, not trusted.
+
+A :class:`FaultInjector` plans faults per job tag.  The executor wraps
+each planned job's target in :func:`chaotic_call` at dispatch time
+(the content-addressed cache key is computed from the *original* job,
+so chaos never pollutes the cache namespace).  Determinism comes from
+two pieces:
+
+* an on-disk attempt counter per job (``state_dir``), so "fail the
+  first N attempts, then succeed" is exact — across retries, worker
+  respawns, and even fresh processes after a parent crash;
+* a seeded hash for the optional random plan (:meth:`plan_random`),
+  so "inject faults into 30% of jobs" picks the same jobs every run.
+
+Fault kinds (the injector side of every executor failure path):
+
+``exception``  raise :class:`ChaosError` (transient job error)
+``crash``      ``os._exit(117)`` — the worker dies without reporting
+``hang``       sleep past the runner's timeout (then raise, in case no
+               timeout is armed — a hang must never pass silently)
+plus :meth:`corrupt_entry`, which truncates or bit-flips an on-disk
+result-cache entry in place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["ChaosError", "FaultSpec", "FaultInjector", "chaotic_call",
+           "FAULT_KINDS", "CRASH_EXIT_CODE"]
+
+FAULT_KINDS = ("exception", "crash", "hang")
+
+#: Exit code chaos-killed workers die with (recognizable in telemetry).
+CRASH_EXIT_CODE = 117
+
+
+class ChaosError(RuntimeError):
+    """An injected (transient) fault — never a real job failure."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: inject on the first ``times`` attempts."""
+
+    kind: str
+    times: int = 1
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; have {FAULT_KINDS}")
+
+
+def _stable_fraction(seed: int, tag: str) -> float:
+    """Deterministic [0, 1) value from (seed, tag) — no RNG state."""
+    digest = hashlib.sha256(f"{seed}|{tag}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class FaultInjector:
+    """Seeded per-job fault plan, pluggable into the sweep executor.
+
+    ``state_dir`` holds the attempt counters (and must survive a
+    killed parent process, so kill-and-resume tests stay exact).
+    """
+
+    def __init__(self, state_dir: str | Path, seed: int = 0):
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.seed = int(seed)
+        self.faults: dict[str, FaultSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def inject(self, tag: str, kind: str, times: int = 1,
+               hang_s: float = 30.0) -> FaultSpec:
+        """Plan a fault for the job with this tag."""
+        spec = FaultSpec(kind=kind, times=times, hang_s=hang_s)
+        self.faults[tag] = spec
+        return spec
+
+    def plan_random(self, tags: Iterable[str], rate: float,
+                    kinds: tuple[str, ...] = ("exception",),
+                    times: int = 1) -> dict[str, FaultSpec]:
+        """Seed-deterministically plan faults for ``rate`` of ``tags``."""
+        if not kinds:
+            raise ValueError("plan_random needs at least one fault kind")
+        for tag in tags:
+            fraction = _stable_fraction(self.seed, tag)
+            if fraction < rate:
+                pick = int(fraction * (1 << 16)) % len(kinds)
+                self.inject(tag, kinds[pick], times=times)
+        return dict(self.faults)
+
+    # ------------------------------------------------------------------
+    # Executor integration
+    # ------------------------------------------------------------------
+    def wrap(self, job):
+        """The job to *execute* in place of ``job`` (same tag).
+
+        Returns ``job`` unchanged when no fault is planned for it.  The
+        caller must compute cache keys from the original job — the
+        wrapper is an execution detail, not new content.
+        """
+        spec = self.faults.get(job.tag)
+        if spec is None:
+            return job
+        return replace(job, fn="repro.reliability.chaos:chaotic_call",
+                       kwargs={"fn": job.fn, "kwargs": job.kwargs,
+                               "kind": spec.kind, "times": spec.times,
+                               "hang_s": spec.hang_s,
+                               "marker": str(self._marker(job.tag))})
+
+    # ------------------------------------------------------------------
+    # Attempt bookkeeping / cache corruption
+    # ------------------------------------------------------------------
+    def _marker(self, tag: str) -> Path:
+        digest = hashlib.sha1(tag.encode("utf-8")).hexdigest()[:16]
+        return self.state_dir / f"{digest}.attempts"
+
+    def attempts(self, tag: str) -> int:
+        """How many attempts of this job have started so far."""
+        return _read_attempts(self._marker(tag))
+
+    def reset(self) -> None:
+        """Forget every attempt counter (a fresh chaos run)."""
+        for marker in self.state_dir.glob("*.attempts"):
+            marker.unlink(missing_ok=True)
+
+    def corrupt_entry(self, cache, key: str, mode: str = "truncate") -> Path:
+        """Corrupt an on-disk result-cache entry in place.
+
+        ``truncate`` halves the file; ``bitflip`` flips one bit at a
+        seed-deterministic offset (exercising the checksum, not the
+        unpickler).
+        """
+        path = cache.path_for(key)
+        data = path.read_bytes()
+        if not data:
+            raise ValueError(f"cache entry {key} is already empty")
+        if mode == "truncate":
+            path.write_bytes(data[:len(data) // 2])
+        elif mode == "bitflip":
+            offset = int(_stable_fraction(self.seed, key) * len(data))
+            offset = min(offset, len(data) - 1)
+            corrupted = bytearray(data)
+            corrupted[offset] ^= 0x40
+            path.write_bytes(bytes(corrupted))
+        else:
+            raise ValueError(
+                f"unknown corruption mode {mode!r} "
+                f"(want 'truncate' or 'bitflip')")
+        return path
+
+
+# ----------------------------------------------------------------------
+# The wrapped job target (runs inside workers)
+# ----------------------------------------------------------------------
+
+def _read_attempts(marker: Path) -> int:
+    try:
+        return int(marker.read_text())
+    except (OSError, ValueError):
+        return 0
+
+
+def chaotic_call(fn: str, kwargs: dict, kind: str, times: int,
+                 marker: str, hang_s: float = 30.0):
+    """Run one attempt of a wrapped job, injecting its planned fault.
+
+    The attempt counter is bumped *before* the fault fires, so a
+    ``crash`` (which skips all cleanup) is still counted and the next
+    attempt proceeds past it.
+    """
+    marker_path = Path(marker)
+    attempt = _read_attempts(marker_path) + 1
+    marker_path.write_text(str(attempt))
+    if attempt <= times:
+        if kind == "exception":
+            raise ChaosError(f"injected transient exception "
+                             f"(attempt {attempt}/{times})")
+        if kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if kind == "hang":
+            time.sleep(hang_s)
+            raise ChaosError(
+                f"injected hang of {hang_s:g}s ran to completion — "
+                f"no timeout was armed (attempt {attempt}/{times})")
+        raise ValueError(f"unknown fault kind {kind!r}")
+    from ..runtime.job import resolve_target
+    return resolve_target(fn)(**kwargs)

@@ -1,0 +1,127 @@
+"""Per-run JSONL journal: what a killed sweep had already finished.
+
+The result cache makes *values* of finished jobs durable; the journal
+makes the run's *progress* durable.  Each run session appends one
+``plan`` header (name + a fingerprint of the plan's content-addressed
+job keys) followed by one ``job`` line per terminal outcome.  After a
+crash, ``--resume`` replays the journal: jobs recorded ``ok`` are
+trusted to be in the cache (and re-execute only if the cache cannot
+produce them), failed and never-recorded jobs re-execute — so an
+interrupted sweep completes with bitwise-identical results to an
+uninterrupted one.
+
+A torn final line (the writer died mid-append) is skipped on read,
+never fatal — the corresponding job simply re-executes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["JournalError", "RunJournal"]
+
+
+class JournalError(RuntimeError):
+    """Resuming against a journal written for a different plan."""
+
+
+def plan_fingerprint(keys: Sequence[str]) -> str:
+    """Order-sensitive content fingerprint of a plan's job keys."""
+    payload = "\n".join(keys)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class RunJournal:
+    """Append-only JSONL progress record for one sweep plan.
+
+    ``resume=True`` keeps an existing journal (validating its plan
+    fingerprint) and reports previously-completed jobs; otherwise an
+    existing file is truncated and the run starts fresh.
+    """
+
+    def __init__(self, path: str | Path, resume: bool = False):
+        self.path = Path(path)
+        self.resume = bool(resume)
+        self._fh = None
+        self.resumed_ok: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def load(self) -> tuple[dict | None, list[dict]]:
+        """``(last plan header, job records after it)`` from disk."""
+        header: dict | None = None
+        records: list[dict] = []
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return None, []
+        for line in lines:
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed writer
+            if event.get("event") == "plan":
+                header = event
+                records = []
+            elif event.get("event") == "job":
+                records.append(event)
+        return header, records
+
+    # ------------------------------------------------------------------
+    def begin(self, plan_name: str, keys: Sequence[str]) -> set[str]:
+        """Open a run session; returns keys already completed ``ok``.
+
+        The returned set is non-empty only when resuming a journal
+        whose plan fingerprint matches this plan exactly.
+        """
+        fingerprint = plan_fingerprint(keys)
+        done: set[str] = set()
+        if self.resume and self.path.exists():
+            header, records = self.load()
+            if header is not None:
+                if header.get("fingerprint") != fingerprint:
+                    raise JournalError(
+                        f"journal {self.path} was written for plan "
+                        f"{header.get('plan')!r} (fingerprint "
+                        f"{header.get('fingerprint')}); this plan "
+                        f"fingerprints as {fingerprint} — refusing to "
+                        f"resume across different plans")
+                wanted = set(keys)
+                done = {r["key"] for r in records
+                        if r.get("status") == "ok" and r.get("key") in wanted}
+            mode = "a"
+        else:
+            mode = "w"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open(mode, encoding="utf-8")
+        self._append({"event": "plan", "plan": plan_name,
+                      "jobs": len(keys), "fingerprint": fingerprint,
+                      "resumed": len(done)})
+        self.resumed_ok = done
+        return set(done)
+
+    def record(self, *, index: int, key: str, tag: str, status: str,
+               cache_hit: bool = False, attempts: int = 0,
+               error_type: str | None = None) -> None:
+        """Append one terminal job outcome (flushed immediately)."""
+        event = {"event": "job", "index": index, "key": key, "tag": tag,
+                 "status": status, "cache": "hit" if cache_hit else "miss",
+                 "attempts": attempts}
+        if error_type:
+            event["error_type"] = error_type
+        self._append(event)
+
+    def _append(self, event: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError("journal session not started; call begin()")
+        event = {**event, "ts": round(time.time(), 6)}
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

@@ -8,10 +8,12 @@ is the execution backbone that runs those grids as schedulable jobs:
   importable point function, becomes schedulable units).
 * :mod:`~repro.runtime.executor` — :class:`SweepRunner`: a
   multiprocessing worker pool with per-job timeouts, bounded
-  retry-with-backoff, and graceful serial fallback.
+  retry-with-backoff, graceful serial fallback, and reliability hooks
+  (run journals for ``--resume``, fault injection for chaos testing).
 * :mod:`~repro.runtime.cache` — :class:`ResultCache`: content-
   addressed on-disk results keyed by a stable config hash plus a
-  code-version salt.
+  code-version salt; entries are checksummed and corrupt ones are
+  quarantined as misses.
 * :mod:`~repro.runtime.telemetry` — per-job JSONL event logs, run
   summaries, and a pluggable hook interface.
 * :mod:`~repro.runtime.figures` / :mod:`~repro.runtime.cli` — named

@@ -8,7 +8,13 @@ with a first, resolves instantly, while a version bump (or an explicit
 
 Values are stored with :mod:`pickle` (results are small dataclasses /
 row dicts), sharded two-hex-chars deep, and written atomically so a
-killed worker never leaves a truncated entry behind.
+killed worker never leaves a truncated entry behind.  Each entry
+carries a SHA-256 checksum of its pickled record, verified on
+:meth:`ResultCache.lookup`: an entry that was truncated or bit-flipped
+on disk is *quarantined* (moved aside for post-mortem) and reported as
+a miss, so silent corruption is recomputed instead of unpickled into
+results.  Stale temp files from crashed writers are swept on cache
+construction and on :meth:`ResultCache.clear`.
 """
 
 from __future__ import annotations
@@ -23,6 +29,13 @@ from pathlib import Path
 from typing import Any, Iterator
 
 __all__ = ["canonical_json", "default_salt", "job_key", "ResultCache"]
+
+#: On-disk entry format; bumped with the checksum envelope.
+ENTRY_FORMAT = 2
+
+#: Subdirectory corrupt entries are moved into (outside the ``*/*.pkl``
+#: namespace, so they never count as live entries again).
+QUARANTINE_DIR = "quarantine"
 
 
 def _jsonable(value: Any) -> Any:
@@ -77,20 +90,77 @@ class ResultCache:
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.quarantined = 0
+        self.stale_tmp_removed = self._sweep_stale_tmp()
 
     def path_for(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.pkl"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.directory.joinpath(QUARANTINE_DIR)
+
+    # ------------------------------------------------------------------
+    # Hygiene
+    # ------------------------------------------------------------------
+    def _sweep_stale_tmp(self) -> int:
+        """Remove temp files abandoned by crashed writers."""
+        removed = 0
+        for tmp in self.directory.glob("*/*.tmp.*"):
+            tmp.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def _quarantine(self, path: Path, reason: str) -> tuple[bool, None]:
+        """Move a corrupt entry aside; always reports a miss."""
+        quarantine = self.quarantine_dir
+        quarantine.mkdir(parents=True, exist_ok=True)
+        target = quarantine / f"{path.stem}.{os.getpid()}.bad"
+        try:
+            path.replace(target)
+            target.with_suffix(".why").write_text(reason + "\n",
+                                                  encoding="utf-8")
+        except OSError:
+            path.unlink(missing_ok=True)
+        self.quarantined += 1
+        return False, None
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
     def lookup(self, key: str) -> tuple[bool, Any]:
-        """``(hit, value)``; corrupt or unreadable entries count as misses."""
+        """``(hit, value)``; corrupt entries are quarantined misses."""
         path = self.path_for(key)
         try:
             with path.open("rb") as fh:
-                payload = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError):
+                blob = pickle.load(fh)
+        except FileNotFoundError:
             return False, None
-        return True, payload.get("value")
+        # Arbitrarily corrupted bytes can make the unpickler raise almost
+        # anything (ValueError, UnicodeDecodeError, struct.error, ...);
+        # every such failure is quarantined, never propagated.
+        except Exception as exc:
+            return self._quarantine(path, f"unreadable envelope: {exc!r}")
+        if not isinstance(blob, dict):
+            return self._quarantine(path, f"unexpected envelope type "
+                                          f"{type(blob).__name__}")
+        if blob.get("format") == ENTRY_FORMAT:
+            payload = blob.get("payload")
+            if not isinstance(payload, bytes):
+                return self._quarantine(path, "missing payload")
+            digest = hashlib.sha256(payload).hexdigest()
+            if digest != blob.get("checksum"):
+                return self._quarantine(path, "checksum mismatch")
+            try:
+                record = pickle.loads(payload)
+            except Exception as exc:
+                return self._quarantine(path, f"payload unpickle: {exc!r}")
+            if not isinstance(record, dict):
+                return self._quarantine(path, "payload is not a record")
+            return True, record.get("value")
+        if "value" in blob:  # legacy v1 entry (no checksum)
+            return True, blob.get("value")
+        return self._quarantine(path, "unrecognized entry format")
 
     def get(self, key: str) -> Any:
         hit, value = self.lookup(key)
@@ -101,11 +171,15 @@ class ResultCache:
     def put(self, key: str, value: Any, meta: dict | None = None) -> Path:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"key": key, "value": value, "meta": meta or {},
-                   "saved_at": time.time()}
+        record = {"key": key, "value": value, "meta": meta or {},
+                  "saved_at": time.time()}
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = {"format": ENTRY_FORMAT,
+                "checksum": hashlib.sha256(payload).hexdigest(),
+                "payload": payload}
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with tmp.open("wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dump(blob, fh, protocol=pickle.HIGHEST_PROTOCOL)
         tmp.replace(path)
         return path
 
@@ -114,15 +188,24 @@ class ResultCache:
 
     def keys(self) -> Iterator[str]:
         for path in sorted(self.directory.glob("*/*.pkl")):
-            yield path.stem
+            if path.parent.name != QUARANTINE_DIR:
+                yield path.stem
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and hygiene debris); returns entry count."""
         removed = 0
         for path in self.directory.glob("*/*.pkl"):
+            if path.parent.name == QUARANTINE_DIR:
+                path.unlink(missing_ok=True)
+                continue
             path.unlink(missing_ok=True)
             removed += 1
+        self._sweep_stale_tmp()
+        quarantine = self.quarantine_dir
+        if quarantine.is_dir():
+            for path in quarantine.iterdir():
+                path.unlink(missing_ok=True)
         return removed

@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="set SWORDFISH_SCALE for this run")
     run.add_argument("--save", default=None, metavar="DIR",
                      help="save the ExperimentRecord JSON under DIR")
+    run.add_argument("--journal", default=None, metavar="PATH",
+                     help="record per-job progress to this JSONL journal")
+    run.add_argument("--resume", action="store_true",
+                     help="resume a killed run from its journal + cache "
+                          "(requires --journal and --cache-dir)")
 
     sub.add_parser("list", help="list runnable figures")
 
@@ -82,6 +87,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.scale is not None:
         os.environ["SWORDFISH_SCALE"] = str(args.scale)
+    if args.resume and not args.journal:
+        print("--resume requires --journal", file=sys.stderr)
+        return 2
+    if args.resume and not args.cache_dir:
+        print("--resume requires --cache-dir (finished jobs replay "
+              "their values from the result cache)", file=sys.stderr)
+        return 2
     runner = SweepRunner(
         workers=args.workers,
         cache=args.cache_dir,
@@ -90,12 +102,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         backoff=args.backoff,
         strict=True,
+        journal=args.journal,
+        resume=args.resume,
     )
     try:
         record = run_figure(args.figure, runner=runner)
     except SweepError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if runner.journal is not None:
+            runner.journal.close()
     render_figure(args.figure, record)
     if args.save:
         from ..core import save_record

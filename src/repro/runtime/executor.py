@@ -19,6 +19,15 @@ exponential backoff up to ``retries`` extra attempts; a job that
 exhausts its attempts is recorded as failed without aborting the rest
 of the sweep (``strict=True`` or ``SweepResult.raise_on_failure()``
 escalate afterwards).
+
+Reliability hooks (see :mod:`repro.reliability`):
+
+* ``journal`` — a per-run JSONL :class:`~repro.reliability.RunJournal`
+  recording every terminal outcome; with ``resume=True`` a killed sweep
+  restarts from its journal + cache and recomputes only unfinished jobs.
+* ``fault_injector`` — a seeded chaos harness whose faults are spliced
+  in at *dispatch* time only, so cache keys always address the original
+  job and chaotic runs never pollute the result namespace.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..reliability import FaultInjector, RunJournal
 from .cache import ResultCache, default_salt, job_key
 from .job import Job, SweepPlan, resolve_target
 from .telemetry import JsonlSink, SummaryAggregator, Telemetry
@@ -56,6 +66,7 @@ class JobOutcome:
     status: str = "pending"          # "ok" | "failed"
     value: Any = None
     error: str | None = None
+    error_type: str | None = None    # exception class name, if failed
     attempts: int = 0
     wall_s: float = 0.0
     cache_hit: bool = False
@@ -111,13 +122,14 @@ def _worker_main(task_q, result_q) -> None:
         try:
             value = resolve_target(fn)(**kwargs)
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        except BaseException:
+        except BaseException as exc:
             result_q.put((index, "err", None,
                           traceback.format_exc(limit=20),
-                          time.perf_counter() - started))
+                          time.perf_counter() - started,
+                          type(exc).__name__))
         else:
             result_q.put((index, "ok", payload, None,
-                          time.perf_counter() - started))
+                          time.perf_counter() - started, None))
 
 
 class _Worker:
@@ -193,6 +205,17 @@ class SweepRunner:
         ``SWORDFISH_CODE_SALT``).
     strict:
         Raise :class:`SweepError` from :meth:`run` if any job fails.
+    journal:
+        A :class:`~repro.reliability.RunJournal` (or a path to create
+        one at) that records every terminal job outcome; paired with
+        ``resume=True`` and a cache it makes a killed sweep restartable.
+    resume:
+        Only meaningful when ``journal`` is a path: open the journal in
+        resume mode (verify the plan fingerprint instead of truncating).
+    fault_injector:
+        A :class:`~repro.reliability.FaultInjector` whose planned
+        faults are injected at dispatch time (cache keys stay those of
+        the original jobs).
     """
 
     def __init__(self, workers: int = 1,
@@ -204,7 +227,10 @@ class SweepRunner:
                  backoff: float = 0.25,
                  salt: str | None = None,
                  start_method: str | None = None,
-                 strict: bool = False):
+                 strict: bool = False,
+                 journal: RunJournal | str | Path | None = None,
+                 resume: bool = False,
+                 fault_injector: FaultInjector | None = None):
         self.workers = max(int(workers), 1)
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
@@ -218,6 +244,10 @@ class SweepRunner:
         self.salt = salt if salt is not None else default_salt()
         self.start_method = start_method
         self.strict = strict
+        if journal is not None and not isinstance(journal, RunJournal):
+            journal = RunJournal(journal, resume=resume)
+        self.journal = journal
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     def run(self, plan: SweepPlan) -> SweepResult:
@@ -244,6 +274,16 @@ class SweepRunner:
         keys = [job_key(job, self.salt) for job in plan.jobs]
         pending: deque[tuple[int, int, float]] = deque()
 
+        if self.journal is not None:
+            completed = self.journal.begin(plan.name, keys)
+            if completed:
+                # Values of previously completed jobs come back via the
+                # content-addressed cache; the journal only proves which
+                # keys already finished ok.
+                self.telemetry.emit("resume", plan=plan.name,
+                                    completed=len(completed),
+                                    total=len(keys))
+
         for index, (job, key) in enumerate(zip(plan.jobs, keys)):
             self.telemetry.emit("submit", plan=plan.name, job=job.tag,
                                 key=key, index=index)
@@ -269,6 +309,16 @@ class SweepRunner:
                 self._run_serial(plan, keys, pending, outcomes)
         return outcomes
 
+    def _executable(self, job: Job) -> Job:
+        """The job actually dispatched: chaos-wrapped when injecting.
+
+        Cache keys are always computed from the *original* job, so
+        injected faults never change what address a result lives at.
+        """
+        if self.fault_injector is None:
+            return job
+        return self.fault_injector.wrap(job)
+
     # ------------------------------------------------------------------
     # Serial path (also the graceful fallback)
     # ------------------------------------------------------------------
@@ -282,10 +332,11 @@ class SweepRunner:
                                     where="in-process")
                 started = time.perf_counter()
                 try:
-                    value = job.execute()
-                except Exception:
+                    value = self._executable(job).execute()
+                except Exception as exc:
                     elapsed = time.perf_counter() - started
                     error = traceback.format_exc(limit=20)
+                    error_type = type(exc).__name__
                     if attempt <= self.retries:
                         delay = self._delay(attempt)
                         self.telemetry.emit("retry", plan=plan.name,
@@ -298,7 +349,7 @@ class SweepRunner:
                         continue
                     self._record_failure(plan, index, job, key,
                                          outcomes[index], attempt,
-                                         elapsed, "error", error)
+                                         elapsed, "error", error, error_type)
                     break
                 else:
                     elapsed = time.perf_counter() - started
@@ -329,6 +380,7 @@ class SweepRunner:
                       pending: deque, outcomes: list[JobOutcome],
                       ctx, result_q, workers: list[_Worker]) -> None:
         busy: dict[int, _Worker] = {}
+        graceful = False
         try:
             while pending or busy:
                 now = time.monotonic()
@@ -342,7 +394,8 @@ class SweepRunner:
                         break
                     index, attempt, _ = item
                     job, key = plan.jobs[index], keys[index]
-                    worker.dispatch(index, job, attempt, self.timeout)
+                    worker.dispatch(index, self._executable(job), attempt,
+                                    self.timeout)
                     busy[index] = worker
                     self.telemetry.emit("start", plan=plan.name, job=job.tag,
                                         key=key, attempt=attempt,
@@ -356,7 +409,7 @@ class SweepRunner:
                     msg = None
 
                 if msg is not None:
-                    index, status, payload, error, elapsed = msg
+                    index, status, payload, error, elapsed, error_type = msg
                     worker = busy.pop(index, None)
                     if worker is None:
                         # Stale result (job already timed out and was
@@ -369,8 +422,10 @@ class SweepRunner:
                     if status == "ok":
                         try:
                             value = pickle.loads(payload)
-                        except Exception:
-                            status, error = "err", traceback.format_exc(limit=5)
+                        except Exception as exc:
+                            status = "err"
+                            error = traceback.format_exc(limit=5)
+                            error_type = type(exc).__name__
                     if status == "ok":
                         self._record_success(plan, index, job, key,
                                              outcomes[index], attempt,
@@ -378,7 +433,8 @@ class SweepRunner:
                     else:
                         self._retry_or_fail(plan, index, job, key,
                                             outcomes[index], attempt,
-                                            elapsed, "error", error, pending)
+                                            elapsed, "error", error,
+                                            error_type, pending)
                     continue
 
                 now = time.monotonic()
@@ -394,7 +450,7 @@ class SweepRunner:
                             plan, index, job, key, outcomes[index], attempt,
                             self.timeout or 0.0, "timeout",
                             f"job exceeded {self.timeout:.3f}s timeout",
-                            pending)
+                            "TimeoutError", pending)
 
                 # Detect crashed workers (died without reporting).
                 for index, worker in list(busy.items()):
@@ -408,10 +464,25 @@ class SweepRunner:
                         self._retry_or_fail(
                             plan, index, job, key, outcomes[index], attempt,
                             0.0, "crash",
-                            f"worker died (exit code {exitcode})", pending)
+                            f"worker died (exit code {exitcode})",
+                            "WorkerCrash", pending)
+            graceful = True
+        except BaseException as exc:
+            # Ctrl-C (or any other escape) while supervising the pool:
+            # report before tearing down so the interruption is visible
+            # in telemetry/journals even though run() never returns.
+            self.telemetry.emit("interrupted", plan=plan.name,
+                                reason=type(exc).__name__,
+                                in_flight=len(busy))
+            raise
         finally:
+            # On a graceful exit workers are idle and drain their
+            # sentinel; on an interrupt they may be mid-job, so
+            # terminate instead of waiting on them.
             for worker in workers:
-                worker.stop()
+                worker.stop(kill=not graceful)
+            result_q.cancel_join_thread()
+            result_q.close()
 
     @staticmethod
     def _pop_ready(pending: deque, now: float):
@@ -439,7 +510,8 @@ class SweepRunner:
         return self.backoff * (2 ** (attempt - 1)) if self.backoff else 0.0
 
     def _retry_or_fail(self, plan, index, job, key, outcome, attempt,
-                       elapsed, reason, error, pending: deque) -> None:
+                       elapsed, reason, error, error_type,
+                       pending: deque) -> None:
         if attempt <= self.retries:
             delay = self._delay(attempt)
             self.telemetry.emit("retry", plan=plan.name, job=job.tag,
@@ -448,7 +520,7 @@ class SweepRunner:
             pending.append((index, attempt + 1, time.monotonic() + delay))
         else:
             self._record_failure(plan, index, job, key, outcome, attempt,
-                                 elapsed, reason, error)
+                                 elapsed, reason, error, error_type)
 
     def _record_success(self, plan, index, job, key, outcome, attempt,
                         elapsed, value) -> None:
@@ -462,9 +534,11 @@ class SweepRunner:
         self._finish(plan, index, job, key, outcome)
 
     def _record_failure(self, plan, index, job, key, outcome, attempt,
-                        elapsed, reason, error) -> None:
+                        elapsed, reason, error,
+                        error_type: str | None = None) -> None:
         outcome.status = "failed"
         outcome.error = error
+        outcome.error_type = error_type
         outcome.attempts = attempt
         outcome.wall_s = elapsed
         self._finish(plan, index, job, key, outcome, reason=reason)
@@ -483,4 +557,12 @@ class SweepRunner:
         }
         if reason:
             fields["reason"] = reason
+        if outcome.error_type:
+            fields["error_type"] = outcome.error_type
         self.telemetry.emit("finish", **fields)
+        if self.journal is not None:
+            self.journal.record(index=index, key=key, tag=job.tag,
+                                status=outcome.status,
+                                cache_hit=outcome.cache_hit,
+                                attempts=outcome.attempts,
+                                error_type=outcome.error_type)

@@ -1,0 +1,46 @@
+"""SWD007 fixture: broad exception handlers that swallow silently."""
+
+
+def bare_swallow(job):
+    try:
+        return job()
+    except:  # noqa: E722
+        pass
+
+
+def broad_swallow(job):
+    try:
+        return job()
+    except Exception:
+        pass
+
+
+def base_swallow(job):
+    try:
+        return job()
+    except BaseException:
+        ...
+
+
+def tuple_swallow(job):
+    try:
+        return job()
+    except (ValueError, Exception):
+        pass
+
+
+def loop_swallow(jobs):
+    done = []
+    for job in jobs:
+        try:
+            done.append(job())
+        except Exception:
+            continue
+    return done
+
+
+def docstring_only_swallow(job):
+    try:
+        return job()
+    except Exception:
+        "the failure is fine"

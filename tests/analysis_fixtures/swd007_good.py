@@ -1,0 +1,39 @@
+"""SWD007 fixture: exception handling that keeps faults observable."""
+
+
+def narrow_ignore(path):
+    try:
+        return path.read_text()
+    except FileNotFoundError:
+        pass
+    return None
+
+
+def narrow_tuple_ignore(path):
+    try:
+        path.unlink()
+    except (OSError, ValueError):
+        pass
+
+
+def broad_with_fallback(job):
+    try:
+        return job()
+    except Exception as exc:
+        return {"status": "failed", "error": repr(exc)}
+
+
+def broad_reraise(job):
+    try:
+        return job()
+    except Exception:
+        job.cleanup()
+        raise
+
+
+def broad_recorded(job, failures):
+    try:
+        return job()
+    except Exception as exc:
+        failures.append(exc)
+    return None

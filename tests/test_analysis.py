@@ -38,6 +38,7 @@ WIDE_CONFIG = replace(
     alias_scope=("",),
     numeric_scope=("",),
     numeric_exclude=(),
+    swallow_scope=("",),
 )
 
 
@@ -60,6 +61,7 @@ def rules_of(result) -> set[str]:
     ("SWD003", "swd003"),
     ("SWD004", "swd004"),
     ("SWD005", "swd005"),
+    ("SWD007", "swd007"),
 ])
 def test_bad_fixture_fires_rule(rule_id: str, stem: str):
     result = analyze(FIXTURES / f"{stem}_bad.py")
@@ -71,7 +73,7 @@ def test_bad_fixture_fires_rule(rule_id: str, stem: str):
 
 
 @pytest.mark.parametrize("stem", [
-    "swd001", "swd002", "swd003", "swd004", "swd005",
+    "swd001", "swd002", "swd003", "swd004", "swd005", "swd007",
 ])
 def test_good_fixture_is_clean(stem: str):
     result = analyze(FIXTURES / f"{stem}_good.py")
@@ -94,6 +96,20 @@ def test_swd006_bad_package():
 def test_swd006_good_package():
     result = analyze(FIXTURES / "exports_good_pkg")
     assert result.findings == []
+
+
+def test_swd007_counts_every_silent_handler():
+    result = analyze(FIXTURES / "swd007_bad.py")
+    # bare, Exception, BaseException, tuple, loop-continue, docstring-only
+    assert len(result.findings) == 6
+
+
+def test_swd007_scope_is_reliability_and_runtime_only():
+    # With the real config the fixture path matches neither scope
+    # pattern, so the rule stays silent outside the fault-handling
+    # layers it polices.
+    result = analyze(FIXTURES / "swd007_bad.py", config=DEFAULT_CONFIG)
+    assert "SWD007" not in rules_of(result)
 
 
 def test_select_and_ignore_filter_rules():

@@ -1,0 +1,440 @@
+"""Seeded fault-injection tests for the sweep runtime.
+
+Every fault here is planned by a :class:`repro.reliability.FaultInjector`
+and driven through the *real* executor paths — retry-with-backoff,
+timeout kill, crashed-worker respawn, corrupt-cache-entry-as-miss, and
+journal-based resume after the parent process itself is killed.  Job
+targets live at module level so worker processes can resolve them by
+dotted name (``"tests.test_chaos:..."``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.reliability import (
+    CRASH_EXIT_CODE,
+    ChaosError,
+    FaultInjector,
+    FaultSpec,
+)
+from repro.runtime import (
+    Job,
+    ResultCache,
+    SweepPlan,
+    SweepRunner,
+    Telemetry,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# Worker-resolvable job targets
+# ----------------------------------------------------------------------
+def _square(x: int) -> int:
+    return x * x
+
+
+def _simulate(seed: int) -> dict:
+    """Deterministic seeded computation (stand-in for a design point)."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=256)
+    return {"seed": seed, "mean": float(values.mean()),
+            "norm": float(np.linalg.norm(values))}
+
+
+def _sleep_long(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def _diverging_training(seed: int) -> list:
+    """A training job whose very first loss is poisoned to NaN."""
+    import numpy as np
+    from repro import nn
+    from repro.basecaller import (
+        BonitoModel,
+        TrainConfig,
+        make_training_chunks,
+        train_model,
+    )
+    from repro.reliability import HealthMonitor
+    from tests.conftest import TINY_CONFIG
+
+    def poisoned_loss(model, signals, targets):
+        loss = nn.ctc_loss(model(signals), targets)
+        loss.data = loss.data * np.nan
+        return loss
+
+    chunks = make_training_chunks(num_chunks=16, chunk_samples=128,
+                                  genome_size=8_000, seed=seed)
+    model = BonitoModel(TINY_CONFIG)
+    return train_model(model, chunks,
+                       TrainConfig(epochs=1, batch_size=16, warmup_steps=2,
+                                   seed=seed),
+                       loss_fn=poisoned_loss, health=HealthMonitor())
+
+
+# ----------------------------------------------------------------------
+# Fault planning
+# ----------------------------------------------------------------------
+class TestFaultPlanning:
+    def test_unknown_fault_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultInjector(tmp_path).inject("job", "gremlins")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="power-sag")
+
+    def test_plan_random_is_seed_deterministic(self, tmp_path):
+        tags = [f"job/{i}" for i in range(40)]
+        first = FaultInjector(tmp_path / "a", seed=7).plan_random(
+            tags, rate=0.3, kinds=("exception", "crash"))
+        second = FaultInjector(tmp_path / "b", seed=7).plan_random(
+            tags, rate=0.3, kinds=("exception", "crash"))
+        assert first == second
+        assert 0 < len(first) < len(tags)
+        other = FaultInjector(tmp_path / "c", seed=8).plan_random(
+            tags, rate=0.3, kinds=("exception", "crash"))
+        assert other != first
+
+    def test_wrap_leaves_unplanned_jobs_alone(self, tmp_path):
+        injector = FaultInjector(tmp_path)
+        job = Job(fn="tests.test_chaos:_square", kwargs={"x": 2}, tag="sq")
+        assert injector.wrap(job) is job
+        injector.inject("sq", "exception")
+        wrapped = injector.wrap(job)
+        assert wrapped.fn == "repro.reliability.chaos:chaotic_call"
+        assert wrapped.tag == job.tag
+        assert wrapped.kwargs["fn"] == job.fn
+
+
+# ----------------------------------------------------------------------
+# Fault kinds through the executor
+# ----------------------------------------------------------------------
+class TestInjectedFaults:
+    def test_transient_exception_retried_then_succeeds(self, tmp_path):
+        injector = FaultInjector(tmp_path / "chaos", seed=0)
+        injector.inject("sq/1", "exception", times=2)
+        events = []
+        telemetry = Telemetry()
+        telemetry.subscribe(events.append)
+        jobs = [Job(fn="tests.test_chaos:_square", kwargs={"x": i},
+                    tag=f"sq/{i}") for i in range(3)]
+        result = SweepRunner(workers=1, retries=2, backoff=0.0,
+                             telemetry=telemetry,
+                             fault_injector=injector).run(
+            SweepPlan("chaos-exception", jobs))
+        assert result.ok
+        assert result.values == [0, 1, 4]
+        assert result.outcomes[1].attempts == 3
+        assert injector.attempts("sq/1") == 3
+        assert [e["event"] for e in events].count("retry") == 2
+
+    def test_exhausted_retries_surface_chaos_error_type(self, tmp_path):
+        injector = FaultInjector(tmp_path / "chaos")
+        injector.inject("sq/0", "exception", times=5)
+        jobs = [Job(fn="tests.test_chaos:_square", kwargs={"x": 2},
+                    tag="sq/0")]
+        result = SweepRunner(workers=1, retries=1, backoff=0.0,
+                             fault_injector=injector).run(
+            SweepPlan("chaos-exhaust", jobs))
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.error_type == "ChaosError"
+        assert "injected transient exception" in outcome.error
+
+    def test_worker_crash_retried_to_success(self, tmp_path):
+        injector = FaultInjector(tmp_path / "chaos")
+        injector.inject("sim/1", "crash", times=1)
+        jobs = [Job(fn="tests.test_chaos:_simulate", kwargs={"seed": s},
+                    tag=f"sim/{s}") for s in range(3)]
+        result = SweepRunner(workers=2, retries=1, backoff=0.0,
+                             fault_injector=injector).run(
+            SweepPlan("chaos-crash", jobs))
+        assert result.ok
+        assert result.outcomes[1].attempts == 2
+        assert injector.attempts("sim/1") == 2
+        # Bitwise-identical to a clean serial run despite the crash.
+        clean = SweepRunner(workers=1).run(SweepPlan("clean", jobs))
+        assert result.values == clean.values
+
+    def test_hang_killed_by_timeout_then_recovers(self, tmp_path):
+        injector = FaultInjector(tmp_path / "chaos")
+        injector.inject("sq/0", "hang", times=1, hang_s=30.0)
+        events = []
+        telemetry = Telemetry()
+        telemetry.subscribe(events.append)
+        jobs = [Job(fn="tests.test_chaos:_square", kwargs={"x": 6},
+                    tag="sq/0")]
+        started = time.monotonic()
+        result = SweepRunner(workers=2, timeout=1.0, retries=1,
+                             backoff=0.0, telemetry=telemetry,
+                             fault_injector=injector).run(
+            SweepPlan("chaos-hang", jobs))
+        assert time.monotonic() - started < 20.0  # killed, not slept out
+        assert result.ok and result.values == [36]
+        assert result.outcomes[0].attempts == 2
+        assert result.summary["timeouts"] >= 1
+        retries = [e for e in events if e["event"] == "retry"]
+        assert retries and retries[0]["reason"] == "timeout"
+
+    def test_hang_without_timeout_still_surfaces(self, tmp_path):
+        """An unarmed hang raises ChaosError — it must never pass."""
+        injector = FaultInjector(tmp_path / "chaos")
+        injector.inject("sq/0", "hang", times=1, hang_s=0.05)
+        jobs = [Job(fn="tests.test_chaos:_square", kwargs={"x": 2},
+                    tag="sq/0")]
+        result = SweepRunner(workers=1, retries=0,
+                             fault_injector=injector).run(
+            SweepPlan("chaos-unarmed-hang", jobs))
+        assert not result.ok
+        assert result.outcomes[0].error_type == "ChaosError"
+
+    def test_chaos_never_pollutes_the_cache_namespace(self, tmp_path):
+        """Keys address the original job, not its chaotic wrapper."""
+        cache = ResultCache(tmp_path / "cache")
+        injector = FaultInjector(tmp_path / "chaos")
+        injector.inject("sq", "exception", times=1)
+        job = Job(fn="tests.test_chaos:_square", kwargs={"x": 5}, tag="sq")
+        chaotic = SweepRunner(workers=1, retries=1, backoff=0.0,
+                              cache=cache, salt="t",
+                              fault_injector=injector).run(
+            SweepPlan("chaotic", [job]))
+        assert chaotic.ok and chaotic.values == [25]
+        clean = SweepRunner(workers=1, cache=cache, salt="t").run(
+            SweepPlan("clean", [
+                Job(fn="tests.test_chaos:_square", kwargs={"x": 5},
+                    tag="sq")]))
+        assert clean.outcomes[0].cache_hit
+        assert clean.values == [25]
+
+
+# ----------------------------------------------------------------------
+# Cache corruption
+# ----------------------------------------------------------------------
+class TestCacheCorruption:
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_corrupt_entry_is_quarantined_miss(self, tmp_path, mode):
+        cache = ResultCache(tmp_path / "cache")
+        injector = FaultInjector(tmp_path / "chaos", seed=3)
+        key = "ab" + "0" * 62
+        cache.put(key, {"rows": [1.5, 2.5]})
+        injector.corrupt_entry(cache, key, mode=mode)
+
+        hit, value = cache.lookup(key)
+        assert not hit and value is None
+        assert cache.quarantined == 1
+        assert key not in cache
+        assert list(cache.keys()) == []
+        bad = list(cache.quarantine_dir.glob("*.bad"))
+        assert len(bad) == 1
+        why = bad[0].with_suffix(".why")
+        assert why.exists() and why.read_text().strip()
+
+        # The slot is immediately writable again and round-trips.
+        cache.put(key, {"rows": [1.5, 2.5]})
+        assert cache.get(key) == {"rows": [1.5, 2.5]}
+
+    def test_every_bitflip_offset_is_a_quarantined_miss(self, tmp_path):
+        """No byte of the envelope may pass corrupted — flip them all."""
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put(key, {"seed": 3, "accuracy": 0.925})
+        pristine = cache.path_for(key).read_bytes()
+        for offset in range(len(pristine)):
+            corrupted = bytearray(pristine)
+            corrupted[offset] ^= 0x40
+            cache.path_for(key).parent.mkdir(exist_ok=True)
+            cache.path_for(key).write_bytes(bytes(corrupted))
+            hit, value = cache.lookup(key)
+            if hit:
+                assert value == {"seed": 3, "accuracy": 0.925}, (
+                    f"bit flip at offset {offset} returned a wrong value")
+
+    def test_unknown_corruption_mode_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ef" + "2" * 62
+        cache.put(key, 1)
+        with pytest.raises(ValueError, match="corruption mode"):
+            FaultInjector(tmp_path / "chaos").corrupt_entry(
+                cache, key, mode="gamma-ray")
+
+    def test_corrupt_entry_recomputed_through_runner(self, tmp_path):
+        """The executor treats a corrupted entry as a miss and re-runs."""
+        cache = ResultCache(tmp_path / "cache")
+        injector = FaultInjector(tmp_path / "chaos", seed=1)
+        job = Job(fn="tests.test_chaos:_simulate", kwargs={"seed": 9},
+                  tag="sim/9")
+        first = SweepRunner(workers=1, cache=cache, salt="t").run(
+            SweepPlan("first", [job]))
+        key = list(cache.keys())[0]
+        injector.corrupt_entry(cache, key, mode="truncate")
+        second = SweepRunner(workers=1, cache=cache, salt="t").run(
+            SweepPlan("second", [job]))
+        assert second.ok
+        assert not second.outcomes[0].cache_hit  # recomputed, not trusted
+        assert second.values == first.values
+        assert cache.quarantined == 1
+        # The recomputed value was re-cached and is trusted again.
+        third = SweepRunner(workers=1, cache=cache, salt="t").run(
+            SweepPlan("third", [job]))
+        assert third.outcomes[0].cache_hit
+
+
+# ----------------------------------------------------------------------
+# NaN divergence through the executor
+# ----------------------------------------------------------------------
+class TestDivergenceSurfacing:
+    def test_nan_divergence_is_a_structured_failed_outcome(self, tmp_path):
+        journal_path = tmp_path / "run.jsonl"
+        job = Job(fn="tests.test_chaos:_diverging_training",
+                  kwargs={"seed": 5}, tag="train/nan")
+        result = SweepRunner(workers=2, retries=0,
+                             journal=journal_path).run(
+            SweepPlan("divergence", [job]))
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.error_type == "DivergenceError"
+        assert "numeric divergence" in outcome.error
+        # The journal records the structured failure too.
+        records = [json.loads(line) for line
+                   in journal_path.read_text().splitlines()]
+        jobs = [r for r in records if r["event"] == "job"]
+        assert jobs[-1]["status"] == "failed"
+        assert jobs[-1]["error_type"] == "DivergenceError"
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume: the parent process itself dies mid-plan
+# ----------------------------------------------------------------------
+_SWEEP_SCRIPT = """\
+import json, sys
+from repro.reliability import FaultInjector
+from repro.runtime import Job, SweepPlan, SweepRunner
+
+state, cache_dir, journal, chaos, resume = sys.argv[1:6]
+jobs = [Job(fn="tests.test_chaos:_simulate", kwargs={"seed": s},
+            tag=f"sim/{s}") for s in range(4)]
+injector = FaultInjector(state, seed=0)
+if chaos == "1":
+    injector.inject("sim/2", "crash", times=1)
+runner = SweepRunner(workers=1, cache=cache_dir, retries=0,
+                     salt="kill-resume", journal=journal,
+                     resume=resume == "1", fault_injector=injector)
+try:
+    result = runner.run(SweepPlan("kill-resume", jobs))
+finally:
+    if runner.journal is not None:
+        runner.journal.close()
+print(json.dumps(result.values))
+sys.exit(0 if result.ok else 3)
+"""
+
+
+def _run_sweep_subprocess(tmp_path, *, state, cache, journal, chaos,
+                          resume):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), str(REPO_ROOT),
+                    env.get("PYTHONPATH", "")) if p)
+    return subprocess.run(
+        [sys.executable, "-c", _SWEEP_SCRIPT, str(state), str(cache),
+         str(journal), chaos, resume],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        timeout=180)
+
+
+class TestKillAndResume:
+    def test_killed_sweep_resumes_bitwise_identical(self, tmp_path):
+        state = tmp_path / "chaos"
+        cache = tmp_path / "cache"
+        journal = tmp_path / "run.jsonl"
+
+        # 1. The parent process is killed (os._exit) mid-plan, on job 2.
+        killed = _run_sweep_subprocess(tmp_path, state=state, cache=cache,
+                                       journal=journal, chaos="1",
+                                       resume="0")
+        assert killed.returncode == CRASH_EXIT_CODE, killed.stderr
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        done = [r for r in records if r["event"] == "job"]
+        assert len(done) == 2  # jobs 0 and 1 finished before the kill
+        assert all(r["status"] == "ok" for r in done)
+
+        # 2. Resume: journal + cache replay jobs 0-1, jobs 2-3 execute.
+        resumed = _run_sweep_subprocess(tmp_path, state=state, cache=cache,
+                                        journal=journal, chaos="1",
+                                        resume="1")
+        assert resumed.returncode == 0, resumed.stderr
+        resumed_values = json.loads(resumed.stdout.splitlines()[-1])
+
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        headers = [r for r in records if r["event"] == "plan"]
+        assert len(headers) == 2
+        assert headers[1]["resumed"] == 2
+        second_session = [r for r in records[records.index(headers[1]):]
+                          if r["event"] == "job"]
+        assert len(second_session) == 4
+        assert sum(r["cache"] == "hit" for r in second_session) == 2
+
+        # 3. A fresh uninterrupted run must match the resumed one bitwise.
+        fresh = _run_sweep_subprocess(
+            tmp_path, state=tmp_path / "chaos2", cache=tmp_path / "cache2",
+            journal=tmp_path / "fresh.jsonl", chaos="0", resume="0")
+        assert fresh.returncode == 0, fresh.stderr
+        fresh_values = json.loads(fresh.stdout.splitlines()[-1])
+        assert resumed_values == fresh_values
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown of the worker pool
+# ----------------------------------------------------------------------
+class TestGracefulShutdown:
+    def test_keyboard_interrupt_tears_down_every_worker(self, monkeypatch):
+        import repro.runtime.executor as executor
+
+        spawned = []
+        original_init = executor._Worker.__init__
+
+        def tracking_init(self, ctx, result_q):
+            original_init(self, ctx, result_q)
+            spawned.append(self)
+
+        monkeypatch.setattr(executor._Worker, "__init__", tracking_init)
+
+        def interrupt(busy_workers, pending, now):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(executor.SweepRunner, "_poll_interval",
+                            staticmethod(interrupt))
+
+        events = []
+        telemetry = Telemetry()
+        telemetry.subscribe(events.append)
+        jobs = [Job(fn="tests.test_chaos:_sleep_long",
+                    kwargs={"seconds": 30.0}, tag=f"sleep/{i}")
+                for i in range(2)]
+        runner = SweepRunner(workers=2, telemetry=telemetry)
+        started = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(SweepPlan("shutdown", jobs))
+        # Teardown terminated mid-job workers instead of waiting them out.
+        assert time.monotonic() - started < 15.0
+        assert len(spawned) == 2
+        for worker in spawned:
+            assert not worker.proc.is_alive()
+            assert worker.proc.exitcode is not None
+        interrupted = [e for e in events if e["event"] == "interrupted"]
+        assert interrupted
+        assert interrupted[0]["reason"] == "KeyboardInterrupt"
+        assert interrupted[0]["in_flight"] == 2
