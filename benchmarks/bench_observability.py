@@ -1,0 +1,154 @@
+"""Observability overhead benchmark: tracing off vs on.
+
+Quantifies the two costs the ``repro.observability`` design promises
+to keep small:
+
+* **Disabled overhead** — the per-call price of the ``trace_span`` /
+  ``tracing_enabled`` checks on an instrumented hot path when
+  ``SWORDFISH_TRACE`` is unset.  This is the tax every untraced run
+  pays, so it must be indistinguishable from zero.
+* **Enabled overhead** — the slowdown of a real non-ideal crossbar VMM
+  workload with span collection and file export active, plus the
+  resulting trace folded into the self-time flame table.
+
+Standalone script — run it directly, not through pytest (it needs no
+trained baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py \
+        [--smoke] [--trace PATH] [--out PATH]
+
+Emits ``BENCH_observability.json`` and prints the flame table for the
+traced workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro import __version__
+from repro.crossbar import CrossbarBank, CrossbarConfig
+from repro.observability import (
+    ENV_TRACE,
+    Tracer,
+    build_flame_table,
+    get_tracer,
+    load_span_events,
+    render_flame_table,
+    trace_span,
+)
+
+
+def _span_microbench(calls: int) -> dict:
+    """Per-call cost of trace_span: disabled vs an in-memory tracer."""
+    os.environ.pop(ENV_TRACE, None)
+    start = time.perf_counter()
+    for _ in range(calls):
+        with trace_span("bench.noop"):
+            pass
+    disabled_s = time.perf_counter() - start
+
+    tracer = Tracer(enabled=True)
+    start = time.perf_counter()
+    for _ in range(calls):
+        with tracer.span("bench.noop"):
+            pass
+    enabled_s = time.perf_counter() - start
+    tracer.drain()
+
+    return {
+        "calls": calls,
+        "disabled_ns_per_call": disabled_s / calls * 1e9,
+        "enabled_ns_per_call": enabled_s / calls * 1e9,
+    }
+
+
+def _vmm_workload(batches: int, seed: int = 7) -> float:
+    """Seeded non-ideal VMM sweep; returns a checksum of the outputs."""
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=(64, 48))
+    bank = CrossbarBank(weights, CrossbarConfig(size=32), rng=seed + 1)
+    total = 0.0
+    for _ in range(batches):
+        total += float(bank.vmm(rng.normal(size=(8, 64))).sum())
+    return total
+
+
+def _timed_workload(batches: int) -> tuple[float, float]:
+    start = time.perf_counter()
+    checksum = _vmm_workload(batches)
+    return time.perf_counter() - start, checksum
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes (CI smoke run)")
+    parser.add_argument("--trace", default="BENCH_observability_trace.jsonl",
+                        help="trace file for the enabled run")
+    parser.add_argument("--out", default="BENCH_observability.json",
+                        help="result JSON path")
+    args = parser.parse_args(argv)
+
+    calls = 20_000 if args.smoke else 200_000
+    batches = 10 if args.smoke else 60
+
+    micro = _span_microbench(calls)
+
+    # Workload with tracing off (env unset) ...
+    os.environ.pop(ENV_TRACE, None)
+    off_s, off_sum = _timed_workload(batches)
+
+    # ... and on, exporting spans to the trace file.
+    if os.path.exists(args.trace):
+        os.remove(args.trace)
+    os.environ[ENV_TRACE] = args.trace
+    try:
+        on_s, on_sum = _timed_workload(batches)
+        get_tracer().flush()
+    finally:
+        os.environ.pop(ENV_TRACE, None)
+        get_tracer().close()
+
+    rows = build_flame_table(load_span_events(args.trace))
+    table = render_flame_table(rows, limit=15)
+
+    result = {
+        "benchmark": "observability",
+        "version": __version__,
+        "python": platform.python_version(),
+        "smoke": bool(args.smoke),
+        "span_microbench": micro,
+        "vmm_workload": {
+            "batches": batches,
+            "untraced_s": round(off_s, 6),
+            "traced_s": round(on_s, 6),
+            "overhead_pct": round((on_s / max(off_s, 1e-12) - 1.0) * 100, 2),
+            "outputs_identical": off_sum == on_sum,
+            "spans_recorded": sum(row.count for row in rows),
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+
+    print(f"disabled span check: "
+          f"{micro['disabled_ns_per_call']:.0f} ns/call; "
+          f"enabled span: {micro['enabled_ns_per_call']:.0f} ns/call")
+    print(f"VMM workload: untraced {off_s:.3f}s, traced {on_s:.3f}s "
+          f"({result['vmm_workload']['overhead_pct']:+.1f}%), "
+          f"outputs identical: {off_sum == on_sum}")
+    print(table)
+    print(f"wrote {args.out}")
+    if not result["vmm_workload"]["outputs_identical"]:
+        print("ERROR: tracing changed the workload's outputs")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,9 +4,10 @@ The repo's correctness story rests on invariants a generic linter
 cannot see: seeded-Generator determinism (loop≡batched), config/cache
 coherence (every result-affecting field reaches ``cache_key``),
 float64 discipline and aliasing safety in the crossbar hot kernels,
-guarded division, a resolvable export graph, and fault visibility in
-the reliability/runtime layers.  ``repro.analysis`` enforces them as
-rules SWD001–SWD007 with a ratcheting baseline —
+guarded division, a resolvable export graph, fault visibility in
+the reliability/runtime layers, and monotonic-clock discipline for
+measurements.  ``repro.analysis`` enforces them as
+rules SWD001–SWD008 with a ratcheting baseline —
 ``python -m repro.analysis`` from the repo root; see DESIGN.md §7 for
 the catalog, baseline, and suppression syntax.
 """

@@ -24,7 +24,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Swordfish-specific static analysis (rules SWD001–"
-                    "SWD007) with a ratcheting baseline.")
+                    "SWD008) with a ratcheting baseline.")
     parser.add_argument("paths", nargs="*",
                         help=f"files/directories to analyze (default: "
                              f"{' '.join(DEFAULT_PATHS)})")

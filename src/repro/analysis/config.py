@@ -59,6 +59,10 @@ class AnalysisConfig:
     # exception defeats the layer's purpose.
     swallow_scope: tuple[str, ...] = ("repro/reliability/", "repro/runtime/")
 
+    # SWD008: modules where time.time() must not measure durations
+    # (perf_counter / wall_now only; stamps need an explicit swd-ok).
+    perf_scope: tuple[str, ...] = ("src/repro/",)
+
     def in_scope(self, rel: str, patterns: tuple[str, ...],
                  exclude: tuple[str, ...] = ()) -> bool:
         rel = rel.replace("\\", "/")

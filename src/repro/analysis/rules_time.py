@@ -1,0 +1,83 @@
+"""SWD008 — ``time.time()`` used where a monotonic clock belongs.
+
+``time.time()`` follows the system wall clock, which NTP slews and
+steps freely: a duration computed as the difference of two ``time()``
+calls can come out negative, and two "timestamps" taken milliseconds
+apart can disagree by seconds.  Inside ``src/repro/`` every duration —
+job wall time, stage timing, span length — must come from
+``time.perf_counter()``, and every *event timestamp* must come from
+:func:`repro.observability.clock.wall_now` (a single wall anchor plus
+``perf_counter`` offsets), so that ordering within one process is
+monotonic even when the system clock jumps.
+
+The rule flags every call to ``time.time()`` — via the module
+(``time.time()``), via an alias (``import time as t; t.time()``), or
+via a bare name bound by ``from time import time``.  The rare genuine
+wall-clock stamp (e.g. a cache entry's ``saved_at`` provenance field)
+carries an explicit ``# swd-ok: SWD008 -- <why>`` suppression, keeping
+each such decision auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, Rule, SourceModule, dotted_name
+
+__all__ = ["WallClockDurationRule"]
+
+
+def _time_module_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names bound to the ``time`` module, and to ``time.time`` itself."""
+    modules: set[str] = set()
+    functions: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "time":
+                        functions.add(alias.asname or alias.name)
+    return modules, functions
+
+
+class WallClockDurationRule(Rule):
+    id = "SWD008"
+    name = "wall-clock-duration"
+    severity = "warning"
+    hint = ("use time.perf_counter() for durations, or "
+            "repro.observability.clock.wall_now() for event timestamps; "
+            "a genuine wall-clock provenance stamp takes an explicit "
+            "`# swd-ok: SWD008 -- <why>`")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        if not context.config.in_scope(module.rel,
+                                       context.config.perf_scope):
+            return
+        modules, functions = _time_module_aliases(module.tree)
+        if not modules and not functions:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            is_method = ("." in name
+                         and name.rsplit(".", 1)[0] in modules
+                         and name.rsplit(".", 1)[1] == "time")
+            is_bare = "." not in name and name in functions
+            if not (is_method or is_bare):
+                continue
+            yield self.finding(
+                module, node,
+                f"`{name}()` reads the non-monotonic system clock — "
+                f"durations must use time.perf_counter() and event "
+                f"timestamps wall_now(), or the measurement can go "
+                f"backwards under NTP adjustment")

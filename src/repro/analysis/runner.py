@@ -23,6 +23,7 @@ from .rules_exports import ExportCoherenceRule, build_module_index
 from .rules_numeric import DtypeDriftRule, NumericSafetyRule
 from .rules_random import AmbientRandomnessRule
 from .rules_swallow import ExceptionSwallowRule
+from .rules_time import WallClockDurationRule
 
 __all__ = ["ALL_RULES", "AnalysisContext", "default_rules", "run_analysis"]
 
@@ -35,6 +36,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NumericSafetyRule,
     ExportCoherenceRule,
     ExceptionSwallowRule,
+    WallClockDurationRule,
 )
 
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from .. import nn
 from ..genomics import Read, random_genome, sample_reads
+from ..observability import get_metrics, trace_span, tracing_enabled
 from ..reliability import DivergenceError, HealthMonitor, default_monitor
 from .model import BonitoModel
 
@@ -246,50 +247,67 @@ def train_model(model: BonitoModel, chunks: Sequence[Chunk],
     step = start_epoch * steps_per_epoch
     while epoch < config.epochs:
         losses: list[float] = []
-        try:
-            for signals, targets in batch_iterator(chunks,
-                                                   config.batch_size, rng):
-                undo = weight_perturb(model) if weight_perturb else None
-                loss = loss_fn(model, nn.Tensor(signals), targets)
-                model.zero_grad()
-                loss.backward()
-                if undo is not None:
-                    undo()
-                grad_norm = nn.clip_grad_norm(model.parameters(),
-                                              config.grad_clip)
-                if health is not None:
-                    health.check_loss(float(loss.data), step=step)
-                    health.check_grad_norm(grad_norm, step=step)
-                optimizer.step()
-                schedule.step()
-                losses.append(float(loss.data))
-                step += 1
-        except DivergenceError:
-            if health is None or not health.can_roll_back:
-                raise
-            rollbacks = health.note_rollback()
-            epoch_losses = restore(last_good)
-            _decay_lr(optimizer, schedule,
-                      health.policy.lr_decay ** rollbacks)
-            epoch = int(last_good["epoch"]) + 1
-            step = epoch * steps_per_epoch
-            model.train()
-            continue
-        if not losses:
-            raise RuntimeError(
-                f"epoch {epoch} produced no batches from {len(chunks)} "
-                f"chunks (batch_size={config.batch_size})")
-        mean_loss = float(np.mean(losses))
-        epoch_losses.append(mean_loss)
-        if cadence and (epoch + 1) % cadence == 0:
-            last_good = capture(epoch, epoch_losses)
-            if checkpoint_path is not None:
-                nn.save_training_state(
-                    checkpoint_path, model=model, optimizer=optimizer,
-                    schedule=schedule, rng=rng, epoch=epoch,
-                    extra=last_good["extra"])
-        if progress is not None:
-            progress(epoch, mean_loss)
-        epoch += 1
+        epoch_span = trace_span("train.epoch", epoch=epoch)
+        with epoch_span:
+            try:
+                for signals, targets in batch_iterator(chunks,
+                                                       config.batch_size,
+                                                       rng):
+                    with trace_span("train.batch", step=step):
+                        undo = weight_perturb(model) if weight_perturb \
+                            else None
+                        loss = loss_fn(model, nn.Tensor(signals), targets)
+                        model.zero_grad()
+                        loss.backward()
+                        if undo is not None:
+                            undo()
+                        grad_norm = nn.clip_grad_norm(model.parameters(),
+                                                      config.grad_clip)
+                        if health is not None:
+                            health.check_loss(float(loss.data), step=step)
+                            health.check_grad_norm(grad_norm, step=step)
+                        optimizer.step()
+                        schedule.step()
+                    if tracing_enabled():
+                        metrics = get_metrics()
+                        metrics.gauge("train.loss").set(float(loss.data))
+                        metrics.gauge("train.grad_norm").set(float(grad_norm))
+                        metrics.gauge("train.lr").set(float(optimizer.lr))
+                        metrics.histogram("train.batch_loss").observe(
+                            float(loss.data))
+                    losses.append(float(loss.data))
+                    step += 1
+            except DivergenceError:
+                if health is None or not health.can_roll_back:
+                    raise
+                rollbacks = health.note_rollback()
+                epoch_losses = restore(last_good)
+                _decay_lr(optimizer, schedule,
+                          health.policy.lr_decay ** rollbacks)
+                epoch = int(last_good["epoch"]) + 1
+                step = epoch * steps_per_epoch
+                model.train()
+                epoch_span.set(rolled_back=True)
+                continue
+            if not losses:
+                raise RuntimeError(
+                    f"epoch {epoch} produced no batches from {len(chunks)} "
+                    f"chunks (batch_size={config.batch_size})")
+            mean_loss = float(np.mean(losses))
+            epoch_losses.append(mean_loss)
+            epoch_span.set(mean_loss=round(mean_loss, 6), batches=len(losses))
+            if tracing_enabled():
+                get_metrics().gauge("train.epoch_loss").set(mean_loss)
+            if cadence and (epoch + 1) % cadence == 0:
+                with trace_span("train.checkpoint", epoch=epoch):
+                    last_good = capture(epoch, epoch_losses)
+                    if checkpoint_path is not None:
+                        nn.save_training_state(
+                            checkpoint_path, model=model, optimizer=optimizer,
+                            schedule=schedule, rng=rng, epoch=epoch,
+                            extra=last_good["extra"])
+            if progress is not None:
+                progress(epoch, mean_loss)
+            epoch += 1
     model.eval()
     return epoch_losses

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
+from ..observability import get_metrics, trace_span, tracing_enabled
 from .adc import apply_adc
 from .dac import apply_dac
 from .wires import dynamic_droop, sneak_leakage
@@ -304,8 +305,24 @@ class TileEngine:
     # Execution
     # ------------------------------------------------------------------
     def execute(self, x: np.ndarray) -> np.ndarray:
-        """Run the bank's non-ideal VMM for pre-validated inputs."""
-        return BACKENDS[self.backend](self, x)
+        """Run the bank's non-ideal VMM for pre-validated inputs.
+
+        When ``SWORDFISH_TRACE`` is set the pass runs inside a ``vmm``
+        span (the batched backend adds per-stage child spans) and feeds
+        the metrics registry; the early return keeps the untraced hot
+        path at a single boolean check.  Instrumentation only observes
+        — it never draws from the tile RNG streams, so traced and
+        untraced runs are bitwise-identical.
+        """
+        backend = BACKENDS[self.backend]
+        if not tracing_enabled():
+            return backend(self, x)
+        metrics = get_metrics()
+        metrics.counter("vmm.calls").inc()
+        metrics.histogram("vmm.batch").observe(x.shape[0])
+        with trace_span("vmm", backend=self.backend, bank=self.bank.name,
+                        tiles=self.num_tiles, batch=x.shape[0]):
+            return backend(self, x)
 
 
 # ----------------------------------------------------------------------
@@ -353,91 +370,95 @@ def _execute_batched(engine: TileEngine, x: np.ndarray) -> np.ndarray:
     scale = scale_t[:, None, None]
 
     # --- DAC: quantization, per-row mismatch, shared-driver sag -------
-    dac = config.dac
-    dac_gain = dac_offset = None
-    if dac.gain_std > 0:
-        if engine._dac_gain is None:
-            engine._dac_gain = np.ones((count, size))
-        dac_gain = engine._dac_gain
-        for t, tile in enumerate(tiles):
-            dac_gain[t, :tile.rows] = (
-                1.0 + tile._rng.standard_normal(tile.rows) * dac.gain_std)
-        dac_gain = dac_gain[:, None, :]
-    if dac.offset_std > 0:
-        if engine._dac_offset is None:
-            engine._dac_offset = np.zeros((count, size))
-        dac_offset = engine._dac_offset
-        for t, tile in enumerate(tiles):
-            dac_offset[t, :tile.rows] = (
-                tile._rng.standard_normal(tile.rows)
-                * dac.offset_std * dac.v_max)
-        dac_offset = dac_offset[:, None, :]
-    # Demand averages over each tile's *true* rows (padding stays 0).
-    v = apply_dac(xt, dac, gain=dac_gain, offset=dac_offset,
-                  scale=scale, active_rows=st.rows[:, None, None])
+    with trace_span("vmm.dac"):
+        dac = config.dac
+        dac_gain = dac_offset = None
+        if dac.gain_std > 0:
+            if engine._dac_gain is None:
+                engine._dac_gain = np.ones((count, size))
+            dac_gain = engine._dac_gain
+            for t, tile in enumerate(tiles):
+                dac_gain[t, :tile.rows] = (
+                    1.0 + tile._rng.standard_normal(tile.rows) * dac.gain_std)
+            dac_gain = dac_gain[:, None, :]
+        if dac.offset_std > 0:
+            if engine._dac_offset is None:
+                engine._dac_offset = np.zeros((count, size))
+            dac_offset = engine._dac_offset
+            for t, tile in enumerate(tiles):
+                dac_offset[t, :tile.rows] = (
+                    tile._rng.standard_normal(tile.rows)
+                    * dac.offset_std * dac.v_max)
+            dac_offset = dac_offset[:, None, :]
+        # Demand averages over each tile's *true* rows (padding stays 0).
+        v = apply_dac(xt, dac, gain=dac_gain, offset=dac_offset,
+                      scale=scale, active_rows=st.rows[:, None, None])
 
     # --- Analog array: read noise on the programmed conductances ------
-    analog = st.analog
-    if config.device.read_noise > 0:
-        if engine._read_jitter is None:
-            engine._read_jitter = np.zeros((count, size, size))
-        jitter = engine._read_jitter
-        for t, tile in enumerate(tiles):
-            jitter[t, :tile.rows, :tile.cols] = tile._rng.standard_normal(
-                (tile.rows, tile.cols))
-        analog = st.analog * (1.0 + jitter * config.device.read_noise)
+    with trace_span("vmm.conductance"):
+        analog = st.analog
+        if config.device.read_noise > 0:
+            if engine._read_jitter is None:
+                engine._read_jitter = np.zeros((count, size, size))
+            jitter = engine._read_jitter
+            for t, tile in enumerate(tiles):
+                jitter[t, :tile.rows, :tile.cols] = tile._rng.standard_normal(
+                    (tile.rows, tile.cols))
+            analog = st.analog * (1.0 + jitter * config.device.read_noise)
 
-    y = np.matmul(v, analog)                           # (T, B, S)
+    with trace_span("vmm.matmul"):
+        y = np.matmul(v, analog)                       # (T, B, S)
 
     # --- Wires: input-dependent droop + neighbour sneak coupling ------
-    worst_case = (st.rows * st.w_max * scale_t)[:, None, None]
-    # swd-ok: SWD005 -- rows >= 1, w_max floored at 1e-9, scale_t at 1e-12
-    load_fraction = y / worst_case
-    y *= dynamic_droop(load_fraction, st.rows[:, None, None],
-                       config.wire, config.device, out=load_fraction)
-    if config.wire.sneak_coupling > 0:
-        leak = sneak_leakage(y, config.wire)
-        # Ragged tiles: the loop backend edge-replicates at the tile's
-        # true last column; the padded column it sees instead is 0.
-        for t in np.nonzero(st.cols < size)[0]:
-            edge = int(st.cols[t]) - 1
-            leak[t, :, edge] += (config.wire.sneak_coupling * 0.5
-                                 * y[t, :, edge])
-        y = y + leak
+    with trace_span("vmm.wires"):
+        worst_case = (st.rows * st.w_max * scale_t)[:, None, None]
+        # swd-ok: SWD005 -- rows >= 1, w_max floored at 1e-9, scale_t at 1e-12
+        load_fraction = y / worst_case
+        y *= dynamic_droop(load_fraction, st.rows[:, None, None],
+                           config.wire, config.device, out=load_fraction)
+        if config.wire.sneak_coupling > 0:
+            leak = sneak_leakage(y, config.wire)
+            # Ragged tiles: the loop backend edge-replicates at the tile's
+            # true last column; the padded column it sees instead is 0.
+            for t in np.nonzero(st.cols < size)[0]:
+                edge = int(st.cols[t]) - 1
+                leak[t, :, edge] += (config.wire.sneak_coupling * 0.5
+                                     * y[t, :, edge])
+            y = y + leak
 
     # --- Sense/ADC: fixed range per tile geometry ---------------------
-    adc = config.adc
-    full_scale = (adc.range_headroom * np.sqrt(st.rows) * st.w_max
-                  * scale_t)
-    adc_gain = adc_offset = None
-    if adc.gain_std > 0:
-        if engine._adc_gain is None:
-            engine._adc_gain = np.ones((count, size))
-        adc_gain = engine._adc_gain
-        for t, tile in enumerate(tiles):
-            adc_gain[t, :tile.cols] = (
-                1.0 + tile._rng.standard_normal(tile.cols) * adc.gain_std)
-        adc_gain = adc_gain[:, None, :]
-    if adc.offset_std > 0:
-        if engine._adc_offset is None:
-            engine._adc_offset = np.zeros((count, size))
-        adc_offset = engine._adc_offset
-        for t, tile in enumerate(tiles):
-            adc_offset[t, :tile.cols] = (
-                tile._rng.standard_normal(tile.cols)
-                * adc.offset_std * float(full_scale[t]))
-        adc_offset = adc_offset[:, None, :]
-    y = apply_adc(y, adc, full_scale[:, None, None],
-                  gain=adc_gain, offset=adc_offset)
+    with trace_span("vmm.adc"):
+        adc = config.adc
+        full_scale = (adc.range_headroom * np.sqrt(st.rows) * st.w_max
+                      * scale_t)
+        adc_gain = adc_offset = None
+        if adc.gain_std > 0:
+            if engine._adc_gain is None:
+                engine._adc_gain = np.ones((count, size))
+            adc_gain = engine._adc_gain
+            for t, tile in enumerate(tiles):
+                adc_gain[t, :tile.cols] = (
+                    1.0 + tile._rng.standard_normal(tile.cols) * adc.gain_std)
+            adc_gain = adc_gain[:, None, :]
+        if adc.offset_std > 0:
+            if engine._adc_offset is None:
+                engine._adc_offset = np.zeros((count, size))
+            adc_offset = engine._adc_offset
+            for t, tile in enumerate(tiles):
+                adc_offset[t, :tile.cols] = (
+                    tile._rng.standard_normal(tile.cols)
+                    * adc.offset_std * float(full_scale[t]))
+            adc_offset = adc_offset[:, None, :]
+        y = apply_adc(y, adc, full_scale[:, None, None],
+                      gain=adc_gain, offset=adc_offset)
 
-    # --- Digital contribution of SRAM-resident weights ----------------
-    if st.has_sram:
-        y = y + np.matmul(xt, st.digital)
-
-    # --- Digital partial-sum across row blocks ------------------------
-    summed = y.reshape(grid_rows, grid_cols, batch, size).sum(axis=0)
-    out = summed.transpose(1, 0, 2).reshape(batch, grid_cols * size)
-    return out[:, :cols_total].copy()
+    # --- Digital: SRAM contribution + partial-sum across row blocks ---
+    with trace_span("vmm.digital"):
+        if st.has_sram:
+            y = y + np.matmul(xt, st.digital)
+        summed = y.reshape(grid_rows, grid_cols, batch, size).sum(axis=0)
+        out = summed.transpose(1, 0, 2).reshape(batch, grid_cols * size)
+        return out[:, :cols_total].copy()
 
 
 BACKENDS: dict[str, Callable[[TileEngine, np.ndarray], np.ndarray]] = {

@@ -1,0 +1,63 @@
+"""Observability: tracing, metrics, and profiling for Swordfish runs.
+
+The paper's System Evaluator reports end-to-end accuracy *and*
+throughput; this package makes the reproduction's wall-clock
+inspectable at the same granularity — per DAC/conductance/ADC stage of
+a VMM, per training batch, per pipeline stage, per sweep job — the
+instrumentation-as-a-module approach of RxNN and DNN+NeuroSim.
+
+Three pieces:
+
+* :mod:`~repro.observability.tracer` — nested, thread-safe spans,
+  zero-cost unless ``SWORDFISH_TRACE`` is set, exported as JSONL
+  events that merge with the runtime telemetry stream;
+* :mod:`~repro.observability.metrics` — counters, gauges, and bounded
+  histograms (p50/p95/p99) with a Prometheus text exporter;
+* :mod:`~repro.observability.report` — the ``python -m
+  repro.observability report`` flame table over a trace file.
+
+Everything here is *bitwise-neutral*: no RNG streams are consumed, no
+cache keys change, and results with tracing on are identical to
+results with tracing off (enforced by ``tests/test_observability.py``).
+"""
+
+from .clock import WallClock, wall_now
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_metrics
+from .report import (
+    SpanRow,
+    build_flame_table,
+    load_span_events,
+    render_flame_table,
+)
+from .tracer import (
+    ENV_TRACE,
+    ENV_TRACE_FILE,
+    NullSpan,
+    Span,
+    Tracer,
+    get_tracer,
+    trace_span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "ENV_TRACE",
+    "ENV_TRACE_FILE",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullSpan",
+    "Span",
+    "SpanRow",
+    "Tracer",
+    "WallClock",
+    "build_flame_table",
+    "get_metrics",
+    "get_tracer",
+    "load_span_events",
+    "render_flame_table",
+    "trace_span",
+    "tracing_enabled",
+    "wall_now",
+]

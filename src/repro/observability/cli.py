@@ -1,0 +1,73 @@
+"""``python -m repro.observability`` — trace and metrics tooling.
+
+Usage::
+
+    python -m repro.observability report trace.jsonl [--limit N]
+    python -m repro.observability metrics            # prometheus dump
+
+``report`` folds a span trace (written by running anything with
+``SWORDFISH_TRACE=trace.jsonl``) into a per-span-name self-time flame
+table; ``metrics`` dumps the current process's registry in Prometheus
+text format (mostly useful from tests or embedding code — a fresh CLI
+process has an empty registry).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .metrics import get_metrics
+from .report import build_flame_table, load_span_events, render_flame_table
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability",
+        description="Analyze Swordfish span traces and metrics.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="print a self-time flame table for a span trace")
+    report.add_argument("trace", help="span JSONL file (SWORDFISH_TRACE "
+                                      "output; telemetry lines are skipped)")
+    report.add_argument("--limit", type=int, default=30,
+                        help="show at most N span names (default 30)")
+
+    sub.add_parser("metrics",
+                   help="dump this process's metrics registry "
+                        "(Prometheus text format)")
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    events = load_span_events(path)
+    if not events:
+        print(f"error: {path} contains no span events (was the run "
+              f"traced? set SWORDFISH_TRACE={path} while running)",
+              file=sys.stderr)
+        return 1
+    rows = build_flame_table(events)
+    print(f"trace: {path} — {len(events)} spans, "
+          f"{len(rows)} distinct span names")
+    print(render_flame_table(rows, limit=args.limit))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "metrics":
+        sys.stdout.write(get_metrics().render_prometheus())
+        return 0
+    return _cmd_report(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

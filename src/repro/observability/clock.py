@@ -1,0 +1,51 @@
+"""Monotonic wall-clock timestamps for event streams.
+
+Event logs (telemetry, journals, traces) need timestamps that are both
+*wall-clock meaningful* (so separate runs and processes line up) and
+*monotonic* (so event ordering survives NTP steps and DST-style clock
+adjustments mid-run).  ``time.time()`` alone gives the first property
+but not the second; ``time.perf_counter()`` alone gives the second but
+not the first.
+
+:func:`wall_now` combines them: one ``time.time()`` anchor is captured
+per process, and every subsequent timestamp is the anchor plus a
+``perf_counter`` offset — so within a process timestamps can never run
+backwards, while across processes they stay comparable to within the
+anchor error (the clock skew at process start, typically microseconds
+on one host).
+
+Forked children re-anchor on first use: the parent's ``perf_counter``
+origin is not meaningful in the child on all platforms, and a child
+that lives for hours should not inherit a stale anchor.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["WallClock", "wall_now"]
+
+
+class WallClock:
+    """One wall anchor + perf-counter offsets = monotonic wall time."""
+
+    def __init__(self) -> None:
+        self._pid = os.getpid()
+        # swd-ok: SWD008 -- the single wall anchor every monotonic timestamp offsets from
+        self._wall0 = time.time()
+        self._perf0 = time.perf_counter()
+
+    def now(self) -> float:
+        """Seconds since the epoch, monotonic within this process."""
+        if os.getpid() != self._pid:
+            self.__init__()
+        return self._wall0 + (time.perf_counter() - self._perf0)
+
+
+_CLOCK = WallClock()
+
+
+def wall_now() -> float:
+    """Process-wide monotonic wall-clock timestamp (seconds)."""
+    return _CLOCK.now()

@@ -1,0 +1,237 @@
+"""Metrics registry: counters, gauges, and bounded histograms.
+
+Instruments are cheap, thread-safe, and deliberately numpy-free (they
+run inside hot loops that must not allocate arrays).  Histograms are
+*bounded*: they keep exact ``count``/``sum``/``min``/``max`` forever
+but cap the stored sample reservoir, compacting deterministically
+(sort, keep every other sample) when full — no RNG is ever consumed,
+so metrics can never perturb an experiment's random streams.
+
+Quantiles (p50/p95/p99) use the nearest-rank method over the stored
+reservoir; after compaction they are estimates over a uniform thinning
+of the observed values.
+
+Export: :meth:`MetricsRegistry.render_prometheus` produces a
+Prometheus text-format dump (counters as ``_total``, histograms as
+summaries with ``quantile`` labels), and :meth:`snapshot` a plain dict
+for JSON sinks or test assertions.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+]
+
+#: Default histogram reservoir bound.
+MAX_SAMPLES = 4096
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-written value (loss, learning rate, queue depth...)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: float | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float | None:
+        return self._value
+
+
+class Histogram:
+    """Bounded-reservoir distribution with exact count/sum/min/max."""
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_samples", "_max_samples", "_lock")
+
+    def __init__(self, name: str, max_samples: int = MAX_SAMPLES):
+        if max_samples < 2:
+            raise ValueError("histogram reservoir needs at least 2 slots")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+        self._max_samples = int(max_samples)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._samples.append(value)
+            if len(self._samples) > self._max_samples:
+                # Deterministic compaction: sorted uniform thinning.
+                self._samples.sort()
+                del self._samples[::2]
+
+    def quantile(self, q: float) -> float | None:
+        """Nearest-rank quantile over the reservoir (None when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        rank = max(math.ceil(q * len(ordered)), 1)
+        return ordered[rank - 1]
+
+    @property
+    def mean(self) -> float | None:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            samples = len(self._samples)
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "samples": samples,
+        }
+
+
+def _prom_name(name: str) -> str:
+    """Prometheus-legal metric name (dots and dashes become ``_``)."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                      for ch in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, one namespace per run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  max_samples: int = MAX_SAMPLES) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, max_samples=max_samples)
+        return instrument
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation between runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {n: h.snapshot()
+                           for n, h in sorted(histograms.items())},
+        }
+
+    def render_prometheus(self, prefix: str = "swordfish_") -> str:
+        """Prometheus text-format dump of every instrument."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        for name, value in snap["counters"].items():
+            metric = f"{prefix}{_prom_name(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value:g}")
+        for name, value in snap["gauges"].items():
+            if value is None:
+                continue
+            metric = f"{prefix}{_prom_name(name)}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value:g}")
+        for name, hist in snap["histograms"].items():
+            if not hist["count"]:
+                continue
+            metric = f"{prefix}{_prom_name(name)}"
+            lines.append(f"# TYPE {metric} summary")
+            for q_label, key in (("0.5", "p50"), ("0.95", "p95"),
+                                 ("0.99", "p99")):
+                lines.append(
+                    f'{metric}{{quantile="{q_label}"}} {hist[key]:g}')
+            lines.append(f"{metric}_sum {hist['sum']:g}")
+            lines.append(f"{metric}_count {hist['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry instrumented code reports into."""
+    return _REGISTRY

@@ -1,0 +1,120 @@
+"""Trace analysis: fold a span JSONL file into a self-time flame table.
+
+The table answers "where did the wall-clock go": for every span *name*
+it aggregates call count, total (inclusive) time, and **self time** —
+inclusive time minus the time spent inside child spans — so a parent
+that merely wraps instrumented children reports near-zero self time
+and the leaves surface to the top.  Totals are exact per process: the
+sum of self times equals the sum of root-span durations.
+
+Trace files may contain foreign lines (a trace appended into the same
+file as a telemetry event log is fine); anything that is not an
+``event == "span"`` record is skipped, as are torn trailing lines from
+a killed writer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "SpanRow",
+    "build_flame_table",
+    "load_span_events",
+    "render_flame_table",
+]
+
+
+@dataclass
+class SpanRow:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+    self_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def avg_ms(self) -> float:
+        return self.total_s / max(self.count, 1) * 1e3
+
+
+def load_span_events(path: str | Path) -> list[dict]:
+    """Span events from a JSONL file (foreign/torn lines skipped)."""
+    events: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed writer
+            if isinstance(event, dict) and event.get("event") == "span":
+                events.append(event)
+    return events
+
+
+def build_flame_table(events: Iterable[dict]) -> list[SpanRow]:
+    """Per-name aggregation with self-time, sorted by self time desc.
+
+    Span ids are unique within a process; parent/child links are
+    resolved per ``pid`` so traces merged from a worker pool do not
+    cross-wire.
+    """
+    events = [e for e in events if e.get("event") == "span"]
+    child_time: dict[tuple, float] = defaultdict(float)
+    for event in events:
+        parent = event.get("parent")
+        if parent:
+            child_time[(event.get("pid"), parent)] += float(
+                event.get("dur_s", 0.0))
+
+    totals: dict[str, SpanRow] = {}
+    for event in events:
+        name = str(event.get("name", "?"))
+        dur = float(event.get("dur_s", 0.0))
+        nested = child_time.get((event.get("pid"), event.get("span")), 0.0)
+        self_s = max(dur - nested, 0.0)
+        row = totals.get(name)
+        if row is None:
+            totals[name] = SpanRow(name=name, count=1, total_s=dur,
+                                   self_s=self_s, min_s=dur, max_s=dur)
+        else:
+            row.count += 1
+            row.total_s += dur
+            row.self_s += self_s
+            row.min_s = min(row.min_s, dur)
+            row.max_s = max(row.max_s, dur)
+    return sorted(totals.values(),
+                  key=lambda r: (-r.self_s, -r.total_s, r.name))
+
+
+def render_flame_table(rows: Sequence[SpanRow], limit: int | None = None,
+                       ) -> str:
+    """Fixed-width self-time table (the ``report`` CLI output)."""
+    total_self = sum(row.self_s for row in rows)
+    shown = rows if limit is None else rows[:limit]
+    name_width = max([len(row.name) for row in shown] + [len("span")])
+    header = (f"{'span'.ljust(name_width)}  {'count':>7}  {'total_s':>10}  "
+              f"{'self_s':>10}  {'self%':>6}  {'avg_ms':>9}  {'max_ms':>9}")
+    lines = [header, "-" * len(header)]
+    for row in shown:
+        share = row.self_s / max(total_self, 1e-12) * 100.0
+        lines.append(
+            f"{row.name.ljust(name_width)}  {row.count:>7}  "
+            f"{row.total_s:>10.4f}  {row.self_s:>10.4f}  {share:>5.1f}%  "
+            f"{row.avg_ms:>9.3f}  {row.max_s * 1e3:>9.3f}")
+    hidden = len(rows) - len(shown)
+    if hidden > 0:
+        lines.append(f"... {hidden} more span name(s); raise --limit")
+    lines.append(f"total self-time: {total_self:.4f} s across "
+                 f"{sum(row.count for row in rows)} span(s)")
+    return "\n".join(lines)

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..basecaller import BonitoModel, basecall_read
 from ..genomics import Read
+from ..observability import trace_span
 from .mapping import MappingHit, ReferenceIndex, map_read
 
 __all__ = ["StageTiming", "PipelineResult", "run_pipeline",
@@ -121,30 +122,40 @@ def run_pipeline(model: BonitoModel, reads: list[Read],
                  reference: np.ndarray, k: int = 11,
                  min_coverage: int = 1,
                  min_agreement: float = 0.5) -> PipelineResult:
-    """Run all four stages, timing each."""
+    """Run all four stages, timing each.
+
+    Stage wall-clock lands in two places: the returned
+    :class:`StageTiming` rows (the Fig. 1 data, always measured) and —
+    when ``SWORDFISH_TRACE`` is set — ``pipeline.*`` spans, so a traced
+    sweep attributes pipeline time stage by stage in the flame table.
+    """
     result = PipelineResult()
 
-    start = time.perf_counter()
-    result.called = [basecall_read(model, read) for read in reads]
-    result.timings.append(StageTiming("basecalling",
-                                      time.perf_counter() - start))
+    with trace_span("pipeline.basecalling", reads=len(reads)):
+        start = time.perf_counter()
+        result.called = [basecall_read(model, read) for read in reads]
+        result.timings.append(StageTiming("basecalling",
+                                          time.perf_counter() - start))
 
-    start = time.perf_counter()
-    index = ReferenceIndex(reference, k=k)
-    result.hits = [map_read(index, called) for called in result.called]
-    result.timings.append(StageTiming("read_mapping",
-                                      time.perf_counter() - start))
+    with trace_span("pipeline.read_mapping"):
+        start = time.perf_counter()
+        index = ReferenceIndex(reference, k=k)
+        result.hits = [map_read(index, called) for called in result.called]
+        result.timings.append(StageTiming("read_mapping",
+                                          time.perf_counter() - start))
 
-    start = time.perf_counter()
-    result.consensus = consensus_pileup(reference, result.called,
-                                        result.hits,
-                                        min_coverage=min_coverage,
-                                        min_agreement=min_agreement)
-    result.timings.append(StageTiming("polishing",
-                                      time.perf_counter() - start))
+    with trace_span("pipeline.polishing"):
+        start = time.perf_counter()
+        result.consensus = consensus_pileup(reference, result.called,
+                                            result.hits,
+                                            min_coverage=min_coverage,
+                                            min_agreement=min_agreement)
+        result.timings.append(StageTiming("polishing",
+                                          time.perf_counter() - start))
 
-    start = time.perf_counter()
-    result.variants = call_variants(reference, result.consensus)
-    result.timings.append(StageTiming("variant_calling",
-                                      time.perf_counter() - start))
+    with trace_span("pipeline.variant_calling"):
+        start = time.perf_counter()
+        result.variants = call_variants(reference, result.consensus)
+        result.timings.append(StageTiming("variant_calling",
+                                          time.perf_counter() - start))
     return result

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
 from pathlib import Path
 from typing import Sequence
+
+from ..observability.clock import wall_now
 
 __all__ = ["JournalError", "RunJournal"]
 
@@ -117,7 +118,8 @@ class RunJournal:
     def _append(self, event: dict) -> None:
         if self._fh is None:
             raise RuntimeError("journal session not started; call begin()")
-        event = {**event, "ts": round(time.time(), 6)}
+        # Anchored wall clock: ordering stays monotonic under clock steps.
+        event = {**event, "ts": round(wall_now(), 6)}
         self._fh.write(json.dumps(event, sort_keys=True) + "\n")
         self._fh.flush()
 

@@ -172,6 +172,7 @@ class ResultCache:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         record = {"key": key, "value": value, "meta": meta or {},
+                  # swd-ok: SWD008 -- wall-clock provenance stamp, not a duration
                   "saved_at": time.time()}
         payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
         blob = {"format": ENTRY_FORMAT,

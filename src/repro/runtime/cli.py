@@ -16,12 +16,15 @@ and (with ``--save``) persists the :class:`ExperimentRecord` JSON.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
+from ..observability import ENV_TRACE, get_tracer
 from .cache import ResultCache
 from .executor import SweepError, SweepRunner
 from .figures import FIGURES, available, render_figure, run_figure
+from .telemetry import JsonlSink, Telemetry
 
 __all__ = ["build_parser", "main"]
 
@@ -57,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true",
                      help="resume a killed run from its journal + cache "
                           "(requires --journal and --cache-dir)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write per-stage span traces to this JSONL file "
+                          "(sets SWORDFISH_TRACE; analyze with "
+                          "'python -m repro.observability report PATH')")
 
     sub.add_parser("list", help="list runnable figures")
 
@@ -87,6 +94,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.scale is not None:
         os.environ["SWORDFISH_SCALE"] = str(args.scale)
+    if args.trace:
+        # Worker processes inherit the environment, so a forked pool
+        # appends spans to the same trace file.
+        os.environ[ENV_TRACE] = args.trace
     if args.resume and not args.journal:
         print("--resume requires --journal", file=sys.stderr)
         return 2
@@ -94,30 +105,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("--resume requires --cache-dir (finished jobs replay "
               "their values from the result cache)", file=sys.stderr)
         return 2
-    runner = SweepRunner(
-        workers=args.workers,
-        cache=args.cache_dir,
-        telemetry_path=args.telemetry,
-        timeout=args.timeout,
-        retries=args.retries,
-        backoff=args.backoff,
-        strict=True,
-        journal=args.journal,
-        resume=args.resume,
-    )
-    try:
-        record = run_figure(args.figure, runner=runner)
-    except SweepError as exc:
-        print(f"sweep failed: {exc}", file=sys.stderr)
-        return 1
-    finally:
-        if runner.journal is not None:
-            runner.journal.close()
+    # The sink is context-managed: an aborted sweep (SweepError, ^C,
+    # a crash inside a figure runner) must not leak the open handle.
+    with contextlib.ExitStack() as stack:
+        telemetry = None
+        if args.telemetry:
+            sink = stack.enter_context(JsonlSink(args.telemetry))
+            telemetry = Telemetry(hooks=(sink,))
+        runner = SweepRunner(
+            workers=args.workers,
+            cache=args.cache_dir,
+            telemetry=telemetry,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            strict=True,
+            journal=args.journal,
+            resume=args.resume,
+        )
+        try:
+            record = run_figure(args.figure, runner=runner)
+        except SweepError as exc:
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if runner.journal is not None:
+                runner.journal.close()
+            if args.trace:
+                get_tracer().flush()
+        if runner.telemetry.hook_errors:
+            errors = runner.telemetry.hook_errors
+            print(f"warning: {len(errors)} telemetry hook error(s); "
+                  f"first: {errors[0]}", file=sys.stderr)
     render_figure(args.figure, record)
     if args.save:
         from ..core import save_record
         path = save_record(record, args.save)
         print(f"saved {path}")
+    if args.trace:
+        print(f"trace written to {args.trace} — inspect with "
+              f"'python -m repro.observability report {args.trace}'")
     return 0
 
 

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..observability import get_tracer, trace_span
 from ..reliability import FaultInjector, RunJournal
 from .cache import ResultCache, default_salt, job_key
 from .job import Job, SweepPlan, resolve_target
@@ -107,20 +108,25 @@ class SweepResult:
 # Worker process
 # ----------------------------------------------------------------------
 def _worker_main(task_q, result_q) -> None:
-    """Long-lived worker loop: ``(index, fn, kwargs)`` in, result out.
+    """Long-lived worker loop: ``(index, fn, kwargs, tag)`` in, result out.
 
     Results are pre-pickled here so that an unpicklable value surfaces
     as an ordinary job error instead of wedging the queue's feeder
-    thread.
+    thread.  Each job runs inside a ``runtime.job`` span; the tracer is
+    flushed per task so a worker killed on timeout loses at most the
+    span of the job being killed.
     """
+    tracer = get_tracer()
     while True:
         task = task_q.get()
         if task is None:
             return
-        index, fn, kwargs = task
+        index, fn, kwargs, tag = task
         started = time.perf_counter()
         try:
-            value = resolve_target(fn)(**kwargs)
+            with tracer.span("runtime.job", job=tag, index=index,
+                             where="worker"):
+                value = resolve_target(fn)(**kwargs)
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except BaseException as exc:
             result_q.put((index, "err", None,
@@ -130,6 +136,8 @@ def _worker_main(task_q, result_q) -> None:
         else:
             result_q.put((index, "ok", payload, None,
                           time.perf_counter() - started, None))
+        if tracer.enabled:
+            tracer.flush()
 
 
 class _Worker:
@@ -153,7 +161,7 @@ class _Worker:
         self.index = index
         self.attempt = attempt
         self.deadline = (time.monotonic() + timeout) if timeout else None
-        self.task_q.put((index, job.fn, job.kwargs))
+        self.task_q.put((index, job.fn, job.kwargs, job.tag))
 
     def release(self) -> None:
         self.index = None
@@ -256,13 +264,25 @@ class SweepRunner:
         self.telemetry.subscribe(aggregator)
         started = time.perf_counter()
         try:
-            outcomes = self._run(plan)
+            with trace_span("runtime.sweep", plan=plan.name,
+                            jobs=len(plan.jobs), workers=self.workers):
+                outcomes = self._run(plan)
             summary = aggregator.summary()
             summary["plan"] = plan.name
             summary["run_wall_s"] = round(time.perf_counter() - started, 6)
+            # A dropped or flaky sink must be visible in the summary,
+            # not only in the in-memory hook_errors list.
+            if self.telemetry.hook_errors:
+                summary["hook_errors"] = {
+                    "count": len(self.telemetry.hook_errors),
+                    "first": self.telemetry.hook_errors[0],
+                }
             self.telemetry.emit("summary", **summary)
         finally:
             self.telemetry.unsubscribe(aggregator)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.flush()
         result = SweepResult(plan=plan, outcomes=outcomes, summary=summary)
         if self.strict:
             result.raise_on_failure()
@@ -332,7 +352,9 @@ class SweepRunner:
                                     where="in-process")
                 started = time.perf_counter()
                 try:
-                    value = self._executable(job).execute()
+                    with trace_span("runtime.job", job=job.tag,
+                                    attempt=attempt, where="in-process"):
+                        value = self._executable(job).execute()
                 except Exception as exc:
                     elapsed = time.perf_counter() - started
                     error = traceback.format_exc(limit=20)

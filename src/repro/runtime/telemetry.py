@@ -15,29 +15,48 @@ Events fan out to pluggable hooks — any callable taking the event dict.
 log); :class:`SummaryAggregator` folds events into run counters.
 Benchmarks and tests subscribe their own hooks via
 :meth:`Telemetry.subscribe`.
+
+Event timestamps come from :func:`repro.observability.wall_now` — one
+wall-clock anchor per process plus ``perf_counter`` offsets — so event
+ordering stays monotonic even when the system clock steps mid-run.
 """
 
 from __future__ import annotations
 
 import json
 import threading
-import time
 from pathlib import Path
 from typing import Any, Callable
 
-__all__ = ["Telemetry", "JsonlSink", "SummaryAggregator"]
+from ..observability.clock import wall_now
+
+__all__ = ["Telemetry", "JsonlSink", "SummaryAggregator",
+           "MAX_HOOK_FAILURES"]
 
 TelemetryHook = Callable[[dict], None]
 
+#: Consecutive-failure budget per hook: a sink that raises this many
+#: times is unsubscribed (a broken sink must not tax the whole sweep),
+#: but a single transient failure — a momentary disk-full, say — does
+#: not silently disable the run's event log.
+MAX_HOOK_FAILURES = 3
+
 
 class Telemetry:
-    """Hook fan-out. A broken hook is dropped, never a sweep-killer."""
+    """Hook fan-out. A broken hook is dropped, never a sweep-killer.
+
+    Every hook failure is appended to :attr:`hook_errors`; a hook is
+    unsubscribed only after :data:`MAX_HOOK_FAILURES` failures.  The
+    executor surfaces ``hook_errors`` in the run ``summary`` event and
+    summary dict, so dropped sinks are visible instead of silent.
+    """
 
     def __init__(self, hooks: tuple[TelemetryHook, ...] = (),
                  run_id: str = ""):
         self._hooks: list[TelemetryHook] = list(hooks)
         self.run_id = run_id
         self.hook_errors: list[str] = []
+        self._hook_failures: dict[int, int] = {}
 
     def subscribe(self, hook: TelemetryHook) -> TelemetryHook:
         self._hooks.append(hook)
@@ -48,7 +67,7 @@ class Telemetry:
             self._hooks.remove(hook)
 
     def emit(self, event: str, **fields: Any) -> dict:
-        record = {"event": event, "ts": round(time.time(), 6)}
+        record = {"event": event, "ts": round(wall_now(), 6)}
         if self.run_id:
             record["run"] = self.run_id
         record.update(fields)
@@ -56,19 +75,39 @@ class Telemetry:
             try:
                 hook(dict(record))
             except Exception as exc:  # a sink must not break the sweep
-                self.hook_errors.append(f"{hook!r}: {exc}")
-                self.unsubscribe(hook)
+                self._note_hook_error(hook, exc)
         return record
+
+    def _note_hook_error(self, hook: TelemetryHook, exc: Exception) -> None:
+        self.hook_errors.append(f"{hook!r}: {exc}")
+        failures = self._hook_failures.get(id(hook), 0) + 1
+        self._hook_failures[id(hook)] = failures
+        if failures >= MAX_HOOK_FAILURES:
+            self.unsubscribe(hook)
 
 
 class JsonlSink:
-    """Append-only JSONL event log (one event per line, flushed)."""
+    """Append-only JSONL event log (one event per line, flushed).
+
+    Usable as a context manager, so an aborted sweep cannot leak the
+    open file handle::
+
+        with JsonlSink(path) as sink:
+            runner = SweepRunner(telemetry=Telemetry(hooks=(sink,)))
+            ...
+    """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __call__(self, event: dict) -> None:
         line = json.dumps(event, sort_keys=True, default=str)
@@ -109,14 +148,17 @@ class SummaryAggregator:
         elif kind == "finish":
             if event.get("status") == "ok":
                 self.completed += 1
+                # Only completed jobs count toward the cache ledger: a
+                # failed job neither hit nor missed (it produced no
+                # cacheable value), so hits + misses + failed == jobs.
+                if event.get("cache") == "hit":
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
             else:
                 self.failed += 1
                 if event.get("reason") == "timeout":
                     self.timeouts += 1
-            if event.get("cache") == "hit":
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
             self.exec_wall_s += float(event.get("wall_s", 0.0))
 
     def summary(self) -> dict:

@@ -1,0 +1,21 @@
+"""SWD008 fixture: wall-clock reads where a monotonic clock belongs."""
+
+import time
+import time as clock
+from time import time as now
+
+
+def duration_via_module(job):
+    start = time.time()
+    job()
+    return time.time() - start
+
+
+def duration_via_alias(job):
+    start = clock.time()
+    job()
+    return clock.time() - start
+
+
+def timestamp_via_bare_name(name):
+    return {"event": name, "ts": now()}

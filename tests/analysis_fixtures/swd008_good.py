@@ -1,0 +1,24 @@
+"""SWD008 fixture: monotonic timing that never reads the system clock."""
+
+import time
+from time import perf_counter
+
+
+def duration_via_module(job):
+    start = time.perf_counter()
+    job()
+    return time.perf_counter() - start
+
+
+def duration_via_bare_name(job):
+    start = perf_counter()
+    job()
+    return perf_counter() - start
+
+
+def sleep_is_not_a_measurement(seconds):
+    time.sleep(seconds)
+
+
+def unrelated_method_named_time(recorder):
+    return recorder.time()

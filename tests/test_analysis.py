@@ -39,6 +39,7 @@ WIDE_CONFIG = replace(
     numeric_scope=("",),
     numeric_exclude=(),
     swallow_scope=("",),
+    perf_scope=("",),
 )
 
 
@@ -62,6 +63,7 @@ def rules_of(result) -> set[str]:
     ("SWD004", "swd004"),
     ("SWD005", "swd005"),
     ("SWD007", "swd007"),
+    ("SWD008", "swd008"),
 ])
 def test_bad_fixture_fires_rule(rule_id: str, stem: str):
     result = analyze(FIXTURES / f"{stem}_bad.py")
@@ -73,7 +75,7 @@ def test_bad_fixture_fires_rule(rule_id: str, stem: str):
 
 
 @pytest.mark.parametrize("stem", [
-    "swd001", "swd002", "swd003", "swd004", "swd005", "swd007",
+    "swd001", "swd002", "swd003", "swd004", "swd005", "swd007", "swd008",
 ])
 def test_good_fixture_is_clean(stem: str):
     result = analyze(FIXTURES / f"{stem}_good.py")

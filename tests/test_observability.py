@@ -1,0 +1,585 @@
+"""Tests for ``repro.observability`` — tracing, metrics, clock, report.
+
+The load-bearing property is **neutrality**: enabling tracing must not
+change a single result bit.  The instrumented paths (crossbar VMM,
+training, runtime jobs) never consume RNG or reach a cache key, and
+the property test here proves it by diffing pickled sweep values with
+``SWORDFISH_TRACE`` on vs off.
+
+Job targets live at module level so worker processes (and the serial
+in-process path) can resolve them by dotted name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.observability import (
+    ENV_TRACE,
+    ENV_TRACE_FILE,
+    Histogram,
+    MetricsRegistry,
+    NullSpan,
+    Tracer,
+    build_flame_table,
+    get_tracer,
+    load_span_events,
+    render_flame_table,
+    trace_span,
+    tracing_enabled,
+    wall_now,
+)
+from repro.observability.cli import main as obs_main
+from repro.observability.tracer import NULL_SPAN
+from repro.runtime import (
+    Job,
+    JsonlSink,
+    ResultCache,
+    SweepPlan,
+    SweepRunner,
+    Telemetry,
+)
+from repro.runtime.telemetry import MAX_HOOK_FAILURES, SummaryAggregator
+
+
+# ----------------------------------------------------------------------
+# Worker-resolvable job targets
+# ----------------------------------------------------------------------
+def _seeded(seed: int) -> dict:
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=128)
+    return {"seed": seed, "mean": float(values.mean())}
+
+
+def _vmm(seed: int) -> list[float]:
+    """A tiny non-ideal crossbar VMM — exercises the instrumented engine."""
+    import numpy as np
+    from repro.crossbar import CrossbarBank, CrossbarConfig
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=(16, 12))
+    bank = CrossbarBank(weights, CrossbarConfig(size=8), rng=seed + 1)
+    out = bank.vmm(rng.normal(size=(3, 16)))
+    return [float(v) for v in np.asarray(out).ravel()]
+
+
+def _nap(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def _boom() -> None:
+    raise RuntimeError("deliberate failure")
+
+
+@pytest.fixture
+def clean_global_tracer(monkeypatch):
+    """Isolate tests that drive the process-wide tracer through env."""
+    monkeypatch.delenv(ENV_TRACE, raising=False)
+    monkeypatch.delenv(ENV_TRACE_FILE, raising=False)
+    tracer = get_tracer()
+    tracer.close()
+    tracer.drain()
+    yield tracer
+    # The runtime CLI writes ENV_TRACE directly; scrub it even if this
+    # test's monkeypatch never recorded the variable.
+    os.environ.pop(ENV_TRACE, None)
+    os.environ.pop(ENV_TRACE_FILE, None)
+    tracer.close()
+    tracer.drain()
+
+
+# ----------------------------------------------------------------------
+# Clock
+# ----------------------------------------------------------------------
+class TestClock:
+    def test_monotonic_and_wall_anchored(self):
+        stamps = [wall_now() for _ in range(500)]
+        assert stamps == sorted(stamps)
+        assert abs(stamps[-1] - time.time()) < 5.0
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", key="value")
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.set(more="attrs")  # must be a silent no-op
+        assert tracer.drain() == []
+
+    def test_env_toggles_global_tracer(self, clean_global_tracer,
+                                       monkeypatch):
+        assert not tracing_enabled()
+        assert isinstance(trace_span("x"), NullSpan)
+        for falsey in ("", "0", "false", "off", "no", "FALSE"):
+            monkeypatch.setenv(ENV_TRACE, falsey)
+            assert not tracing_enabled()
+        monkeypatch.setenv(ENV_TRACE, "1")
+        assert tracing_enabled()
+        assert clean_global_tracer.path is None
+        with trace_span("probe"):
+            pass
+        assert [e["name"] for e in clean_global_tracer.drain()] == ["probe"]
+
+    def test_pathlike_env_value_sets_trace_file(self, clean_global_tracer,
+                                                monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_TRACE, str(tmp_path / "t.jsonl"))
+        assert tracing_enabled()
+        assert clean_global_tracer.path == str(tmp_path / "t.jsonl")
+        monkeypatch.setenv(ENV_TRACE, "1")
+        monkeypatch.setenv(ENV_TRACE_FILE, str(tmp_path / "u.jsonl"))
+        assert clean_global_tracer.path == str(tmp_path / "u.jsonl")
+
+    def test_nesting_links_parent_and_child(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent", figure="fig08"):
+            with tracer.span("child"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        events = {e["name"]: e for e in tracer.drain()}
+        parent = events["parent"]
+        assert parent["parent"] == ""
+        assert events["child"]["parent"] == parent["span"]
+        assert events["sibling"]["parent"] == parent["span"]
+        assert events["child"]["span"] != events["sibling"]["span"]
+        assert parent["figure"] == "fig08"
+        # Children close before the parent, and durations nest.
+        assert parent["dur_s"] >= events["child"]["dur_s"]
+        assert all(e["dur_s"] >= 0.0 and e["ts"] > 0 for e in events.values())
+
+    def test_exception_is_recorded_and_propagated(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("risky"):
+                raise ValueError("nope")
+        (event,) = tracer.drain()
+        assert event["error"] == "ValueError"
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s") as span:
+            span.set(loss=0.25, note="ok")
+        (event,) = tracer.drain()
+        assert event["loss"] == 0.25 and event["note"] == "ok"
+
+    def test_non_scalar_attrs_are_stringified(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", shape=(3, 4)):
+            pass
+        (event,) = tracer.drain()
+        assert event["shape"] == "(3, 4)"
+
+    def test_threads_keep_independent_stacks(self):
+        tracer = Tracer(enabled=True)
+
+        def work(tid: int) -> None:
+            for i in range(50):
+                with tracer.span("outer", tid=tid):
+                    with tracer.span("inner", tid=tid, i=i):
+                        pass
+
+        threads = [threading.Thread(target=work, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = tracer.drain()
+        assert len(events) == 4 * 50 * 2
+        by_id = {e["span"]: e for e in events}
+        for event in events:
+            if event["name"] == "inner":
+                parent = by_id[event["parent"]]
+                # A span's parent was opened by the same thread.
+                assert parent["tid"] == event["tid"]
+
+    def test_file_export_appends_whole_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        # Foreign telemetry lines and a torn tail must not break loading.
+        path.write_text('{"event": "finish", "status": "ok"}\n',
+                        encoding="utf-8")
+        tracer = Tracer(enabled=True, path=path)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        tracer.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"torn')  # killed writer left a partial line
+        events = load_span_events(path)
+        assert [e["name"] for e in events] == ["b", "a"]
+        # Every line in the file is valid JSON except the torn one.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc()
+        registry.counter("jobs").inc(2.5)
+        assert registry.counter("jobs").value == 3.5
+        with pytest.raises(ValueError):
+            registry.counter("jobs").inc(-1)
+        assert registry.gauge("loss").value is None
+        registry.gauge("loss").set(0.5)
+        assert registry.gauge("loss").value == 0.5
+
+    def test_histogram_empty(self):
+        hist = Histogram("empty")
+        assert hist.quantile(0.5) is None
+        assert hist.mean is None
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["p50"] is None and snap["p99"] is None
+
+    def test_histogram_single_sample(self):
+        hist = Histogram("one")
+        hist.observe(7.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == snap["max"] == 7.0
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 7.0
+        assert snap["mean"] == 7.0
+
+    def test_histogram_heavy_tail_quantiles(self):
+        hist = Histogram("tail")
+        # 99 small values and one enormous outlier: p50/p95 must not be
+        # dragged by the tail, p99+ must see it.
+        for value in range(1, 100):
+            hist.observe(float(value))
+        hist.observe(1e9)
+        assert hist.quantile(0.50) == 50.0
+        assert hist.quantile(0.95) == 95.0
+        assert hist.quantile(1.00) == 1e9
+        assert hist.max == 1e9
+        assert hist.quantile(0.0) == 1.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_histogram_bounded_compaction_keeps_exact_aggregates(self):
+        hist = Histogram("bounded", max_samples=8)
+        for value in range(1000):
+            hist.observe(float(value))
+        assert hist.count == 1000
+        assert hist.total == sum(range(1000))
+        assert hist.min == 0.0 and hist.max == 999.0
+        assert len(hist._samples) <= 8
+        # Quantiles remain order-of-magnitude right after thinning.
+        assert 0.0 <= hist.quantile(0.5) <= 999.0
+
+    def test_registry_get_or_create_and_reset(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h") is registry.histogram("h")
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.counter("c").value == 0.0
+
+    def test_prometheus_render(self):
+        registry = MetricsRegistry()
+        registry.counter("vmm.calls").inc(3)
+        registry.gauge("train.loss").set(0.125)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.histogram("job.wall").observe(value)
+        text = registry.render_prometheus()
+        assert "# TYPE swordfish_vmm_calls_total counter" in text
+        assert "swordfish_vmm_calls_total 3" in text
+        assert "swordfish_train_loss 0.125" in text
+        assert 'swordfish_job_wall{quantile="0.5"} 2' in text
+        assert "swordfish_job_wall_count 4" in text
+        assert text.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# Flame table / report
+# ----------------------------------------------------------------------
+def _span(name, span, parent, dur, pid=1):
+    return {"event": "span", "name": name, "span": span, "parent": parent,
+            "ts": 0.0, "dur_s": dur, "pid": pid, "thread": "t"}
+
+
+class TestFlameTable:
+    def test_self_time_subtracts_children(self):
+        events = [
+            _span("leaf", "1-2", "1-1", 0.4),
+            _span("leaf", "1-3", "1-1", 0.3),
+            _span("root", "1-1", "", 1.0),
+        ]
+        rows = {row.name: row for row in build_flame_table(events)}
+        assert rows["root"].total_s == pytest.approx(1.0)
+        assert rows["root"].self_s == pytest.approx(0.3)
+        assert rows["leaf"].self_s == pytest.approx(0.7)
+        assert rows["leaf"].count == 2
+        # Self times partition the root duration exactly.
+        assert sum(r.self_s for r in rows.values()) == pytest.approx(1.0)
+
+    def test_pid_scoping_prevents_cross_wiring(self):
+        # Two processes reuse span id "1-1"; child time must only be
+        # charged against the parent in the SAME process.
+        events = [
+            _span("root", "1-1", "", 1.0, pid=1),
+            _span("child", "1-2", "1-1", 0.5, pid=1),
+            _span("root", "1-1", "", 2.0, pid=2),
+        ]
+        rows = {row.name: row for row in build_flame_table(events)}
+        assert rows["root"].self_s == pytest.approx(0.5 + 2.0)
+
+    def test_clock_skew_never_goes_negative(self):
+        events = [
+            _span("root", "1-1", "", 0.1),
+            _span("child", "1-2", "1-1", 0.2),  # child "longer" than parent
+        ]
+        rows = {row.name: row for row in build_flame_table(events)}
+        assert rows["root"].self_s == 0.0
+
+    def test_render_orders_by_self_time(self):
+        events = [
+            _span("fast", "1-1", "", 0.01),
+            _span("slow", "1-2", "", 2.0),
+        ]
+        text = render_flame_table(build_flame_table(events))
+        assert text.index("slow") < text.index("fast")
+        assert "total self-time: 2.0100 s across 2 span(s)" in text
+
+    def test_render_limit_reports_hidden_rows(self):
+        events = [_span(f"s{i}", f"1-{i}", "", 0.1) for i in range(5)]
+        text = render_flame_table(build_flame_table(events), limit=2)
+        assert "... 3 more span name(s)" in text
+
+
+# ----------------------------------------------------------------------
+# Telemetry bugfixes (the PR's accounting fixes)
+# ----------------------------------------------------------------------
+class TestSummaryAggregator:
+    def test_failed_jobs_count_toward_neither_cache_bucket(self):
+        agg = SummaryAggregator()
+        for _ in range(3):
+            agg({"event": "submit"})
+        agg({"event": "finish", "status": "ok", "cache": "hit",
+             "wall_s": 0.0})
+        agg({"event": "finish", "status": "ok", "cache": "miss",
+             "wall_s": 0.1})
+        # Failed finishes carry cache=miss on the wire; they must NOT
+        # land in the miss column.
+        agg({"event": "finish", "status": "failed", "cache": "miss",
+             "reason": "error", "wall_s": 0.2})
+        summary = agg.summary()
+        assert summary["cache_hits"] == 1
+        assert summary["cache_misses"] == 1
+        assert summary["failed"] == 1
+        assert (summary["cache_hits"] + summary["cache_misses"]
+                + summary["failed"]) == summary["jobs"]
+
+    def test_timeout_failures_count_timeouts(self):
+        agg = SummaryAggregator()
+        agg({"event": "submit"})
+        agg({"event": "finish", "status": "failed", "cache": "miss",
+             "reason": "timeout", "wall_s": 1.0})
+        summary = agg.summary()
+        assert summary["timeouts"] == 1 and summary["cache_misses"] == 0
+
+
+class TestTelemetryHookTolerance:
+    def test_single_transient_failure_keeps_hook_subscribed(self):
+        telemetry = Telemetry()
+        seen: list[dict] = []
+        fail_once = {"armed": True}
+
+        def flaky_hook(event):
+            if fail_once.pop("armed", False):
+                raise OSError("disk momentarily full")
+            seen.append(event)
+
+        telemetry.subscribe(flaky_hook)
+        telemetry.emit("a")
+        telemetry.emit("b")
+        assert [e["event"] for e in seen] == ["b"]
+        assert len(telemetry.hook_errors) == 1
+        assert "disk momentarily full" in telemetry.hook_errors[0]
+
+    def test_persistent_failure_unsubscribes_after_budget(self):
+        telemetry = Telemetry()
+        calls = {"n": 0}
+
+        def broken_hook(event):
+            calls["n"] += 1
+            raise RuntimeError("always broken")
+
+        telemetry.subscribe(broken_hook)
+        for i in range(MAX_HOOK_FAILURES + 5):
+            telemetry.emit("tick", i=i)
+        assert calls["n"] == MAX_HOOK_FAILURES
+        assert len(telemetry.hook_errors) == MAX_HOOK_FAILURES
+
+    def test_hook_errors_surface_in_summary_event_and_result(self):
+        telemetry = Telemetry()
+        events: list[dict] = []
+        telemetry.subscribe(events.append)
+
+        def broken_hook(event):
+            raise RuntimeError("boom")
+
+        telemetry.subscribe(broken_hook)
+        plan = SweepPlan("h", [
+            Job(fn="tests.test_observability:_seeded", kwargs={"seed": 0})])
+        result = SweepRunner(workers=1, telemetry=telemetry).run(plan)
+        assert result.ok
+        assert result.summary["hook_errors"]["count"] >= 1
+        assert "boom" in result.summary["hook_errors"]["first"]
+        (summary_event,) = [e for e in events if e["event"] == "summary"]
+        assert summary_event["hook_errors"]["count"] >= 1
+
+    def test_clean_run_has_no_hook_errors_key(self):
+        result = SweepRunner(workers=1).run(SweepPlan("ok", [
+            Job(fn="tests.test_observability:_seeded", kwargs={"seed": 1})]))
+        assert "hook_errors" not in result.summary
+
+
+class TestJsonlSinkContextManager:
+    def test_context_manager_closes_handle(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            sink({"event": "start"})
+            assert sink._fh is not None
+        assert sink._fh is None
+        assert json.loads(path.read_text())["event"] == "start"
+
+    def test_close_then_reuse_reopens(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        with sink:
+            sink({"event": "one"})
+        sink({"event": "two"})
+        sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_event_timestamps_are_monotonic(self):
+        telemetry = Telemetry()
+        events: list[dict] = []
+        telemetry.subscribe(events.append)
+        for i in range(100):
+            telemetry.emit("tick", i=i)
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+
+
+class TestFailedJobCacheAccounting:
+    def test_end_to_end_failed_job_is_not_a_cache_miss(self, tmp_path):
+        plan = SweepPlan("mixed", [
+            Job(fn="tests.test_observability:_seeded", kwargs={"seed": 0}),
+            Job(fn="tests.test_observability:_boom", kwargs={}),
+        ])
+        result = SweepRunner(workers=1, retries=0,
+                             cache=tmp_path / "cache").run(plan)
+        summary = result.summary
+        assert summary["failed"] == 1
+        assert summary["cache_misses"] == 1  # only the job that succeeded
+        assert summary["cache_hits"] == 0
+        assert (summary["cache_hits"] + summary["cache_misses"]
+                + summary["failed"]) == summary["jobs"]
+
+
+# ----------------------------------------------------------------------
+# End-to-end: traced sweep, report CLI, and the neutrality property
+# ----------------------------------------------------------------------
+def _checksums(result) -> list[str]:
+    import hashlib
+    return [hashlib.sha256(pickle.dumps(v)).hexdigest()
+            for v in result.values]
+
+
+class TestTracedSweep:
+    def test_traced_run_is_bitwise_identical(self, clean_global_tracer,
+                                             monkeypatch, tmp_path):
+        """The neutrality property: tracing changes no result bit."""
+        plan = SweepPlan("neutral", [
+            Job(fn="tests.test_observability:_vmm", kwargs={"seed": s})
+            for s in range(3)
+        ] + [
+            Job(fn="tests.test_observability:_seeded", kwargs={"seed": s})
+            for s in range(3)
+        ])
+        monkeypatch.delenv(ENV_TRACE, raising=False)
+        baseline = SweepRunner(workers=1,
+                               cache=tmp_path / "cache_off").run(plan)
+        monkeypatch.setenv(ENV_TRACE, str(tmp_path / "trace.jsonl"))
+        traced = SweepRunner(workers=1,
+                             cache=tmp_path / "cache_on").run(plan)
+        assert traced.ok and baseline.ok
+        assert _checksums(traced) == _checksums(baseline)
+        # ...and the trace actually recorded the instrumented spans.
+        events = load_span_events(tmp_path / "trace.jsonl")
+        names = {e["name"] for e in events}
+        assert "runtime.sweep" in names and "runtime.job" in names
+        assert "vmm" in names and "vmm.dac" in names
+
+    def test_flame_table_total_matches_job_wall(self, clean_global_tracer,
+                                                monkeypatch, tmp_path):
+        """Span self-times account for the measured job wall-clock."""
+        trace = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_TRACE, str(trace))
+        plan = SweepPlan("timed", [
+            Job(fn="tests.test_observability:_nap",
+                kwargs={"seconds": 0.05}, tag="nap")])
+        result = SweepRunner(workers=1).run(plan)
+        assert result.ok
+        rows = build_flame_table(load_span_events(trace))
+        total_self = sum(row.self_s for row in rows)
+        job_wall = result.summary["exec_wall_s"]
+        # The runtime.job span wraps exactly the region timed as wall_s,
+        # and runtime.sweep wraps the job; self-times within 10%.
+        assert total_self >= job_wall * 0.9
+        assert total_self <= result.summary["run_wall_s"] * 1.1 + 0.05
+
+    def test_report_cli_end_to_end(self, clean_global_tracer, monkeypatch,
+                                   tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_TRACE, str(trace))
+        plan = SweepPlan("cli", [
+            Job(fn="tests.test_observability:_vmm", kwargs={"seed": 7})])
+        assert SweepRunner(workers=1).run(plan).ok
+        assert obs_main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "runtime.job" in out
+        assert "total self-time:" in out
+
+    def test_report_cli_missing_and_empty(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text('{"event": "finish"}\n', encoding="utf-8")
+        assert obs_main(["report", str(empty)]) == 1
+        capsys.readouterr()
+
+    def test_metrics_cli_dumps_registry(self, capsys):
+        from repro.observability import get_metrics
+        get_metrics().counter("cli.probe").inc()
+        try:
+            assert obs_main(["metrics"]) == 0
+            out = capsys.readouterr().out
+            assert "swordfish_cli_probe_total 1" in out
+        finally:
+            get_metrics().reset()
+
+    def test_runtime_cli_trace_flag(self, clean_global_tracer, monkeypatch,
+                                    tmp_path, capsys):
+        from repro.runtime.cli import main as runtime_main
+        trace = tmp_path / "fig14.jsonl"
+        code = runtime_main(["run", "fig14", "--trace", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert load_span_events(trace)

@@ -257,6 +257,25 @@ class TestSerialExecution:
             runner.run(SweepPlan("f", [
                 Job(fn="tests.test_runtime:_missing_target")]))
 
+    def test_failed_jobs_count_toward_neither_cache_bucket(self, tmp_path):
+        """Regression: a failed job is not a cache miss (or hit).
+
+        The aggregator used to put every failed finish in the miss
+        column, so ``hits + misses`` could exceed the number of jobs
+        that produced values.
+        """
+        plan = SweepPlan("mixed", [
+            Job(fn="tests.test_runtime:_square", kwargs={"x": 3}),
+            Job(fn="tests.test_runtime:_missing_target", kwargs={}),
+        ])
+        summary = SweepRunner(workers=1, retries=0,
+                              cache=tmp_path / "cache").run(plan).summary
+        assert summary["failed"] == 1
+        assert summary["cache_hits"] == 0
+        assert summary["cache_misses"] == 1  # only the successful job
+        assert (summary["cache_hits"] + summary["cache_misses"]
+                + summary["failed"]) == summary["jobs"]
+
     def test_broken_hook_is_dropped_not_fatal(self):
         telemetry = Telemetry()
 
