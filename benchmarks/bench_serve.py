@@ -1,0 +1,200 @@
+"""Serving benchmark: concurrent clients against one BasecallServer.
+
+Starts an in-process :class:`repro.serve.BasecallServer`, drives it
+with ``--clients`` concurrent socket clients (each pipelining reads of
+mixed lengths over its own connection), and reports sustained
+throughput — reads/s, tokens/s (output frames), bases/s — plus
+client-observed p50/p95/p99 latency and the server's own queue/compute
+split.
+
+Standalone script — run it directly, not through pytest (it needs no
+trained baseline, so it skips ``benchmarks/conftest``'s session-scoped
+baseline fixture)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--out PATH]
+
+Emits ``BENCH_serve.json``.  The smoke profile (CI) still runs 8
+concurrent clients — the acceptance bar for the serving subsystem —
+just with fewer, shorter reads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import threading
+import time
+
+import numpy as np
+
+from repro import __version__
+from repro.basecaller import BonitoConfig, BonitoModel
+from repro.serve import BasecallServer, EngineConfig, ServeClient, ServeConfig
+
+#: The benched model: small enough to deploy in seconds, real enough
+#: that compute (not protocol parsing) dominates each request.
+BENCH_MODEL = BonitoConfig(conv_channels=(8, 16), lstm_hidden=16,
+                           num_lstm_layers=2, seed=7)
+
+
+def _quantile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    rank = max(int(np.ceil(q * len(ordered))), 1)
+    return ordered[rank - 1]
+
+
+class _LoopThread:
+    """An event loop on a daemon thread hosting the benched server."""
+
+    def __init__(self, server: BasecallServer):
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever,
+                                       daemon=True)
+        self.thread.start()
+        self.server = server
+        asyncio.run_coroutine_threadsafe(
+            server.start(), self.loop).result(timeout=600)
+
+    def close(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain=True), self.loop).result(timeout=120)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+def _client_worker(port: int, signals: list[np.ndarray], pipeline: int,
+                   latencies: list[float], frames: list[int],
+                   bases: list[int], errors: list[str]) -> None:
+    """One benchmark client: windowed pipelining over its connection."""
+    try:
+        with ServeClient("127.0.0.1", port, timeout=600) as client:
+            sent: list[float] = []
+            next_read = 0
+            received = 0
+            while received < len(signals):
+                while (next_read < len(signals)
+                       and next_read - received < pipeline):
+                    sent.append(time.perf_counter())
+                    client.submit(f"r{next_read}", signals[next_read])
+                    next_read += 1
+                response = client.recv()
+                latency = time.perf_counter() - sent[received]
+                received += 1
+                if response.get("status") != "ok":
+                    errors.append(response.get("error", {}).get(
+                        "code", "unknown"))
+                    continue
+                latencies.append(latency)
+                frames.append(int(response["frames"]))
+                bases.append(len(response["bases"]))
+    except Exception as exc:  # noqa: BLE001 - benchmark must report, not die
+        errors.append(f"{type(exc).__name__}: {exc}")
+
+
+def bench_serving(num_clients: int, reads_per_client: int,
+                  read_samples: tuple[int, ...], workers: int,
+                  pipeline: int) -> dict:
+    model = BonitoModel(BENCH_MODEL)
+    server = BasecallServer(
+        model, EngineConfig(),
+        ServeConfig(workers=workers,
+                    max_pending_reads=max(64, 4 * num_clients)))
+    host = _LoopThread(server)
+    rng = np.random.default_rng(42)
+    try:
+        per_client = [
+            [rng.normal(size=read_samples[i % len(read_samples)])
+             for i in range(reads_per_client)]
+            for _ in range(num_clients)
+        ]
+        latencies: list[float] = []
+        frames: list[int] = []
+        bases: list[int] = []
+        errors: list[str] = []
+        threads = [
+            threading.Thread(target=_client_worker,
+                             args=(host.server.port, signals, pipeline,
+                                   latencies, frames, bases, errors))
+            for signals in per_client
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+    finally:
+        host.close()
+
+    total_reads = len(latencies)
+    if total_reads == 0:
+        raise RuntimeError(f"no successful reads; errors: {errors[:5]}")
+    return {
+        "clients": num_clients,
+        "workers": workers,
+        "pipeline_depth": pipeline,
+        "reads_per_client": reads_per_client,
+        "read_samples": list(read_samples),
+        "errors": len(errors),
+        "wall_s": wall,
+        "reads_total": total_reads,
+        "reads_per_s": total_reads / wall,
+        "tokens_per_s": sum(frames) / wall,
+        "bases_per_s": sum(bases) / wall,
+        "latency_ms": {
+            "p50": _quantile(latencies, 0.50) * 1e3,
+            "p95": _quantile(latencies, 0.95) * 1e3,
+            "p99": _quantile(latencies, 0.99) * 1e3,
+            "mean": float(np.mean(latencies)) * 1e3,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI (seconds, not minutes)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent clients (default 8, the "
+                             "acceptance bar)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output JSON path (default: BENCH_serve.json)")
+    args = parser.parse_args(argv)
+
+    clients = args.clients or 8
+    reads_per_client = 4 if args.smoke else 16
+    read_samples = (96, 160, 224) if args.smoke else (256, 512, 768)
+
+    result = bench_serving(clients, reads_per_client, read_samples,
+                           workers=args.workers, pipeline=4)
+    payload = {
+        "benchmark": "serve_throughput",
+        "version": __version__,
+        "smoke": args.smoke,
+        "platform": platform.platform(),
+        "serving": result,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+
+    lat = result["latency_ms"]
+    print(f"serve throughput ({'smoke' if args.smoke else 'full'}), "
+          f"repro {__version__}")
+    print(f"  {result['clients']} clients x "
+          f"{result['reads_per_client']} reads, "
+          f"{result['workers']} workers, "
+          f"pipeline {result['pipeline_depth']}")
+    print(f"  reads/s  {result['reads_per_s']:8.2f}   "
+          f"tokens/s {result['tokens_per_s']:9.1f}   "
+          f"bases/s {result['bases_per_s']:9.1f}")
+    print(f"  latency  p50 {lat['p50']:7.1f} ms   p95 {lat['p95']:7.1f} ms"
+          f"   p99 {lat['p99']:7.1f} ms   ({result['errors']} errors)")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -57,7 +57,8 @@ class AnalysisConfig:
 
     # SWD007: fault-handling layers where a silently swallowed broad
     # exception defeats the layer's purpose.
-    swallow_scope: tuple[str, ...] = ("repro/reliability/", "repro/runtime/")
+    swallow_scope: tuple[str, ...] = ("repro/reliability/", "repro/runtime/",
+                                      "repro/serve/")
 
     # SWD008: modules where time.time() must not measure durations
     # (perf_counter / wall_now only; stamps need an explicit swd-ok).

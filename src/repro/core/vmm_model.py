@@ -20,6 +20,7 @@ forward pass used for accuracy evaluation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -100,6 +101,13 @@ class DeployedModel:
         # DivergenceError instead of decaying into a garbage accuracy
         # row.  SWORDFISH_HEALTH=off disables (health stays None).
         self.health = health if health is not None else default_monitor()
+        # Serializes forwards when one deployed instance is shared by
+        # several threads: per-call noise draws advance each tile's RNG
+        # and the tile engine reuses per-bank scratch buffers, so
+        # unsynchronized concurrent forwards would interleave both.
+        # Workers that want parallelism deploy one instance each (same
+        # seed => identical banks) instead of sharing the lock.
+        self.lock = threading.RLock()
         self.bundle = bundle
         self.crossbar_size = crossbar_size
         self.write_variation = write_variation
@@ -187,6 +195,39 @@ class DeployedModel:
         for banks in self.banks.values():
             for bank in banks:
                 bank.reprogram(self._rng)
+
+    # ------------------------------------------------------------------
+    # RNG epochs (deterministic re-serving of per-call noise)
+    # ------------------------------------------------------------------
+    def rng_snapshot(self) -> list[dict]:
+        """Capture every tile's per-call RNG state, in bank/tile order.
+
+        Programming-time draws have already been consumed by the time a
+        deployed model exists, so a snapshot taken right after
+        construction marks the exact state a fresh ``deploy()`` would
+        start its first forward from.  Restoring it before each request
+        gives every request the same noise streams — the determinism
+        contract ``repro.serve`` relies on to make served basecalls
+        bitwise-identical to offline ones regardless of request order or
+        concurrency.
+        """
+        return [tile._rng.bit_generator.state
+                for banks in self.banks.values()
+                for bank in banks
+                for row in bank.tiles for tile in row]
+
+    def rng_restore(self, snapshot: list[dict]) -> None:
+        """Restore tile RNG streams captured by :meth:`rng_snapshot`."""
+        tiles = [tile
+                 for banks in self.banks.values()
+                 for bank in banks
+                 for row in bank.tiles for tile in row]
+        if len(snapshot) != len(tiles):
+            raise ValueError(
+                f"snapshot holds {len(snapshot)} tile states, model has "
+                f"{len(tiles)} tiles — snapshot from a different design?")
+        for tile, state in zip(tiles, snapshot):
+            tile._rng.bit_generator.state = state
 
     @property
     def engines(self) -> dict[str, list]:

@@ -22,13 +22,27 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread taping flag.
+
+    Thread-local so concurrent inference workers (``repro.serve``) can
+    each hold ``no_grad()`` without one thread's ``__exit__`` re-enabling
+    taping mid-forward in another.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 @contextlib.contextmanager
@@ -37,19 +51,20 @@ def no_grad():
 
     Mirrors ``torch.no_grad``: operations executed inside the block do
     not record backward closures, so the produced tensors are leaves.
+    The flag is thread-local, so each worker thread opts out of taping
+    independently.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_MODE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return True when operations are currently being taped."""
-    return _GRAD_ENABLED
+    return _GRAD_MODE.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -143,7 +158,7 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None] | None) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _GRAD_MODE.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

@@ -22,7 +22,14 @@ results with tracing off (enforced by ``tests/test_observability.py``).
 """
 
 from .clock import WallClock, wall_now
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_metrics
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    labelset,
+)
 from .report import (
     SpanRow,
     build_flame_table,
@@ -55,6 +62,7 @@ __all__ = [
     "build_flame_table",
     "get_metrics",
     "get_tracer",
+    "labelset",
     "load_span_events",
     "render_flame_table",
     "trace_span",

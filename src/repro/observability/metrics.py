@@ -11,6 +11,12 @@ Quantiles (p50/p95/p99) use the nearest-rank method over the stored
 reservoir; after compaction they are estimates over a uniform thinning
 of the observed values.
 
+Instruments can carry *labels* (``registry.gauge("serve.inflight",
+labels={"client": "c7"})``): each distinct ``(name, labels)`` pair is
+its own instrument, and the Prometheus export renders the label set on
+every sample line while emitting one ``# TYPE`` header per metric
+name — the shape scrapers expect for per-client/per-queue series.
+
 Export: :meth:`MetricsRegistry.render_prometheus` produces a
 Prometheus text-format dump (counters as ``_total``, histograms as
 summaries with ``quantile`` labels), and :meth:`snapshot` a plain dict
@@ -21,7 +27,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Any
+from typing import Any, Mapping
 
 __all__ = [
     "Counter",
@@ -29,19 +35,49 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_metrics",
+    "labelset",
 ]
 
 #: Default histogram reservoir bound.
 MAX_SAMPLES = 4096
 
 
+def labelset(labels: Mapping[str, Any] | None) -> tuple[tuple[str, str], ...]:
+    """Canonical (sorted, stringified) form of an instrument label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    """``{k="v",...}`` rendering of a canonical label set ('' if empty)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _instrument_key(name: str,
+                    labels: tuple[tuple[str, str], ...]) -> str:
+    """Registry/snapshot key: the name plus any rendered labels."""
+    return name + _render_labels(labels)
+
+
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str,
+                 labels: tuple[tuple[str, str], ...] = ()):
         self.name = name
+        self.labels = labels
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -59,10 +95,12 @@ class Counter:
 class Gauge:
     """Last-written value (loss, learning rate, queue depth...)."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str,
+                 labels: tuple[tuple[str, str], ...] = ()):
         self.name = name
+        self.labels = labels
         self._value: float | None = None
         self._lock = threading.Lock()
 
@@ -78,13 +116,15 @@ class Gauge:
 class Histogram:
     """Bounded-reservoir distribution with exact count/sum/min/max."""
 
-    __slots__ = ("name", "count", "total", "min", "max",
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
                  "_samples", "_max_samples", "_lock")
 
-    def __init__(self, name: str, max_samples: int = MAX_SAMPLES):
+    def __init__(self, name: str, max_samples: int = MAX_SAMPLES,
+                 labels: tuple[tuple[str, str], ...] = ()):
         if max_samples < 2:
             raise ValueError("histogram reservoir needs at least 2 slots")
         self.name = name
+        self.labels = labels
         self.count = 0
         self.total = 0.0
         self.min = math.inf
@@ -159,27 +199,35 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str,
+                labels: Mapping[str, Any] | None = None) -> Counter:
+        key = _instrument_key(name, labelset(labels))
         with self._lock:
-            instrument = self._counters.get(name)
+            instrument = self._counters.get(key)
             if instrument is None:
-                instrument = self._counters[name] = Counter(name)
+                instrument = self._counters[key] = Counter(
+                    name, labelset(labels))
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str,
+              labels: Mapping[str, Any] | None = None) -> Gauge:
+        key = _instrument_key(name, labelset(labels))
         with self._lock:
-            instrument = self._gauges.get(name)
+            instrument = self._gauges.get(key)
             if instrument is None:
-                instrument = self._gauges[name] = Gauge(name)
+                instrument = self._gauges[key] = Gauge(
+                    name, labelset(labels))
         return instrument
 
     def histogram(self, name: str,
-                  max_samples: int = MAX_SAMPLES) -> Histogram:
+                  max_samples: int = MAX_SAMPLES,
+                  labels: Mapping[str, Any] | None = None) -> Histogram:
+        key = _instrument_key(name, labelset(labels))
         with self._lock:
-            instrument = self._histograms.get(name)
+            instrument = self._histograms.get(key)
             if instrument is None:
-                instrument = self._histograms[name] = Histogram(
-                    name, max_samples=max_samples)
+                instrument = self._histograms[key] = Histogram(
+                    name, max_samples=max_samples, labels=labelset(labels))
         return instrument
 
     def reset(self) -> None:
@@ -201,31 +249,57 @@ class MetricsRegistry:
                            for n, h in sorted(histograms.items())},
         }
 
+    @staticmethod
+    def _grouped(instruments: dict) -> list[tuple[str, list]]:
+        """Instruments grouped by base metric name, both levels sorted."""
+        groups: dict[str, list] = {}
+        for key in sorted(instruments):
+            instrument = instruments[key]
+            groups.setdefault(instrument.name, []).append(instrument)
+        return sorted(groups.items())
+
     def render_prometheus(self, prefix: str = "swordfish_") -> str:
-        """Prometheus text-format dump of every instrument."""
-        snap = self.snapshot()
+        """Prometheus text-format dump of every instrument.
+
+        One ``# TYPE`` header per metric name; every label set of that
+        name renders as its own sample line.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
         lines: list[str] = []
-        for name, value in snap["counters"].items():
+        for name, group in self._grouped(counters):
             metric = f"{prefix}{_prom_name(name)}_total"
             lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric} {value:g}")
-        for name, value in snap["gauges"].items():
-            if value is None:
+            for inst in group:
+                lines.append(
+                    f"{metric}{_render_labels(inst.labels)} {inst.value:g}")
+        for name, group in self._grouped(gauges):
+            live = [inst for inst in group if inst.value is not None]
+            if not live:
                 continue
             metric = f"{prefix}{_prom_name(name)}"
             lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {value:g}")
-        for name, hist in snap["histograms"].items():
-            if not hist["count"]:
+            for inst in live:
+                lines.append(
+                    f"{metric}{_render_labels(inst.labels)} {inst.value:g}")
+        for name, group in self._grouped(histograms):
+            live = [(inst, inst.snapshot()) for inst in group]
+            live = [(inst, snap) for inst, snap in live if snap["count"]]
+            if not live:
                 continue
             metric = f"{prefix}{_prom_name(name)}"
             lines.append(f"# TYPE {metric} summary")
-            for q_label, key in (("0.5", "p50"), ("0.95", "p95"),
-                                 ("0.99", "p99")):
-                lines.append(
-                    f'{metric}{{quantile="{q_label}"}} {hist[key]:g}')
-            lines.append(f"{metric}_sum {hist['sum']:g}")
-            lines.append(f"{metric}_count {hist['count']}")
+            for inst, snap in live:
+                for q_label, key in (("0.5", "p50"), ("0.95", "p95"),
+                                     ("0.99", "p99")):
+                    quantile = _render_labels(
+                        inst.labels + (("quantile", q_label),))
+                    lines.append(f"{metric}{quantile} {snap[key]:g}")
+                suffix = _render_labels(inst.labels)
+                lines.append(f"{metric}_sum{suffix} {snap['sum']:g}")
+                lines.append(f"{metric}_count{suffix} {snap['count']}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

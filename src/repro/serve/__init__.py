@@ -1,0 +1,55 @@
+"""repro.serve — basecalling-as-a-service with cross-request batching.
+
+An asyncio front end (``python -m repro.serve``) that accepts streaming
+read requests over newline-delimited JSON sockets, coalesces pending
+work into batches dispatched to a pool of worker threads sharing
+identically-deployed :class:`~repro.serve.engine.BasecallEngine`
+instances, and streams basecalls back with per-client deficit
+round-robin fairness, bounded queues with backpressure, request
+timeouts, and graceful drain.
+
+Served basecalls are bitwise-identical to offline
+:func:`repro.core.deploy` + ``basecall_signal`` results for the same
+read, seed, and bundle — see :mod:`repro.serve.engine` for the RNG
+epoch mechanism behind that guarantee.
+"""
+
+from .batcher import CoalescingBatcher, PendingRead
+from .client import ServeClient, ServeClientError
+from .engine import BasecallEngine, BasecallResult, EngineConfig, model_fingerprint
+from .protocol import (
+    BASE_LETTERS,
+    ERROR_CODES,
+    ProtocolError,
+    ProtocolLimits,
+    Request,
+    encode,
+    encode_bases,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .server import BasecallServer, ServeConfig
+
+__all__ = [
+    "BASE_LETTERS",
+    "BasecallEngine",
+    "BasecallResult",
+    "BasecallServer",
+    "CoalescingBatcher",
+    "ERROR_CODES",
+    "EngineConfig",
+    "PendingRead",
+    "ProtocolError",
+    "ProtocolLimits",
+    "Request",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "encode",
+    "encode_bases",
+    "error_response",
+    "model_fingerprint",
+    "ok_response",
+    "parse_request",
+]

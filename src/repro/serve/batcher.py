@@ -1,0 +1,211 @@
+"""Cross-request coalescing with deficit-round-robin fairness.
+
+The batcher is the server's single waiting room: every accepted read
+from every connection lands in a per-client FIFO here, and the
+dispatcher drains them in *batches* — up to ``max_batch_reads`` reads
+or ``max_batch_samples`` signal samples per dispatch — so one worker
+pass amortizes scheduling overhead across many clients' work.
+
+Fairness is deficit round-robin (DRR) with signal samples as the cost
+unit: each visit grants a client ``quantum_samples`` of credit, and the
+client may dequeue reads while its accumulated deficit covers their
+cost.  A client streaming huge reads therefore cannot starve one
+sending short reads — the short reads' client banks credit every round
+and drains at its fair share of *samples*, not of requests.
+
+Backpressure is a bounded total: :meth:`CoalescingBatcher.put` blocks
+(async) while ``max_pending_reads`` reads are waiting, which stops the
+server reading further requests from that connection and pushes back
+through TCP to the submitting client.
+
+All methods run on the event loop; worker threads only ever see the
+:class:`PendingRead` objects handed to them in a batch.  Cancellation
+(client disconnect, request timeout) marks entries in place — the
+dispatcher skips cancelled entries when forming batches, and workers
+re-check the flag before computing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+import numpy as np
+
+__all__ = ["CoalescingBatcher", "PendingRead"]
+
+
+@dataclass
+class PendingRead:
+    """One accepted read waiting for (or undergoing) basecalling."""
+
+    client_id: str
+    read_id: str
+    signal: np.ndarray
+    future: "asyncio.Future"
+    enqueued_perf: float
+    cost: int = field(init=False)
+    cancelled: bool = False
+
+    def __post_init__(self) -> None:
+        self.cost = max(int(self.signal.size), 1)
+
+
+class CoalescingBatcher:
+    """Bounded per-client FIFOs drained by deficit round-robin."""
+
+    def __init__(self, *, max_pending_reads: int = 64,
+                 max_batch_reads: int = 8,
+                 max_batch_samples: int = 65_536,
+                 quantum_samples: int = 4096):
+        if max_pending_reads < 1 or max_batch_reads < 1:
+            raise ValueError("batcher bounds must be >= 1")
+        if quantum_samples < 1:
+            raise ValueError("quantum must be >= 1")
+        self.max_pending_reads = max_pending_reads
+        self.max_batch_reads = max_batch_reads
+        self.max_batch_samples = max_batch_samples
+        self.quantum_samples = quantum_samples
+        # Per-client FIFOs in round-robin order (OrderedDict preserves
+        # arrival order of clients; rotation moves served clients back).
+        self._queues: "OrderedDict[str, Deque[PendingRead]]" = OrderedDict()
+        self._deficit: dict[str, float] = {}
+        self._size = 0
+        self._space = asyncio.Event()
+        self._space.set()
+        self._work = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Reads waiting to be dispatched (cancelled ones included)."""
+        return self._size
+
+    @property
+    def clients(self) -> int:
+        return len(self._queues)
+
+    # ------------------------------------------------------------------
+    # Producer side (connection handlers)
+    # ------------------------------------------------------------------
+    async def put(self, item: PendingRead) -> None:
+        """Enqueue one read, waiting while the global bound is hit."""
+        while self._size >= self.max_pending_reads:
+            self._space.clear()
+            await self._space.wait()
+        queue = self._queues.get(item.client_id)
+        if queue is None:
+            queue = self._queues[item.client_id] = deque()
+            self._deficit[item.client_id] = 0.0
+        queue.append(item)
+        self._size += 1
+        self._work.set()
+
+    # ------------------------------------------------------------------
+    # Consumer side (dispatcher)
+    # ------------------------------------------------------------------
+    async def wait_for_work(self) -> None:
+        """Return when work is pending — or on any explicit wakeup.
+
+        Single-shot: a spurious wake (e.g. :meth:`drain_wakeup` during
+        shutdown) returns with nothing pending; the dispatcher handles
+        an empty :meth:`take_batch` by waiting again.
+        """
+        if self._live_work():
+            return
+        self._work.clear()
+        await self._work.wait()
+
+    def _live_work(self) -> bool:
+        self._prune()
+        return self._size > 0
+
+    def _prune(self) -> None:
+        """Drop cancelled heads and empty client queues."""
+        dead = []
+        for client_id, queue in self._queues.items():
+            while queue and queue[0].cancelled:
+                queue.popleft()
+                self._decrement()
+            if not queue:
+                dead.append(client_id)
+        for client_id in dead:
+            del self._queues[client_id]
+            del self._deficit[client_id]
+
+    def _decrement(self) -> None:
+        self._size -= 1
+        if self._size < self.max_pending_reads:
+            self._space.set()
+
+    def take_batch(self) -> list[PendingRead]:
+        """Form the next batch by deficit round-robin.
+
+        Returns an empty list only when nothing dispatchable is
+        pending.  Each full rotation grants every waiting client one
+        quantum, so a read costlier than the quantum becomes affordable
+        after finitely many rotations — large reads are delayed in
+        proportion to their cost, never starved.
+        """
+        batch: list[PendingRead] = []
+        samples = 0
+        while len(batch) < self.max_batch_reads:
+            self._prune()
+            if not self._queues:
+                break
+            progressed = False
+            full = False
+            for client_id in list(self._queues):
+                queue = self._queues[client_id]
+                self._deficit[client_id] += self.quantum_samples
+                while queue and len(batch) < self.max_batch_reads:
+                    head = queue[0]
+                    if head.cancelled:
+                        queue.popleft()
+                        self._decrement()
+                        continue
+                    if head.cost > self._deficit[client_id]:
+                        break
+                    if batch and samples + head.cost > self.max_batch_samples:
+                        full = True
+                        break
+                    queue.popleft()
+                    self._decrement()
+                    self._deficit[client_id] -= head.cost
+                    batch.append(head)
+                    samples += head.cost
+                    progressed = True
+                if not queue:
+                    # Standard DRR: an emptied queue forfeits its credit.
+                    self._deficit[client_id] = 0.0
+                if full or len(batch) >= self.max_batch_reads:
+                    break
+            if full:
+                break
+            if not progressed and batch:
+                break
+        return batch
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel_client(self, client_id: str) -> int:
+        """Mark every pending read of one client cancelled."""
+        queue = self._queues.get(client_id)
+        if not queue:
+            return 0
+        cancelled = 0
+        for item in queue:
+            if not item.cancelled:
+                item.cancelled = True
+                cancelled += 1
+        self._prune()
+        return cancelled
+
+    def drain_wakeup(self) -> None:
+        """Wake the dispatcher so a drain can observe an empty queue."""
+        self._work.set()

@@ -1,0 +1,155 @@
+"""``python -m repro.serve`` — run the basecalling service.
+
+Builds a :class:`~repro.basecaller.BonitoModel` (from a checkpoint or
+as an untrained ``--demo`` network), deploys it onto the configured
+non-ideal crossbar design point, and serves newline-delimited JSON
+basecall requests until SIGINT/SIGTERM triggers a graceful drain.
+
+Example::
+
+    python -m repro.serve --demo --port 7777 --workers 4 &
+    python - <<'EOF'
+    import numpy as np
+    from repro.serve import ServeClient
+    with ServeClient("127.0.0.1", 7777) as client:
+        print(client.basecall("read-1", np.random.default_rng(0)
+                              .normal(size=512)))
+    EOF
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from ..basecaller import BonitoConfig, BonitoModel
+from ..core.nonidealities import BUNDLES
+from ..nn.serialize import load_checkpoint
+from ..runtime import ResultCache
+from .engine import EngineConfig
+from .protocol import ProtocolLimits
+from .server import BasecallServer, ServeConfig
+
+__all__ = ["build_parser", "build_model", "main"]
+
+#: The small architecture ``--demo`` serves (untrained, seed-determined).
+DEMO_CONFIG = BonitoConfig(conv_channels=(8, 16), lstm_hidden=16,
+                           num_lstm_layers=2, seed=7)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve DNN basecalls from a non-ideal memristor "
+                    "CIM deployment over newline-delimited JSON sockets.")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--checkpoint", metavar="NPZ",
+                        help="model weights saved by nn.save_checkpoint")
+    source.add_argument("--demo", action="store_true",
+                        help="serve a small untrained demo model")
+    parser.add_argument("--conv-channels", default="8,16", metavar="C1,C2",
+                        help="conv stack widths for --checkpoint models "
+                             "(default: %(default)s)")
+    parser.add_argument("--lstm-hidden", type=int, default=16)
+    parser.add_argument("--num-lstm-layers", type=int, default=2)
+    parser.add_argument("--model-seed", type=int, default=7,
+                        help="weight-init seed (checkpoint loads override "
+                             "the weights; architecture must still match)")
+
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 picks an ephemeral port (default)")
+    parser.add_argument("--workers", type=int, default=2)
+
+    parser.add_argument("--bundle", default="write_only",
+                        choices=sorted(BUNDLES),
+                        help="non-ideality bundle to deploy under")
+    parser.add_argument("--crossbar-size", type=int, default=64)
+    parser.add_argument("--write-variation", type=float, default=0.10)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deployment seed (fixes the served RNG epoch)")
+    parser.add_argument("--use-wrv", action="store_true",
+                        help="enable write-and-verify programming")
+    parser.add_argument("--beam-width", type=int, default=0,
+                        help=">1 switches greedy decode to beam search")
+
+    parser.add_argument("--max-batch-reads", type=int, default=8)
+    parser.add_argument("--max-batch-samples", type=int, default=65_536)
+    parser.add_argument("--quantum-samples", type=int, default=4096)
+    parser.add_argument("--max-pending-reads", type=int, default=64)
+    parser.add_argument("--max-client-inflight", type=int, default=16)
+    parser.add_argument("--request-timeout", type=float, default=60.0,
+                        metavar="SECONDS")
+    parser.add_argument("--max-signal-samples", type=int, default=200_000)
+    parser.add_argument("--cache", metavar="DIR",
+                        help="ResultCache directory for duplicate-read "
+                             "short-circuiting")
+    return parser
+
+
+def build_model(args: argparse.Namespace) -> BonitoModel:
+    if args.demo:
+        return BonitoModel(DEMO_CONFIG)
+    channels = tuple(int(c) for c in args.conv_channels.split(","))
+    config = BonitoConfig(conv_channels=channels,
+                          lstm_hidden=args.lstm_hidden,
+                          num_lstm_layers=args.num_lstm_layers,
+                          seed=args.model_seed)
+    model = BonitoModel(config)
+    load_checkpoint(model, args.checkpoint)
+    return model
+
+
+async def _run(args: argparse.Namespace) -> int:
+    model = build_model(args)
+    engine_config = EngineConfig(
+        bundle=args.bundle,
+        crossbar_size=args.crossbar_size,
+        write_variation=args.write_variation,
+        seed=args.seed,
+        use_wrv=args.use_wrv,
+        beam_width=args.beam_width,
+    )
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch_reads=args.max_batch_reads,
+        max_batch_samples=args.max_batch_samples,
+        quantum_samples=args.quantum_samples,
+        max_pending_reads=args.max_pending_reads,
+        max_client_inflight=args.max_client_inflight,
+        request_timeout_s=args.request_timeout,
+        limits=ProtocolLimits(max_signal_samples=args.max_signal_samples),
+    )
+    cache = ResultCache(args.cache) if args.cache else None
+    server = BasecallServer(model, engine_config, serve_config, cache=cache)
+    await server.start()
+    print(f"repro.serve listening on {serve_config.host}:{server.port} "
+          f"(bundle={args.bundle}, workers={args.workers})", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, stop.set)
+    await stop.wait()
+    print("repro.serve draining...", flush=True)
+    await server.shutdown(drain=True)
+    print("repro.serve stopped", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_run(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Blocking socket client for the basecalling service.
+
+Thread-friendly: the load generator and the test suite run one
+:class:`ServeClient` per worker thread.  Requests may be pipelined —
+:meth:`submit` several reads, then :meth:`recv` responses, which the
+server guarantees arrive in submission order per connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+from .protocol import encode
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """Lost or misbehaving server connection."""
+
+
+class ServeClient:
+    """One NDJSON connection to a :class:`~repro.serve.BasecallServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise ServeClientError(
+                f"cannot connect to {host}:{port}: {exc}") from exc
+        self._file = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # Raw protocol
+    # ------------------------------------------------------------------
+    def send(self, payload: dict) -> None:
+        try:
+            self._sock.sendall(encode(payload))
+        except OSError as exc:
+            raise ServeClientError(f"send failed: {exc}") from exc
+
+    def recv(self) -> dict:
+        try:
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServeClientError(f"recv failed: {exc}") from exc
+        if not line:
+            raise ServeClientError("server closed the connection")
+        return json.loads(line)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def submit(self, read_id: str, signal: np.ndarray) -> None:
+        """Send one complete read without waiting for its response."""
+        self.send({"op": "basecall", "id": read_id,
+                   "signal": np.asarray(signal, dtype=float).tolist()})
+
+    def submit_chunked(self, read_id: str, signal: np.ndarray,
+                       chunk_samples: int = 512) -> None:
+        """Stream one read as ``chunk`` messages (final one flagged)."""
+        signal = np.asarray(signal, dtype=float)
+        if chunk_samples < 1:
+            raise ValueError("chunk_samples must be >= 1")
+        pieces = [signal[i:i + chunk_samples]
+                  for i in range(0, max(len(signal), 1), chunk_samples)]
+        for i, piece in enumerate(pieces):
+            self.send({"op": "chunk", "id": read_id,
+                       "signal": piece.tolist(),
+                       "last": i == len(pieces) - 1})
+
+    def basecall(self, read_id: str, signal: np.ndarray) -> dict:
+        """Submit one read and block for its response."""
+        self.submit(read_id, signal)
+        return self.recv()
+
+    def ping(self) -> dict:
+        self.send({"op": "ping"})
+        return self.recv()
+
+    def metrics(self) -> str:
+        """Scrape the server's Prometheus metrics over the socket."""
+        self.send({"op": "metrics"})
+        response = self.recv()
+        return response.get("metrics", "")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def abort(self) -> None:
+        """Hard-drop the connection (RST), as a crashing client would."""
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                              struct.pack("ii", 1, 0))
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,176 @@
+"""Per-worker basecalling engines: deployed models with RNG epochs.
+
+Each serve worker owns one :class:`BasecallEngine` — a private
+:class:`~repro.core.vmm_model.DeployedModel` built from the same
+weights, bundle, and seed as every other worker's, so all engines are
+interchangeable.  Cloning per worker (instead of sharing one deployed
+instance behind a lock) keeps the tile-engine scratch buffers and
+per-tile RNG streams thread-private, which is what lets workers run
+truly in parallel.
+
+**Determinism contract.**  Per-call noise (read noise, DAC/ADC
+mismatch draws) advances each tile's RNG, so a shared long-lived model
+would answer the same read differently depending on how many requests
+preceded it.  The engine instead snapshots every tile's RNG state
+right after deployment (:meth:`DeployedModel.rng_snapshot`) and
+restores it before *every* read — each request runs in the same "RNG
+epoch" a fresh offline ``deploy()`` would give its first basecall.
+Served results are therefore bitwise-identical to offline ones for the
+same read, seed, and bundle, independent of request order, batching,
+and concurrency (proven in ``tests/test_serve.py``).
+
+Duplicate reads short-circuit through the runtime's content-addressed
+:class:`~repro.runtime.ResultCache` when one is attached: the key
+hashes the model weights, the full crossbar design point, the decode
+settings, and the raw signal bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..basecaller import BonitoModel
+from ..basecaller.model import BLANK
+from ..core import deploy
+from ..core.nonidealities import NonidealityBundle, get_bundle
+from ..runtime import ResultCache
+
+__all__ = ["BasecallResult", "BasecallEngine", "EngineConfig",
+           "model_fingerprint"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """The deployed design point every worker engine replicates."""
+
+    bundle: str = "write_only"
+    crossbar_size: int = 64
+    write_variation: float = 0.10
+    seed: int = 0
+    use_wrv: bool = False
+    backend: str | None = None
+    beam_width: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "bundle": self.bundle,
+            "crossbar_size": self.crossbar_size,
+            "write_variation": self.write_variation,
+            "seed": self.seed,
+            "use_wrv": self.use_wrv,
+            # backend is bitwise-neutral (loop == batched on identical
+            # seeds) and deliberately excluded from cache identity.
+            "beam_width": self.beam_width,
+        }
+
+
+@dataclass(frozen=True)
+class BasecallResult:
+    """One served basecall, before protocol encoding."""
+
+    bases: str
+    frames: int
+    cached: bool = False
+
+
+def model_fingerprint(model: BonitoModel) -> str:
+    """Content hash of the architecture and every weight byte."""
+    digest = hashlib.sha256(model.config.cache_key().encode("utf-8"))
+    for name, array in sorted(model.state_dict().items()):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()[:32]
+
+
+class BasecallEngine:
+    """One worker's deployed model + RNG epoch + optional result cache.
+
+    The engine deploys onto a *private copy* of ``model`` (the deploy
+    hook mutates the network it wraps), so callers can keep using the
+    original and several engines can coexist in one process.
+    """
+
+    def __init__(self, model: BonitoModel, config: EngineConfig | None = None,
+                 cache: ResultCache | None = None,
+                 bundle: NonidealityBundle | None = None):
+        self.config = config or EngineConfig()
+        self.cache = cache
+        self.bundle = bundle if bundle is not None else get_bundle(
+            self.config.bundle)
+        clone = BonitoModel(model.config)
+        clone.load_state_dict(model.state_dict())
+        clone.eval()
+        self.deployed = deploy(
+            clone, self.bundle,
+            crossbar_size=self.config.crossbar_size,
+            write_variation=self.config.write_variation,
+            use_wrv=self.config.use_wrv,
+            seed=self.config.seed,
+            backend=self.config.backend,
+        )
+        self.model = clone
+        self._epoch = self.deployed.rng_snapshot()
+        self._key_prefix = self._cache_prefix(model)
+
+    def _cache_prefix(self, model: BonitoModel) -> str:
+        crossbar_key = self.bundle.crossbar_config(
+            self.config.crossbar_size,
+            self.config.write_variation).cache_key()
+        parts = (f"serve:{model_fingerprint(model)}:{crossbar_key}:"
+                 f"bundle={self.bundle.name}:seed={self.config.seed}:"
+                 f"wrv={int(self.config.use_wrv)}:"
+                 f"beam={self.config.beam_width}")
+        return parts
+
+    def cache_key(self, signal: np.ndarray) -> str:
+        """Content address of one read on this engine's design point."""
+        signal = np.ascontiguousarray(signal, dtype=np.float64)
+        payload = (self._key_prefix.encode("utf-8")
+                   + hashlib.sha256(signal.tobytes()).digest())
+        return hashlib.sha256(payload).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Basecalling
+    # ------------------------------------------------------------------
+    def basecall(self, signal: np.ndarray) -> BasecallResult:
+        """Basecall one read inside a fresh RNG epoch.
+
+        Raises :class:`~repro.reliability.DivergenceError` when the
+        deployed model's health guard trips; the caller converts that
+        into a structured protocol error.
+        """
+        signal = np.asarray(signal, dtype=np.float64)
+        if signal.ndim != 1 or signal.size == 0:
+            raise ValueError("basecall needs a non-empty 1-D signal")
+        key = None
+        if self.cache is not None:
+            key = self.cache_key(signal)
+            hit, value = self.cache.lookup(key)
+            if hit and isinstance(value, dict) and "bases" in value:
+                return BasecallResult(bases=value["bases"],
+                                      frames=int(value["frames"]),
+                                      cached=True)
+        self.deployed.rng_restore(self._epoch)
+        bases, frames = self._forward(signal)
+        if self.cache is not None and key is not None:
+            self.cache.put(key, {"bases": bases, "frames": frames})
+        return BasecallResult(bases=bases, frames=frames, cached=False)
+
+    def _forward(self, signal: np.ndarray) -> tuple[str, int]:
+        """The exact op sequence of ``basecaller.decode.basecall_signal``."""
+        from .protocol import encode_bases
+
+        with nn.no_grad():
+            logits = self.model(nn.Tensor(signal[None, :]))
+        log_probs = logits.log_softmax(axis=-1).data[0]
+        if self.config.beam_width and self.config.beam_width > 1:
+            labels = nn.beam_search_decode(
+                log_probs, beam_width=self.config.beam_width, blank=BLANK)
+        else:
+            labels = nn.greedy_decode(log_probs, blank=BLANK)
+        codes = labels.astype(np.int8) - 1
+        return encode_bases(codes), int(log_probs.shape[0])

@@ -1,0 +1,528 @@
+"""The asyncio basecalling server: many clients, one deployed design.
+
+Layout::
+
+    client sockets ──► per-connection reader ──► CoalescingBatcher
+                                                      │ (DRR batches)
+    client sockets ◄── per-connection writer ◄── dispatcher ──► worker
+                         (submission order)            │         pool
+                                                  BasecallEngine × N
+
+* **Readers** parse newline-delimited JSON requests, assemble streamed
+  chunks, answer ``ping``/``metrics`` inline, and enqueue accepted
+  reads.  A reader stops consuming its socket while the client is over
+  its in-flight cap or the global pending bound is hit — backpressure
+  propagates to the client through TCP, never through dropped requests.
+* The **dispatcher** drains the batcher (deficit round-robin across
+  clients), leases one of the ``workers`` engines per batch, and runs
+  the batch on a thread pool.  Each engine is a private
+  :class:`~repro.serve.engine.BasecallEngine` clone, so workers never
+  share tile RNG streams or scratch buffers.
+* **Writers** deliver each connection's responses strictly in
+  submission order, enforcing the per-request timeout; a slow consumer
+  blocks only its own connection's ``drain()``.
+* **Shutdown** (:meth:`BasecallServer.shutdown`) is a graceful drain:
+  stop accepting, reject new reads with a structured ``draining``
+  error, finish every in-flight read, flush every response queue, then
+  close.
+
+Per-request latency, queue depth, batch occupancy, and per-client
+in-flight series feed the :mod:`repro.observability` metrics registry
+(scrapeable over the wire via the ``metrics`` op), and batch execution
+runs under ``serve.batch`` trace spans when ``SWORDFISH_TRACE`` is on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue as queue_mod
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..basecaller import BonitoModel
+from ..observability import get_metrics, trace_span
+from ..reliability import DivergenceError
+from ..runtime import ResultCache
+from .batcher import CoalescingBatcher, PendingRead
+from .engine import BasecallEngine, EngineConfig
+from .protocol import (
+    ProtocolError,
+    ProtocolLimits,
+    Request,
+    check_total_samples,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+__all__ = ["ServeConfig", "BasecallServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server-side knobs (the deployed design lives in EngineConfig)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = ephemeral (read server.port)
+    workers: int = 2
+    max_batch_reads: int = 8
+    max_batch_samples: int = 65_536
+    quantum_samples: int = 4096
+    max_pending_reads: int = 64
+    max_client_inflight: int = 16
+    request_timeout_s: float = 60.0
+    limits: ProtocolLimits = field(default_factory=ProtocolLimits)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request timeout must be positive")
+
+
+class _Connection:
+    """Per-client state shared by one reader/writer task pair."""
+
+    def __init__(self, client_id: str, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.client_id = client_id
+        self.reader = reader
+        self.writer = writer
+        # Submission-ordered (future, pending_read | None, deadline):
+        # the writer resolves and sends these strictly FIFO, so each
+        # client sees responses in the order it sent requests.
+        self.entries: deque = deque()
+        self.ready = asyncio.Event()
+        self.popped = asyncio.Event()
+        self.flushed = asyncio.Event()
+        self.flushed.set()
+        self.reader_done = False
+        self.aborted = False
+        # Partial chunk assemblies: read id -> list of signal pieces.
+        self.assembly: dict[str, list[np.ndarray]] = {}
+
+    def enqueue(self, fut: "asyncio.Future", pending: PendingRead | None,
+                deadline: float | None) -> None:
+        self.entries.append((fut, pending, deadline))
+        self.flushed.clear()
+        self.ready.set()
+
+    def enqueue_immediate(self, loop: asyncio.AbstractEventLoop,
+                          response: dict) -> None:
+        fut = loop.create_future()
+        fut.set_result(response)
+        self.enqueue(fut, None, None)
+
+    @property
+    def inflight(self) -> int:
+        return len(self.entries)
+
+
+class BasecallServer:
+    """Long-lived basecalling-as-a-service process."""
+
+    def __init__(self, model: BonitoModel,
+                 engine_config: EngineConfig | None = None,
+                 serve_config: ServeConfig | None = None,
+                 cache: ResultCache | None = None):
+        self.engine_config = engine_config or EngineConfig()
+        self.config = serve_config or ServeConfig()
+        self._model = model
+        self._cache = cache
+        self._engines: "queue_mod.Queue[BasecallEngine]" = queue_mod.Queue()
+        self._pool: ThreadPoolExecutor | None = None
+        self._listener: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._conns: dict[str, _Connection] = {}
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._client_seq = 0
+        self._draining = False
+        self._stopping = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._inflight_batches = 0
+        self.batcher = CoalescingBatcher(
+            max_pending_reads=self.config.max_pending_reads,
+            max_batch_reads=self.config.max_batch_reads,
+            max_batch_samples=self.config.max_batch_samples,
+            quantum_samples=self.config.quantum_samples,
+        )
+        self.metrics = get_metrics()
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Deploy the worker engines and begin accepting connections."""
+        loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="serve-worker")
+        # Every engine deploys the same (weights, bundle, seed) design
+        # point, so any worker can serve any read with identical output.
+        for _ in range(self.config.workers):
+            engine = await loop.run_in_executor(
+                self._pool, self._build_engine)
+            self._engines.put_nowait(engine)
+        self._worker_slots = asyncio.Semaphore(self.config.workers)
+        self._listener = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port,
+            limit=self.config.limits.max_line_bytes)
+        self.port = self._listener.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+
+    def _build_engine(self) -> BasecallEngine:
+        return BasecallEngine(self._model, self.engine_config,
+                              cache=self._cache)
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Graceful drain: finish accepted work, flush, then close."""
+        self._draining = True
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+        if drain:
+            await self._wait_idle()
+            flushes = [conn.flushed.wait() for conn in self._conns.values()
+                       if not conn.aborted]
+            if flushes:
+                await asyncio.gather(*flushes, return_exceptions=True)
+        self._stopping = True
+        self.batcher.drain_wakeup()
+        if self._dispatcher is not None:
+            await self._dispatcher
+        if self._batch_tasks:
+            await asyncio.gather(*self._batch_tasks,
+                                 return_exceptions=True)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks,
+                                 return_exceptions=True)
+        for conn in list(self._conns.values()):
+            self._close_transport(conn)
+        self._conns.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    async def _wait_idle(self) -> None:
+        """Wait until no read is pending or being computed."""
+        while self.batcher.pending > 0 or self._inflight_batches > 0:
+            self._idle.clear()
+            self.batcher.drain_wakeup()
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout=0.25)
+            except asyncio.TimeoutError:
+                continue
+
+    @staticmethod
+    def _close_transport(conn: _Connection) -> None:
+        try:
+            conn.writer.close()
+        except Exception:  # transport already gone  # swd-ok: SWD007 -- best-effort close on teardown
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self._client_seq += 1
+        client_id = f"c{self._client_seq}"
+        conn = _Connection(client_id, reader, writer)
+        self._conns[client_id] = conn
+        self.metrics.counter("serve.connections").inc()
+        self.metrics.gauge("serve.clients").set(len(self._conns))
+        writer_task = asyncio.ensure_future(self._write_loop(conn))
+        self._conn_tasks.add(writer_task)
+        writer_task.add_done_callback(self._conn_tasks.discard)
+        try:
+            await self._read_loop(conn)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            self._abort_connection(conn)
+        finally:
+            conn.reader_done = True
+            conn.ready.set()
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                pass
+            self._conns.pop(client_id, None)
+            self.metrics.gauge("serve.clients").set(len(self._conns))
+            self.metrics.gauge("serve.client_inflight",
+                               labels={"client": client_id}).set(0)
+            self._close_transport(conn)
+
+    def _abort_connection(self, conn: _Connection) -> None:
+        """The peer is gone: cancel its queued work, drop its state."""
+        if conn.aborted:
+            return
+        conn.aborted = True
+        cancelled = self.batcher.cancel_client(conn.client_id)
+        if cancelled:
+            self.metrics.counter("serve.cancelled").inc(cancelled)
+        for fut, pending, _ in conn.entries:
+            if pending is not None:
+                pending.cancelled = True
+            if not fut.done():
+                fut.cancel()
+        conn.assembly.clear()
+        conn.entries.clear()
+        conn.flushed.set()
+        conn.ready.set()
+        conn.popped.set()
+        self._observe_queue_depth()
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        loop = asyncio.get_running_loop()
+        while not conn.aborted:
+            try:
+                line = await conn.reader.readline()
+            except ValueError:
+                # Line overflowed the stream limit: framing is lost, so
+                # answer once and hang up.
+                conn.enqueue_immediate(loop, error_response(
+                    None, "oversized", "request line exceeds the "
+                    f"{self.config.limits.max_line_bytes} byte limit"))
+                self._count_error("oversized")
+                break
+            if not line:
+                break  # clean EOF: flush pending responses, then close
+            if not line.strip():
+                continue
+            try:
+                request = parse_request(line, self.config.limits)
+            except ProtocolError as exc:
+                conn.enqueue_immediate(loop, exc.to_response())
+                self._count_error(exc.code)
+                continue
+            await self._ingest(conn, request, loop)
+
+    async def _ingest(self, conn: _Connection, request: Request,
+                      loop: asyncio.AbstractEventLoop) -> None:
+        if request.op == "ping":
+            conn.enqueue_immediate(loop, {"status": "ok", "op": "pong"})
+            return
+        if request.op == "metrics":
+            conn.enqueue_immediate(loop, {
+                "status": "ok", "op": "metrics",
+                "metrics": self.metrics.render_prometheus()})
+            return
+
+        read_id = request.read_id
+        signal = request.signal
+        if request.op == "chunk":
+            pieces = conn.assembly.setdefault(read_id, [])
+            pieces.append(signal)
+            total = sum(len(p) for p in pieces)
+            try:
+                check_total_samples(total, read_id, self.config.limits)
+            except ProtocolError as exc:
+                del conn.assembly[read_id]
+                conn.enqueue_immediate(loop, exc.to_response())
+                self._count_error(exc.code)
+                return
+            if not request.last:
+                return
+            signal = np.concatenate(pieces) if pieces else signal
+            del conn.assembly[read_id]
+
+        if self._draining:
+            conn.enqueue_immediate(loop, error_response(
+                read_id, "draining", "server is draining; read not "
+                "accepted"))
+            self._count_error("draining")
+            return
+        if signal.size == 0:
+            conn.enqueue_immediate(loop, error_response(
+                read_id, "empty_read", "signal has zero samples"))
+            self._count_error("empty_read")
+            return
+
+        # Slow-consumer guard: stop ingesting while this client has too
+        # many responses outstanding (its writer drains them in order).
+        while (conn.inflight >= self.config.max_client_inflight
+               and not conn.aborted):
+            conn.popped.clear()
+            await conn.popped.wait()
+        if conn.aborted:
+            return
+
+        fut = loop.create_future()
+        pending = PendingRead(client_id=conn.client_id, read_id=read_id,
+                              signal=signal, future=fut,
+                              enqueued_perf=time.perf_counter())
+        deadline = pending.enqueued_perf + self.config.request_timeout_s
+        conn.enqueue(fut, pending, deadline)
+        self.metrics.counter("serve.requests").inc()
+        self.metrics.gauge("serve.client_inflight",
+                           labels={"client": conn.client_id}).set(
+                               conn.inflight)
+        await self.batcher.put(pending)
+        self._observe_queue_depth()
+
+    async def _write_loop(self, conn: _Connection) -> None:
+        while True:
+            if not conn.entries:
+                conn.flushed.set()
+                if conn.reader_done or conn.aborted:
+                    return
+                conn.ready.clear()
+                await conn.ready.wait()
+                continue
+            if conn.aborted:
+                conn.entries.clear()
+                conn.flushed.set()
+                return
+            fut, pending, deadline = conn.entries[0]
+            response = await self._resolve(conn, fut, pending, deadline)
+            if response is None or conn.aborted:
+                conn.flushed.set()
+                return
+            conn.entries.popleft()
+            conn.popped.set()
+            self.metrics.gauge("serve.client_inflight",
+                               labels={"client": conn.client_id}).set(
+                                   conn.inflight)
+            try:
+                conn.writer.write(encode(response))
+                await conn.writer.drain()
+            except (ConnectionError, OSError):
+                self._abort_connection(conn)
+                return
+
+    async def _resolve(self, conn: _Connection, fut: "asyncio.Future",
+                       pending: PendingRead | None,
+                       deadline: float | None) -> dict | None:
+        """Await one response future, enforcing the request deadline.
+
+        Returns ``None`` when the connection was aborted while waiting
+        (the future got cancelled under us); a cancellation of the
+        writer task itself propagates.
+        """
+        try:
+            if deadline is None or pending is None:
+                return await asyncio.shield(fut)
+            remaining = deadline - time.perf_counter()
+            try:
+                raw = await asyncio.wait_for(asyncio.shield(fut),
+                                             timeout=max(remaining, 0.001))
+            except asyncio.TimeoutError:
+                pending.cancelled = True
+                self._count_error("timeout")
+                return error_response(
+                    pending.read_id, "timeout",
+                    f"no result within {self.config.request_timeout_s:g}s")
+            return self._format(pending, raw)
+        except asyncio.CancelledError:
+            if fut.cancelled():
+                return None
+            raise
+
+    def _format(self, pending: PendingRead, raw: dict) -> dict:
+        if "error" in raw:
+            code, message = raw["error"]
+            self._count_error(code)
+            return error_response(pending.read_id, code, message)
+        result = raw["result"]
+        now = time.perf_counter()
+        queue_ms = (raw["started_perf"] - pending.enqueued_perf) * 1e3
+        latency_ms = (now - pending.enqueued_perf) * 1e3
+        self.metrics.histogram("serve.latency_ms").observe(latency_ms)
+        self.metrics.histogram("serve.queue_ms").observe(queue_ms)
+        self.metrics.histogram("serve.compute_ms").observe(
+            raw["compute_s"] * 1e3)
+        self.metrics.counter("serve.responses").inc()
+        if result.cached:
+            self.metrics.counter("serve.cache_hits").inc()
+        return ok_response(pending.read_id, bases=result.bases,
+                           frames=result.frames, cached=result.cached,
+                           queue_ms=queue_ms,
+                           compute_ms=raw["compute_s"] * 1e3,
+                           latency_ms=latency_ms)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _observe_queue_depth(self) -> None:
+        self.metrics.gauge("serve.queue_depth").set(self.batcher.pending)
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self.batcher.wait_for_work()
+            if self._stopping:
+                return
+            batch = self.batcher.take_batch()
+            self._observe_queue_depth()
+            if not batch:
+                if self._stopping:
+                    return
+                continue
+            await self._worker_slots.acquire()
+            self._inflight_batches += 1
+            self._idle.clear()
+            task = asyncio.ensure_future(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_done)
+
+    def _batch_done(self, task: asyncio.Task) -> None:
+        self._batch_tasks.discard(task)
+        self._worker_slots.release()
+        self._inflight_batches -= 1
+        if self._inflight_batches == 0 and self.batcher.pending == 0:
+            self._idle.set()
+
+    async def _run_batch(self, batch: list[PendingRead]) -> None:
+        loop = asyncio.get_running_loop()
+        engine = self._engines.get_nowait()
+        try:
+            results = await loop.run_in_executor(
+                self._pool, self._execute_batch, engine, batch)
+        finally:
+            self._engines.put_nowait(engine)
+        for pending, raw in zip(batch, results):
+            if raw is None or pending.future.done():
+                continue
+            pending.future.set_result(raw)
+
+    def _execute_batch(self, engine: BasecallEngine,
+                       batch: list[PendingRead]) -> list[dict | None]:
+        """Worker-thread body: basecall each read of one batch."""
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.histogram("serve.batch_occupancy").observe(len(batch))
+        results: list[dict | None] = []
+        with trace_span("serve.batch", reads=len(batch)):
+            for pending in batch:
+                if pending.cancelled:
+                    results.append(None)
+                    continue
+                started = time.perf_counter()
+                try:
+                    with trace_span("serve.read", client=pending.client_id,
+                                    samples=int(pending.signal.size)):
+                        result = engine.basecall(pending.signal)
+                except DivergenceError as exc:
+                    self.metrics.counter("serve.divergence").inc()
+                    results.append({"error": ("divergence", str(exc))})
+                except Exception as exc:
+                    results.append({"error": (
+                        "internal", f"{type(exc).__name__}: {exc}")})
+                else:
+                    results.append({
+                        "result": result,
+                        "started_perf": started,
+                        "compute_s": time.perf_counter() - started,
+                    })
+        return results
+
+    def _count_error(self, code: str) -> None:
+        self.metrics.counter("serve.errors", labels={"code": code}).inc()

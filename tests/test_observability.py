@@ -29,6 +29,7 @@ from repro.observability import (
     Tracer,
     build_flame_table,
     get_tracer,
+    labelset,
     load_span_events,
     render_flame_table,
     trace_span,
@@ -302,6 +303,54 @@ class TestMetrics:
         assert 'swordfish_job_wall{quantile="0.5"} 2' in text
         assert "swordfish_job_wall_count 4" in text
         assert text.endswith("\n")
+
+    def test_labelset_is_canonical(self):
+        assert labelset(None) == ()
+        assert labelset({}) == ()
+        assert labelset({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+        # Order of insertion never matters: one instrument per set.
+        registry = MetricsRegistry()
+        first = registry.counter("hits", labels={"a": 1, "b": 2})
+        second = registry.counter("hits", labels={"b": 2, "a": 1})
+        assert first is second
+
+    def test_labeled_instruments_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("errors", labels={"code": "timeout"}).inc(2)
+        registry.counter("errors", labels={"code": "oversized"}).inc()
+        registry.counter("errors").inc(5)       # unlabeled base series
+        snap = registry.snapshot()["counters"]
+        assert snap["errors"] == 5
+        assert snap['errors{code="timeout"}'] == 2
+        assert snap['errors{code="oversized"}'] == 1
+
+    def test_prometheus_one_type_header_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.errors", labels={"code": "timeout"}).inc()
+        registry.counter("serve.errors", labels={"code": "draining"}).inc(3)
+        registry.gauge("serve.inflight", labels={"client": "c1"}).set(4)
+        registry.gauge("serve.inflight", labels={"client": "c2"}).set(1)
+        registry.histogram("serve.wall", labels={"stage": "decode"}) \
+            .observe(2.0)
+        text = registry.render_prometheus()
+        assert text.count("# TYPE swordfish_serve_errors_total") == 1
+        assert text.count("# TYPE swordfish_serve_inflight") == 1
+        assert 'swordfish_serve_errors_total{code="draining"} 3' in text
+        assert 'swordfish_serve_errors_total{code="timeout"} 1' in text
+        assert 'swordfish_serve_inflight{client="c1"} 4' in text
+        assert 'swordfish_serve_inflight{client="c2"} 1' in text
+        # Histogram label sets compose with the quantile label and the
+        # _sum/_count suffixes.
+        assert ('swordfish_serve_wall{stage="decode",quantile="0.5"} 2'
+                in text)
+        assert 'swordfish_serve_wall_sum{stage="decode"} 2' in text
+        assert 'swordfish_serve_wall_count{stage="decode"} 1' in text
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("odd", labels={"msg": 'a"b\\c\nd'}).inc()
+        text = registry.render_prometheus()
+        assert 'swordfish_odd_total{msg="a\\"b\\\\c\\nd"} 1' in text
 
 
 # ----------------------------------------------------------------------
