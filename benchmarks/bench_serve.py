@@ -31,6 +31,7 @@ import numpy as np
 
 from repro import __version__
 from repro.basecaller import BonitoConfig, BonitoModel
+from repro.observability import get_metrics
 from repro.serve import BasecallServer, EngineConfig, ServeClient, ServeConfig
 
 #: The benched model: small enough to deploy in seconds, real enough
@@ -96,11 +97,17 @@ def _client_worker(port: int, signals: list[np.ndarray], pipeline: int,
 
 def bench_serving(num_clients: int, reads_per_client: int,
                   read_samples: tuple[int, ...], workers: int,
-                  pipeline: int) -> dict:
+                  pipeline: int, max_batch_reads: int = 8) -> dict:
+    """One full client-fleet run; ``max_batch_reads=1`` disables both
+    coalescing and request stacking (every read is its own forward),
+    which is the pre-stacking serving behaviour the speedup is measured
+    against."""
+    get_metrics().reset()  # batch/stack series must reflect this run only
     model = BonitoModel(BENCH_MODEL)
     server = BasecallServer(
         model, EngineConfig(),
         ServeConfig(workers=workers,
+                    max_batch_reads=max_batch_reads,
                     max_pending_reads=max(64, 4 * num_clients)))
     host = _LoopThread(server)
     rng = np.random.default_rng(42)
@@ -132,9 +139,16 @@ def bench_serving(num_clients: int, reads_per_client: int,
     total_reads = len(latencies)
     if total_reads == 0:
         raise RuntimeError(f"no successful reads; errors: {errors[:5]}")
+    metrics = get_metrics()
+    occupancy = metrics.histogram("serve.batch_occupancy").mean
+    stack_size = metrics.histogram("serve.stack_size").mean
     return {
         "clients": num_clients,
         "workers": workers,
+        "max_batch_reads": max_batch_reads,
+        "batch_occupancy_mean": occupancy,
+        "stack_size_mean": stack_size,
+        "stacked_reads": metrics.counter("serve.stacked_reads").value,
         "pipeline_depth": pipeline,
         "reads_per_client": reads_per_client,
         "read_samples": list(read_samples),
@@ -169,6 +183,9 @@ def main(argv: list[str] | None = None) -> dict:
     reads_per_client = 4 if args.smoke else 16
     read_samples = (96, 160, 224) if args.smoke else (256, 512, 768)
 
+    unstacked = bench_serving(clients, reads_per_client, read_samples,
+                              workers=args.workers, pipeline=4,
+                              max_batch_reads=1)
     result = bench_serving(clients, reads_per_client, read_samples,
                            workers=args.workers, pipeline=4)
     payload = {
@@ -177,6 +194,9 @@ def main(argv: list[str] | None = None) -> dict:
         "smoke": args.smoke,
         "platform": platform.platform(),
         "serving": result,
+        "serving_unstacked": unstacked,
+        "stacking_speedup": (result["tokens_per_s"]
+                             / unstacked["tokens_per_s"]),
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
@@ -193,6 +213,13 @@ def main(argv: list[str] | None = None) -> dict:
           f"bases/s {result['bases_per_s']:9.1f}")
     print(f"  latency  p50 {lat['p50']:7.1f} ms   p95 {lat['p95']:7.1f} ms"
           f"   p99 {lat['p99']:7.1f} ms   ({result['errors']} errors)")
+    occupancy = result["batch_occupancy_mean"] or 0.0
+    stack = result["stack_size_mean"] or 0.0
+    print(f"  batch occupancy {occupancy:.2f}   stack size {stack:.2f}   "
+          f"stacked reads {result['stacked_reads']:.0f}")
+    print(f"  stacking speedup {payload['stacking_speedup']:.2f}x "
+          f"(vs max_batch_reads=1: "
+          f"{unstacked['tokens_per_s']:.1f} tokens/s)")
     return payload
 
 

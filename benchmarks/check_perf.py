@@ -1,0 +1,79 @@
+"""Perf ratchet: fail CI when a benched speedup drops below its floor.
+
+Reads a ``BENCH_vmm.json`` produced by :mod:`benchmarks.bench_vmm` and
+compares dotted-path metrics against the floors stored in
+``benchmarks/perf_floors.json``.  Floors only ratchet upward (see the
+``comment`` field in the floors file); a measured value below its floor
+exits non-zero with a table of every checked metric, so a perf
+regression fails the build the same way a broken test would::
+
+    PYTHONPATH=src python benchmarks/check_perf.py BENCH_vmm.json
+
+Standalone script — run it directly, not through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_FLOORS = Path(__file__).with_name("perf_floors.json")
+
+
+def lookup(payload: dict, dotted: str) -> float:
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(f"{dotted!r}: missing component {part!r}")
+        node = node[part]
+    return float(node)
+
+
+def check(payload: dict, floors: dict[str, float]) -> list[str]:
+    """Returns the list of violations (empty = all floors held)."""
+    violations = []
+    width = max(len(path) for path in floors)
+    for path, floor in sorted(floors.items()):
+        try:
+            value = lookup(payload, path)
+        except KeyError as exc:
+            violations.append(f"{path}: unreadable ({exc})")
+            print(f"  MISSING {path}")
+            continue
+        ok = value >= floor
+        print(f"  {'ok' if ok else 'FAIL':4s} {path:<{width}s} "
+              f"{value:8.2f}  (floor {floor:.2f})")
+        if not ok:
+            violations.append(
+                f"{path}: {value:.2f} below floor {floor:.2f}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench", help="BENCH_vmm.json to check")
+    parser.add_argument("--floors", default=str(DEFAULT_FLOORS),
+                        help="floors JSON (default: benchmarks/"
+                             "perf_floors.json)")
+    args = parser.parse_args(argv)
+
+    with open(args.bench, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    with open(args.floors, encoding="utf-8") as fh:
+        floors = json.load(fh)["floors"]
+
+    print(f"perf ratchet: {args.bench} vs {args.floors}")
+    violations = check(payload, floors)
+    if violations:
+        print("perf ratchet FAILED:")
+        for line in violations:
+            print(f"  {line}")
+        return 1
+    print(f"perf ratchet passed ({len(floors)} floors)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

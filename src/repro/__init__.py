@@ -17,7 +17,7 @@ Subpackages
                       harness, sweep journals, checkpoint/resume glue.
 """
 
-__version__ = "1.3.0"
+__version__ = "2.0.0"
 
 from . import nn, genomics, basecaller, crossbar, arch, core, runtime
 from . import reliability

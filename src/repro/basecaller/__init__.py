@@ -15,6 +15,7 @@ from .train import (
 )
 from .decode import (
     basecall_signal,
+    basecall_signals,
     basecall_read,
     basecall_reads,
     basecall_chunked,
@@ -28,7 +29,8 @@ __all__ = [
     "BonitoConfig", "BonitoModel", "NUM_CLASSES", "BLANK",
     "Chunk", "chunk_read", "make_training_chunks", "TrainConfig",
     "train_model", "batch_iterator",
-    "basecall_signal", "basecall_read", "basecall_reads",
+    "basecall_signal", "basecall_signals", "basecall_read",
+    "basecall_reads",
     "basecall_chunked", "quality_from_logits",
     "AccuracyReport", "evaluate_accuracy",
     "cache_dir", "default_model", "train_default_model",

@@ -16,6 +16,22 @@ through non-ideal crossbar banks:
 :class:`DeployedModel` owns the banks and installs the matmul hook on
 the network, so ``model(signal)`` transparently computes the non-ideal
 forward pass used for accuracy evaluation.
+
+Batching contract
+-----------------
+Every VMM normalizes each batch row to its **own** magnitude (the
+per-sample DAC scale) and draws per-call mismatch from tile-owned RNG
+streams whose consumption never depends on the batch size.  Two
+consequences the layers above rely on:
+
+* **Composition invariance** — a signal's forward output is
+  bitwise-identical whether it runs alone or stacked with any other
+  signals (``decode.basecall_signals``, chunk stacking, and
+  ``repro.serve`` request stacking are therefore result-neutral).
+* **Timestep stacking** — recurrent layers push the input projection
+  of *all* timesteps through the bank as one VMM call; only the true
+  recurrence pays a per-timestep call (see
+  ``nn.layers.LSTM._forward_deployed``).
 """
 
 from __future__ import annotations

@@ -259,7 +259,11 @@ class CrossbarTile:
             raise ValueError(f"input width {x.shape[-1]} != tile rows {self.rows}")
         config = self.config
 
-        v = apply_dac(x, config.dac, self._rng)
+        # Per-sample DAC scale: each batch row is normalized to its own
+        # magnitude, so a row's result can never depend on what else
+        # shares the batch (the invariant behind stacked serving).
+        x_scale = np.maximum(np.abs(x).max(axis=-1, keepdims=True), 1e-12)
+        v = apply_dac(x, config.dac, self._rng, scale=x_scale)
 
         analog_weights = self.effective_weights
         if self.sram_mask.any():
@@ -270,7 +274,6 @@ class CrossbarTile:
             analog_weights = analog_weights * jitter
 
         y = v @ analog_weights
-        x_scale = max(float(np.abs(x).max()), 1e-12)
         worst_case_output = self.rows * self.w_max * x_scale
         # swd-ok: SWD005 -- rows >= 1, w_max floored at 1e-9, x_scale at 1e-12
         y = y * dynamic_droop(y / worst_case_output, self.rows,
@@ -278,8 +281,8 @@ class CrossbarTile:
         y = y + sneak_leakage(y, config.wire)
 
         # Fixed sensing range: proportional to the tile's worst-case
-        # accumulation, scaled by the per-call input magnitude (the DAC
-        # front end normalizes inputs to full scale).
+        # accumulation, scaled by each sample's input magnitude (the DAC
+        # front end normalizes inputs to full scale per sample).
         full_scale = (config.adc.range_headroom * np.sqrt(self.rows)
                       * self.w_max * x_scale)
         y = apply_adc(y, config.adc, full_scale, self._rng)

@@ -49,7 +49,10 @@ def apply_dac(inputs: np.ndarray, config: DACConfig,
               gain: np.ndarray | None = None,
               offset: np.ndarray | None = None,
               scale: float | np.ndarray | None = None,
-              active_rows: float | np.ndarray | None = None) -> np.ndarray:
+              active_rows: float | np.ndarray | None = None,
+              out: np.ndarray | None = None,
+              work: np.ndarray | None = None,
+              validate: bool = True) -> np.ndarray:
     """Convert ideal digital inputs to the voltages actually driven.
 
     ``inputs`` is ``(batch, rows)`` in weight-domain units (assumed
@@ -61,20 +64,34 @@ def apply_dac(inputs: np.ndarray, config: DACConfig,
     generator is supplied.
 
     ``scale`` overrides the full-scale normalization (a scalar, or an
-    array broadcastable against ``inputs`` — e.g. per-tile scales for a
-    stacked pass; default: the global input magnitude).  ``active_rows``
-    is the number of *real* rows per slice for the shared-driver demand
-    average — required for zero-padded stacked inputs, where a plain
-    mean over the padded axis would understate the demand.
+    array broadcastable against ``inputs`` — e.g. per-(tile, sample)
+    scales for a stacked pass; default: the **per-sample** input
+    magnitude, ``max(|x|)`` over the last axis only).  Each batch row is
+    normalized independently, so a row's delivered voltages never depend
+    on what else shares the batch.  ``active_rows`` is the number of
+    *real* rows per slice for the shared-driver demand average —
+    required for zero-padded stacked inputs, where a plain mean over the
+    padded axis would understate the demand.
+
+    ``out`` (same shape as ``inputs``, must not alias it) receives the
+    result without allocating; ``work`` is an optional same-shape
+    scratch for the R_Load demand pass.  The per-element operation
+    order is identical with or without the buffers.  ``validate=False``
+    skips the per-call ``active_rows`` positivity check for callers
+    that guarantee it by construction (the batched engine validates its
+    tile geometry once at plan build).
     """
     x = np.asarray(inputs, dtype=np.float64)
     assert config.v_max > 0  # DACConfig.__post_init__ invariant
     if scale is None:
-        scale = max(float(np.abs(x).max()), 1e-12)
-    # ``v`` is a fresh array from here on, so the arithmetic below runs
-    # in place (one temporary for the whole chain) while keeping the
-    # exact per-element operation order.
-    v = x / scale
+        scale = np.maximum(np.abs(x).max(axis=-1, keepdims=True), 1e-12)
+    # ``v`` is a caller scratch or a fresh array from here on, so the
+    # arithmetic below runs in place (one temporary for the whole
+    # chain) while keeping the exact per-element operation order.
+    if out is not None:
+        v = np.divide(x, scale, out=out)
+    else:
+        v = x / scale
     v *= config.v_max
 
     if config.bits is not None:
@@ -82,7 +99,7 @@ def apply_dac(inputs: np.ndarray, config: DACConfig,
         assert levels > 0  # bits >= 2 enforced in DACConfig.__post_init__
         v /= config.v_max
         v *= levels
-        np.round(v, out=v)
+        np.rint(v, out=v)  # bitwise == np.round at decimals=0
         v /= levels
         v *= config.v_max
 
@@ -99,14 +116,21 @@ def apply_dac(inputs: np.ndarray, config: DACConfig,
         # Shared-driver sag: the more total drive the array demands, the
         # lower every delivered voltage (R_Load forms a divider with the
         # array's input impedance).
+        # swd-ok: SWD004 -- writing into ``work`` is the scratch param's contract
+        av = np.abs(v, out=work) if work is not None else np.abs(v)
         if active_rows is None:
-            demand = np.abs(v).mean(axis=-1, keepdims=True) / config.v_max
+            demand = av.mean(axis=-1, keepdims=True)
         else:
             # Each slice carries at least one real row by construction.
-            assert np.all(np.asarray(active_rows) > 0)
-            demand = (np.abs(v).sum(axis=-1, keepdims=True)
-                      / active_rows / config.v_max)
-        v /= 1.0 + config.r_load * demand
+            if validate:
+                assert np.all(np.asarray(active_rows) > 0)
+            demand = av.sum(axis=-1, keepdims=True)
+            demand /= active_rows
+        demand /= config.v_max
+        demand *= config.r_load
+        demand += 1.0
+        # swd-ok: SWD005 -- demand >= 1.0 (non-negative magnitude + 1.0)
+        v /= demand
 
     v /= config.v_max
     v *= scale  # back to weight-domain units

@@ -30,6 +30,7 @@ the tile evaluation order can change which noise a tile sees.
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterator
 
@@ -58,6 +59,18 @@ __all__ = [
 
 ENV_BACKEND = "SWORDFISH_VMM_BACKEND"
 DEFAULT_BACKEND = "batched"
+
+# The batched kernel never executes a matmul with a single batch row:
+# BLAS picks a different (gemv-style) code path for one-row operands
+# whose accumulation order differs from the gemm path at the last ulp.
+# Padding B=1 up to this canonical minimum keeps every row's result
+# bitwise-identical whether it arrives alone or stacked with other rows
+# (see tests/test_batch_invariance.py for the platform probe).
+_MIN_KERNEL_BATCH = 2
+
+# Reusable no-op context for untraced hot paths (one ``tracing_enabled``
+# check per VMM instead of one per stage span).
+_NULL = nullcontext()
 
 
 # ----------------------------------------------------------------------
@@ -92,6 +105,18 @@ def iter_tile_blocks(shape: tuple[int, int], size: int
 # Per-tile RNG streams
 # ----------------------------------------------------------------------
 
+def _tile_generator(seed) -> np.random.Generator:
+    """A tile-stream generator over the framework's bit generator.
+
+    Tile streams use SFC64: per-read conductance jitter makes fresh
+    mismatch draws the single largest cost of a non-ideal VMM on either
+    backend, and SFC64 generates ~20% faster than PCG64 at equal
+    statistical quality for this use (no stream-jump API is needed —
+    independence comes from SeedSequence spawning).
+    """
+    return np.random.Generator(np.random.SFC64(seed))
+
+
 def spawn_generators(rng, n: int) -> list[np.random.Generator]:
     """``n`` independent child generators derived from ``rng``.
 
@@ -101,21 +126,25 @@ def spawn_generators(rng, n: int) -> list[np.random.Generator]:
     independent and — crucially — insensitive to how many draws any
     *other* stream has consumed.  Generators built without a seed
     sequence (raw bit-generator state) fall back to seeding children
-    from drawn entropy.
+    from drawn entropy.  Both VMM backends consume these same streams,
+    so the bit-generator choice never affects loop/batched equivalence.
     """
     if n < 0:
         raise ValueError("cannot spawn a negative number of generators")
     if isinstance(rng, np.random.SeedSequence):
-        return [np.random.default_rng(child) for child in rng.spawn(n)]
+        return [_tile_generator(child) for child in rng.spawn(n)]
     if isinstance(rng, (int, np.integer)):
         seq = np.random.SeedSequence(int(rng))
-        return [np.random.default_rng(child) for child in seq.spawn(n)]
+        return [_tile_generator(child) for child in seq.spawn(n)]
     if isinstance(rng, np.random.Generator):
         try:
-            return list(rng.spawn(n))
-        except (AttributeError, TypeError, ValueError):
-            return [np.random.default_rng(int(rng.integers(2 ** 63)))
-                    for _ in range(n)]
+            seq = rng.bit_generator.seed_seq
+        except AttributeError:
+            seq = None
+        if isinstance(seq, np.random.SeedSequence):
+            return [_tile_generator(child) for child in seq.spawn(n)]
+        return [_tile_generator(int(rng.integers(2 ** 63)))
+                for _ in range(n)]
     raise TypeError(f"cannot spawn generators from {type(rng).__name__}")
 
 
@@ -176,6 +205,210 @@ class TileStacks:
         self.has_sram = bool(self.sram.any())
 
 
+class _RngPlan:
+    """Fused per-call RNG layout for the batched backend.
+
+    The loop backend draws each tile's mismatch in up to five stages
+    (DAC gain, DAC offset, read jitter, ADC gain, ADC offset) from the
+    tile's own generator.  A single ``standard_normal`` call filling a
+    contiguous per-tile slice of one flat buffer consumes the stream
+    identically (chunked draws are bitwise-equal to stage-by-stage
+    draws), so the plan precomputes, per enabled stage, vectorized
+    gather/scatter index arrays over the tiles' true ``rows``/``cols``
+    — replacing five Python-per-tile fill loops with one draw loop and
+    a handful of array ops.  Draw counts depend only on tile geometry,
+    never on the batch, which is what keeps served results independent
+    of batch composition.
+
+    Stage buffers are padded to ``(tiles, size[, size])`` with neutral
+    values (1 for gains, 0 for offsets/jitter); scatters only touch the
+    true cells, so padding stays neutral across reuse.
+    ``adc_offset_raw`` holds ``draw * offset_std`` — the per-sample ADC
+    full scale multiplies in at execution time.
+    """
+
+    def __init__(self, engine: "TileEngine"):
+        st = engine.stacks()
+        config = engine.config
+        size = config.size
+        count = engine.num_tiles
+        rows = st.rows.astype(np.int64)
+        cols = st.cols
+        dac, adc = config.dac, config.adc
+
+        # (name, per-tile draw lengths, post-multipliers, post-addend) in
+        # the exact order the loop backend consumes each tile's stream.
+        specs: list[tuple[str, np.ndarray, tuple[float, ...], float | None]] = []
+        if dac.gain_std > 0:
+            specs.append(("dac_gain", rows, (dac.gain_std,), 1.0))
+        if dac.offset_std > 0:
+            specs.append(("dac_offset", rows, (dac.offset_std, dac.v_max), None))
+        if config.device.read_noise > 0:
+            specs.append(("jitter", rows * cols, (), None))
+        if adc.gain_std > 0:
+            specs.append(("adc_gain", cols, (adc.gain_std,), 1.0))
+        if adc.offset_std > 0:
+            specs.append(("adc_offset", cols, (adc.offset_std,), None))
+
+        counts = np.zeros(count, dtype=np.int64)
+        for _, lens, _, _ in specs:
+            counts += lens
+        starts = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        self.counts = counts
+        self.starts = starts
+        self.total = int(starts[-1])
+        self.active = self.total > 0
+        self.draws = np.empty(self.total)
+
+        self.dac_gain = np.ones((count, size)) if dac.gain_std > 0 else None
+        self.dac_offset = np.zeros((count, size)) if dac.offset_std > 0 else None
+        self.jitter = (np.zeros((count, size, size))
+                       if config.device.read_noise > 0 else None)
+        self.adc_gain = np.ones((count, size)) if adc.gain_std > 0 else None
+        self.adc_offset_raw = (np.zeros((count, size))
+                               if adc.offset_std > 0 else None)
+        bufs = {"dac_gain": self.dac_gain, "dac_offset": self.dac_offset,
+                "jitter": self.jitter, "adc_gain": self.adc_gain,
+                "adc_offset": self.adc_offset_raw}
+
+        # Per-bank uniform geometry (every tile shares one (rows, cols)
+        # shape — true for full S×S grids *and* for single-block-row
+        # banks such as an LSTM's (hidden, 4*hidden) weights): every
+        # per-tile draw block has the same stride, so each stage is a
+        # strided *view* of the flat draw buffer — no gather/scatter
+        # indices at all.  A full S×S jitter stage aliases the draws
+        # with zero copies; a partial block lands with one strided copy.
+        rows0 = int(rows[0]) if count else 0
+        cols0 = int(cols[0]) if count else 0
+        self.uniform = bool(count > 0 and np.all(rows == rows0)
+                            and np.all(cols == cols0))
+        self.view_stages: list[tuple[np.ndarray, np.ndarray,
+                                     tuple[float, ...], float | None]] = []
+        self.jitter_src: np.ndarray | None = None
+        self.jitter_dst: np.ndarray | None = None
+        if self.uniform and self.active:
+            stride = int(counts[0])
+            mat = self.draws.reshape(count, stride)
+            self.draws_mat = mat
+            col = 0
+            for name, lens, mults, add in specs:
+                n = int(lens[0])
+                view = mat[:, col:col + n]
+                col += n
+                if name == "jitter":
+                    jview = view.reshape(count, rows0, cols0)
+                    if not np.shares_memory(jview, self.draws):
+                        # pragma: no cover - reshape copied
+                        self.uniform = False
+                        break
+                    if rows0 == size and cols0 == size:
+                        self.jitter = jview
+                    else:
+                        self.jitter_src = jview
+                        self.jitter_dst = self.jitter[:, :rows0, :cols0]
+                else:
+                    self.view_stages.append((view, bufs[name][:, :n],
+                                             mults, add))
+
+        # Broadcast views over the batch axis, built once: the stage
+        # buffers are updated in place by :meth:`fill`, so these views
+        # stay current across calls.
+        self.dac_gain_b = (self.dac_gain[:, None, :]
+                           if self.dac_gain is not None else None)
+        self.dac_offset_b = (self.dac_offset[:, None, :]
+                             if self.dac_offset is not None else None)
+        self.adc_gain_b = (self.adc_gain[:, None, :]
+                           if self.adc_gain is not None else None)
+        self.adc_offset_raw_b = (self.adc_offset_raw[:, None, :]
+                                 if self.adc_offset_raw is not None else None)
+
+        self.stages: list[tuple[np.ndarray, np.ndarray, np.ndarray,
+                                tuple[float, ...], float | None]] = []
+        if self.uniform:
+            return
+        offsets = np.zeros(count, dtype=np.int64)
+        for name, lens, mults, add in specs:
+            src_parts: list[np.ndarray] = []
+            dst_parts: list[np.ndarray] = []
+            for t in range(count):
+                n = int(lens[t])
+                if n == 0:
+                    continue
+                src_parts.append(starts[t] + offsets[t]
+                                 + np.arange(n, dtype=np.int64))
+                if name == "jitter":
+                    # Row-major cell order matches the loop backend's
+                    # ``standard_normal((rows, cols))`` fill.
+                    cell = (np.arange(rows[t], dtype=np.int64)[:, None] * size
+                            + np.arange(cols[t], dtype=np.int64)[None, :])
+                    dst_parts.append(t * size * size + cell.ravel())
+                else:
+                    dst_parts.append(t * size + np.arange(n, dtype=np.int64))
+            offsets += lens
+            src = (np.concatenate(src_parts) if src_parts
+                   else np.empty(0, dtype=np.int64))
+            dst = (np.concatenate(dst_parts) if dst_parts
+                   else np.empty(0, dtype=np.int64))
+            self.stages.append((src, dst, bufs[name].reshape(-1), mults, add))
+
+    def fill(self, tiles) -> None:
+        """Draw this call's mismatch and scatter it into the stage buffers."""
+        draws = self.draws
+        starts = self.starts
+        counts = self.counts
+        if self.uniform:
+            mat = self.draws_mat
+            for t, tile in enumerate(tiles):
+                tile._rng.standard_normal(out=mat[t])
+            for view, dst, mults, add in self.view_stages:
+                np.multiply(view, mults[0], out=dst)
+                for mult in mults[1:]:
+                    dst *= mult
+                if add is not None:
+                    dst += add
+            if self.jitter_src is not None:
+                np.copyto(self.jitter_dst, self.jitter_src)
+            return
+        for t, tile in enumerate(tiles):
+            n = counts[t]
+            if n:
+                tile._rng.standard_normal(out=draws[starts[t]:starts[t] + n])
+        for src, dst, flat, mults, add in self.stages:
+            vals = draws[src]
+            for mult in mults:
+                vals *= mult
+            if add is not None:
+                vals += add
+            flat[dst] = vals
+
+
+@dataclass
+class _Workspace:
+    """Preallocated scratch for one fused batched pass at one batch size.
+
+    Buffers live as long as the engine (bounded LRU per batch size); a
+    workspace is private to a single VMM call — results are copied out
+    before return, so nothing the caller holds aliases these arrays.
+    ``x_padded`` is zero-initialized and only its true rows/columns are
+    ever rewritten, so the padding invariant survives reuse.
+    """
+
+    x_padded: np.ndarray   # (B, grid_rows*S) — padding stays zero
+    xabs: np.ndarray       # (B, grid_rows*S) |x| scratch for the scale
+    xt: np.ndarray         # (T, B, S) gathered per-tile input blocks
+    v: np.ndarray          # (T, B, S) DAC output / ADC INL scratch
+    y: np.ndarray          # (T, B, S) accumulator / DAC demand scratch
+    lf: np.ndarray         # (T, B, S) droop factor / INL + SRAM scratch
+    leak: np.ndarray       # (T, B, S) sneak / ADC-offset scratch
+    scale_bg: np.ndarray   # (B, grid_rows) per-(sample, row-block) max |x|
+    scale_t: np.ndarray    # (T, B) per-(tile, sample) DAC scale gather
+    wc: np.ndarray         # (T, B, 1) worst-case output magnitude
+    fs: np.ndarray         # (T, B, 1) ADC full scale
+    sum_gc: np.ndarray     # (grid_cols, B, S) partial-sum accumulator
+    out_full: np.ndarray   # (B, grid_cols*S) assembled padded output
+
+
 class TileEngine:
     """Executes a :class:`CrossbarBank`'s VMM through a chosen backend.
 
@@ -196,13 +429,18 @@ class TileEngine:
         self.backend = resolve_backend(
             backend if backend is not None else bank.config.backend)
         self._stacks: TileStacks | None = None
-        # Scratch buffers for the batched pass (lazily allocated, reused
-        # across calls; shapes depend only on tile count and size).
-        self._dac_gain: np.ndarray | None = None
-        self._dac_offset: np.ndarray | None = None
-        self._read_jitter: np.ndarray | None = None
-        self._adc_gain: np.ndarray | None = None
-        self._adc_offset: np.ndarray | None = None
+        # Fused-pass state, lazily built and reused across calls: the
+        # RNG gather/scatter plan (geometry + config dependent), one
+        # workspace per recent batch size, the jittered-conductance
+        # buffer, and the geometry factors of the worst-case output and
+        # ADC full scale (per-sample scale multiplies in per call).
+        self._plan: _RngPlan | None = None
+        self._workspaces: dict[int, _Workspace] = {}
+        self._analog: np.ndarray | None = None
+        self._wc_base: np.ndarray | None = None
+        self._fs_base: np.ndarray | None = None
+        self._rows3: np.ndarray | None = None
+        self._traced = False
 
     # ------------------------------------------------------------------
     # Stack maintenance
@@ -269,6 +507,45 @@ class TileEngine:
         self.backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
+    # Fused-pass state
+    # ------------------------------------------------------------------
+    _MAX_WORKSPACES = 4
+
+    def rng_plan(self) -> _RngPlan:
+        """The fused RNG gather/scatter plan, built on first use."""
+        if self._plan is None:
+            self._plan = _RngPlan(self)
+        return self._plan
+
+    def workspace(self, batch: int) -> _Workspace:
+        """Scratch buffers for ``batch`` rows (bounded LRU per size)."""
+        ws = self._workspaces.pop(batch, None)
+        if ws is None:
+            grid_rows, grid_cols = self.grid
+            size = self.config.size
+            count = self.num_tiles
+            width = grid_rows * size
+            ws = _Workspace(
+                x_padded=np.zeros((batch, width)),
+                xabs=np.empty((batch, width)),
+                xt=np.empty((count, batch, size)),
+                v=np.empty((count, batch, size)),
+                y=np.empty((count, batch, size)),
+                lf=np.empty((count, batch, size)),
+                leak=np.empty((count, batch, size)),
+                scale_bg=np.empty((batch, grid_rows)),
+                scale_t=np.empty((count, batch)),
+                wc=np.empty((count, batch, 1)),
+                fs=np.empty((count, batch, 1)),
+                sum_gc=np.empty((grid_cols, batch, size)),
+                out_full=np.empty((batch, grid_cols * size)),
+            )
+            while len(self._workspaces) >= self._MAX_WORKSPACES:
+                self._workspaces.pop(next(iter(self._workspaces)))
+        self._workspaces[batch] = ws
+        return ws
+
+    # ------------------------------------------------------------------
     # Whole-matrix views (vectorized assembly from the stacks)
     # ------------------------------------------------------------------
     def _assemble(self, blocks: np.ndarray) -> np.ndarray:
@@ -315,7 +592,10 @@ class TileEngine:
         untraced runs are bitwise-identical.
         """
         backend = BACKENDS[self.backend]
-        if not tracing_enabled():
+        # Stash the trace state for the backend so the hot path pays a
+        # single environment check per VMM call.
+        self._traced = traced = tracing_enabled()
+        if not traced:
             return backend(self, x)
         metrics = get_metrics()
         metrics.counter("vmm.calls").inc()
@@ -344,121 +624,132 @@ def _execute_loop(engine: TileEngine, x: np.ndarray) -> np.ndarray:
 
 
 def _execute_batched(engine: TileEngine, x: np.ndarray) -> np.ndarray:
-    """Vectorized backend: one stacked pass over every tile at once.
+    """Fused vectorized backend: one stacked pass over every tile.
 
     Replicates the loop backend operation-for-operation on zero-padded
     ``(tiles, batch, size)`` tensors; per-tile RNG draws come from each
     tile's own generator in the same order the loop backend consumes
-    them, so both backends see identical noise.
+    them, so both backends see identical noise.  The whole DAC → noise
+    → matmul → droop → ADC chain runs through preallocated per-engine
+    workspaces (no per-stage temporaries), the per-tile RNG fills are
+    one draw per tile scattered through precomputed index arrays
+    (:class:`_RngPlan`), and the DAC scale is **per sample** — each
+    batch row is normalized to its own magnitude, so a row's result is
+    bitwise-independent of what else shares the batch.
+
+    Single-row calls execute at the canonical kernel batch of
+    ``_MIN_KERNEL_BATCH`` (one zero row appended) so BLAS never takes
+    the one-row fast path whose accumulation order differs from the
+    stacked gemm path.
     """
     st = engine.stacks()
     config = engine.config
     size = config.size
-    batch = x.shape[0]
+    true_batch = x.shape[0]
+    batch = max(true_batch, _MIN_KERNEL_BATCH)
     grid_rows, grid_cols = engine.grid
     rows_total, cols_total = engine.bank.shape
-    count = engine.num_tiles
-    tiles = engine.tiles
+    plan = engine.rng_plan()
+    ws = engine.workspace(batch)
+    traced = engine._traced
+    if engine._wc_base is None:
+        engine._wc_base = (st.rows * st.w_max)[:, None, None]
+        engine._fs_base = (config.adc.range_headroom * np.sqrt(st.rows)
+                           * st.w_max)[:, None, None]
+        engine._rows3 = st.rows[:, None, None]
+        # Positivity holds by construction (rows >= 1, w_max floored at
+        # 1e-9, headroom > 0), which is what lets the apply_dac /
+        # apply_adc calls below skip their per-call validation.
+        assert np.all(engine._wc_base > 0) and np.all(engine._fs_base > 0)
 
-    # Gather per-tile input blocks: (T, batch, S), zero-padded.
-    x_padded = np.zeros((batch, grid_rows * size))
-    x_padded[:, :rows_total] = x
-    x_blocks = x_padded.reshape(batch, grid_rows, size).transpose(1, 0, 2)
-    scale_blocks = np.maximum(np.abs(x_blocks).max(axis=(1, 2)), 1e-12)
-    xt = x_blocks[st.row_block]                       # (T, B, S)
-    scale_t = scale_blocks[st.row_block]              # (T,)
-    scale = scale_t[:, None, None]
+    # Gather per-tile input blocks: (T, B, S), zero-padded rows/cols —
+    # and the per-(row-block, sample) DAC scale.  Padding is |0| = 0, so
+    # it can never win the per-sample max; all-zero rows floor at 1e-12.
+    ws.x_padded[:true_batch, :rows_total] = x
+    if true_batch < batch:
+        ws.x_padded[true_batch:] = 0.0
+    x_blocks = ws.x_padded.reshape(batch, grid_rows, size).transpose(1, 0, 2)
+    np.take(x_blocks, st.row_block, axis=0, out=ws.xt)
+    np.abs(ws.x_padded, out=ws.xabs)
+    ws.xabs.reshape(batch, grid_rows, size).max(axis=2, out=ws.scale_bg)
+    np.maximum(ws.scale_bg, 1e-12, out=ws.scale_bg)
+    np.take(ws.scale_bg.T, st.row_block, axis=0, out=ws.scale_t)
+    scale = ws.scale_t[:, :, None]                                  # (T, B, 1)
+
+    # --- Fused RNG: one draw per tile, scattered to every stage -------
+    if plan.active:
+        with (trace_span("vmm.rng") if traced else _NULL):
+            plan.fill(engine.tiles)
 
     # --- DAC: quantization, per-row mismatch, shared-driver sag -------
-    with trace_span("vmm.dac"):
-        dac = config.dac
-        dac_gain = dac_offset = None
-        if dac.gain_std > 0:
-            if engine._dac_gain is None:
-                engine._dac_gain = np.ones((count, size))
-            dac_gain = engine._dac_gain
-            for t, tile in enumerate(tiles):
-                dac_gain[t, :tile.rows] = (
-                    1.0 + tile._rng.standard_normal(tile.rows) * dac.gain_std)
-            dac_gain = dac_gain[:, None, :]
-        if dac.offset_std > 0:
-            if engine._dac_offset is None:
-                engine._dac_offset = np.zeros((count, size))
-            dac_offset = engine._dac_offset
-            for t, tile in enumerate(tiles):
-                dac_offset[t, :tile.rows] = (
-                    tile._rng.standard_normal(tile.rows)
-                    * dac.offset_std * dac.v_max)
-            dac_offset = dac_offset[:, None, :]
+    with (trace_span("vmm.dac") if traced else _NULL):
         # Demand averages over each tile's *true* rows (padding stays 0).
-        v = apply_dac(xt, dac, gain=dac_gain, offset=dac_offset,
-                      scale=scale, active_rows=st.rows[:, None, None])
+        v = apply_dac(ws.xt, config.dac, gain=plan.dac_gain_b,
+                      offset=plan.dac_offset_b,
+                      scale=scale, active_rows=engine._rows3,
+                      out=ws.v, work=ws.y, validate=False)
 
     # --- Analog array: read noise on the programmed conductances ------
-    with trace_span("vmm.conductance"):
+    with (trace_span("vmm.conductance") if traced else _NULL):
         analog = st.analog
-        if config.device.read_noise > 0:
-            if engine._read_jitter is None:
-                engine._read_jitter = np.zeros((count, size, size))
-            jitter = engine._read_jitter
-            for t, tile in enumerate(tiles):
-                jitter[t, :tile.rows, :tile.cols] = tile._rng.standard_normal(
-                    (tile.rows, tile.cols))
-            analog = st.analog * (1.0 + jitter * config.device.read_noise)
+        if plan.jitter is not None:
+            if engine._analog is None:
+                engine._analog = np.empty_like(st.analog)
+            analog = engine._analog
+            np.multiply(plan.jitter, config.device.read_noise, out=analog)
+            analog += 1.0
+            np.multiply(analog, st.analog, out=analog)
 
-    with trace_span("vmm.matmul"):
-        y = np.matmul(v, analog)                       # (T, B, S)
+    with (trace_span("vmm.matmul") if traced else _NULL):
+        y = np.matmul(v, analog, out=ws.y)             # (T, B, S)
 
     # --- Wires: input-dependent droop + neighbour sneak coupling ------
-    with trace_span("vmm.wires"):
-        worst_case = (st.rows * st.w_max * scale_t)[:, None, None]
-        # swd-ok: SWD005 -- rows >= 1, w_max floored at 1e-9, scale_t at 1e-12
-        load_fraction = y / worst_case
-        y *= dynamic_droop(load_fraction, st.rows[:, None, None],
-                           config.wire, config.device, out=load_fraction)
-        if config.wire.sneak_coupling > 0:
-            leak = sneak_leakage(y, config.wire)
+    with (trace_span("vmm.wires") if traced else _NULL):
+        worst_case = np.multiply(engine._wc_base, scale, out=ws.wc)
+        # swd-ok: SWD005 -- rows >= 1, w_max floored at 1e-9, scale at 1e-12
+        np.divide(y, worst_case, out=ws.lf)
+        y *= dynamic_droop(ws.lf, engine._rows3,
+                           config.wire, config.device, out=ws.lf)
+        coupling = config.wire.sneak_coupling
+        if coupling > 0:
+            leak = ws.leak
+            if size >= 2:
+                # Edge-replicated neighbour average, written straight
+                # into the workspace (no np.pad temporary).
+                np.add(y[..., :-2], y[..., 2:], out=leak[..., 1:-1])
+                np.add(y[..., 0], y[..., 1], out=leak[..., 0])
+                np.add(y[..., -2], y[..., -1], out=leak[..., -1])
+                leak *= 0.5
+                leak *= coupling
+            else:
+                np.copyto(leak, sneak_leakage(y, config.wire))
             # Ragged tiles: the loop backend edge-replicates at the tile's
             # true last column; the padded column it sees instead is 0.
             for t in np.nonzero(st.cols < size)[0]:
                 edge = int(st.cols[t]) - 1
-                leak[t, :, edge] += (config.wire.sneak_coupling * 0.5
-                                     * y[t, :, edge])
-            y = y + leak
+                leak[t, :, edge] += coupling * 0.5 * y[t, :, edge]
+            y += leak
 
-    # --- Sense/ADC: fixed range per tile geometry ---------------------
-    with trace_span("vmm.adc"):
-        adc = config.adc
-        full_scale = (adc.range_headroom * np.sqrt(st.rows) * st.w_max
-                      * scale_t)
-        adc_gain = adc_offset = None
-        if adc.gain_std > 0:
-            if engine._adc_gain is None:
-                engine._adc_gain = np.ones((count, size))
-            adc_gain = engine._adc_gain
-            for t, tile in enumerate(tiles):
-                adc_gain[t, :tile.cols] = (
-                    1.0 + tile._rng.standard_normal(tile.cols) * adc.gain_std)
-            adc_gain = adc_gain[:, None, :]
-        if adc.offset_std > 0:
-            if engine._adc_offset is None:
-                engine._adc_offset = np.zeros((count, size))
-            adc_offset = engine._adc_offset
-            for t, tile in enumerate(tiles):
-                adc_offset[t, :tile.cols] = (
-                    tile._rng.standard_normal(tile.cols)
-                    * adc.offset_std * float(full_scale[t]))
-            adc_offset = adc_offset[:, None, :]
-        y = apply_adc(y, adc, full_scale[:, None, None],
-                      gain=adc_gain, offset=adc_offset)
+    # --- Sense/ADC: fixed range per tile geometry and sample scale ----
+    with (trace_span("vmm.adc") if traced else _NULL):
+        full_scale = np.multiply(engine._fs_base, scale, out=ws.fs)
+        adc_offset = None
+        if plan.adc_offset_raw_b is not None:
+            adc_offset = np.multiply(plan.adc_offset_raw_b,
+                                     full_scale, out=ws.leak)
+        y = apply_adc(y, config.adc, full_scale, gain=plan.adc_gain_b,
+                      offset=adc_offset, out=y, work=(ws.lf, ws.v),
+                      validate=False)
 
     # --- Digital: SRAM contribution + partial-sum across row blocks ---
-    with trace_span("vmm.digital"):
+    with (trace_span("vmm.digital") if traced else _NULL):
         if st.has_sram:
-            y = y + np.matmul(xt, st.digital)
-        summed = y.reshape(grid_rows, grid_cols, batch, size).sum(axis=0)
-        out = summed.transpose(1, 0, 2).reshape(batch, grid_cols * size)
-        return out[:, :cols_total].copy()
+            y += np.matmul(ws.xt, st.digital, out=ws.lf)
+        y.reshape(grid_rows, grid_cols, batch, size).sum(axis=0,
+                                                         out=ws.sum_gc)
+        out3 = ws.out_full.reshape(batch, grid_cols, size)
+        np.copyto(out3, ws.sum_gc.transpose(1, 0, 2))
+        return ws.out_full[:true_batch, :cols_total].copy()
 
 
 BACKENDS: dict[str, Callable[[TileEngine, np.ndarray], np.ndarray]] = {

@@ -289,6 +289,8 @@ class GRU(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         x = as_tensor(x)
+        if self.matmul_hook is not None:
+            return Tensor(self._forward_deployed(x.data))
         batch, time, _ = x.shape
         hidden = self.hidden_size
         h = Tensor(np.zeros((batch, hidden)))
@@ -307,6 +309,35 @@ class GRU(Module):
         if self.reverse:
             outputs.reverse()
         return Tensor.stack(outputs, axis=1)
+
+    def _forward_deployed(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass with matmuls routed through ``matmul_hook``.
+
+        Pure-NumPy (no tape); used only for crossbar-deployed
+        inference.  As in :class:`LSTM`, the input projection has no
+        sequential dependency, so all timesteps go through the ``ih``
+        bank as one stacked VMM; only the recurrent projection runs per
+        timestep.
+        """
+        batch, time, _ = x.shape
+        hidden = self.hidden_size
+        hook = self.matmul_hook
+        assert hook is not None
+        h = np.zeros((batch, hidden))
+        x_proj = hook(x.reshape(-1, self.input_size), self.weight_ih.data, 0)
+        x_proj = x_proj.reshape(batch, time, 3 * hidden) + self.bias.data
+        steps = range(time - 1, -1, -1) if self.reverse else range(time)
+        out = np.empty((batch, time, hidden))
+        for t in steps:
+            h_proj = hook(h, self.weight_hh.data, 1)
+            r = _sigmoid(x_proj[:, t, :hidden] + h_proj[:, :hidden])
+            z = _sigmoid(x_proj[:, t, hidden:2 * hidden]
+                         + h_proj[:, hidden:2 * hidden])
+            n = np.tanh(x_proj[:, t, 2 * hidden:]
+                        + r * h_proj[:, 2 * hidden:])
+            h = (1.0 - z) * n + z * h
+            out[:, t, :] = h
+        return out
 
     def __repr__(self) -> str:
         direction = "<-" if self.reverse else "->"

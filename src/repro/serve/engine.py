@@ -23,6 +23,15 @@ Duplicate reads short-circuit through the runtime's content-addressed
 :class:`~repro.runtime.ResultCache` when one is attached: the key
 hashes the model weights, the full crossbar design point, the decode
 settings, and the raw signal bytes.
+
+**Request stacking.**  Per-sample DAC scaling makes every VMM row
+independent of its batch, so compatible (equal-length) coalesced reads
+can run as *one* stacked forward (:meth:`BasecallEngine.basecall_batch`)
+without changing any read's result: the engine restores the RNG epoch
+once per stacked group, and each row of the stacked forward is
+bitwise-identical to the same read basecalled alone — regardless of
+which other reads share its batch (proven in
+``tests/test_serve_stacking.py``).
 """
 
 from __future__ import annotations
@@ -160,17 +169,97 @@ class BasecallEngine:
             self.cache.put(key, {"bases": bases, "frames": frames})
         return BasecallResult(bases=bases, frames=frames, cached=False)
 
+    def basecall_batch(
+            self, signals: list[np.ndarray],
+    ) -> list[BasecallResult | Exception]:
+        """Basecall several reads, stacking equal-length ones.
+
+        Cache hits are answered first; the remaining reads are grouped
+        by signal length and each group runs as **one** stacked forward
+        inside a single RNG-epoch restore.  Per-sample DAC scaling
+        (``core.vmm_model`` batching contract) makes each stacked row
+        bitwise-identical to :meth:`basecall` on that signal alone, so
+        stacking changes throughput, never results.
+
+        Returns one entry per input signal, in order: a
+        :class:`BasecallResult`, or the exception that read raised.
+        Exceptions are returned (not raised) so one poisoned read — a
+        :class:`~repro.reliability.DivergenceError`, say — cannot fail
+        its stackmates: a failing stacked group falls back to per-read
+        :meth:`basecall` calls, isolating the fault.
+        """
+        arrays: list[np.ndarray | None] = []
+        results: list[BasecallResult | Exception | None] = [None] * len(signals)
+        for i, signal in enumerate(signals):
+            signal = np.asarray(signal, dtype=np.float64)
+            if signal.ndim != 1 or signal.size == 0:
+                results[i] = ValueError(
+                    "basecall needs a non-empty 1-D signal")
+                arrays.append(None)
+            else:
+                arrays.append(signal)
+
+        keys: list[str | None] = [None] * len(signals)
+        groups: dict[int, list[int]] = {}
+        for i, signal in enumerate(arrays):
+            if signal is None:
+                continue
+            if self.cache is not None:
+                keys[i] = self.cache_key(signal)
+                hit, value = self.cache.lookup(keys[i])
+                if hit and isinstance(value, dict) and "bases" in value:
+                    results[i] = BasecallResult(bases=value["bases"],
+                                                frames=int(value["frames"]),
+                                                cached=True)
+                    continue
+            groups.setdefault(signal.size, []).append(i)
+
+        for indices in groups.values():
+            stacked = np.stack([arrays[i] for i in indices])
+            self.deployed.rng_restore(self._epoch)
+            try:
+                decoded = self._forward_stacked(stacked)
+            except Exception:
+                # Fall back to per-read calls (each in its own epoch) so
+                # only the actually-poisoned reads report the failure.
+                for i in indices:
+                    try:
+                        results[i] = self.basecall(arrays[i])
+                    except Exception as exc:
+                        results[i] = exc
+                continue
+            for i, (bases, frames) in zip(indices, decoded):
+                if self.cache is not None and keys[i] is not None:
+                    self.cache.put(keys[i], {"bases": bases,
+                                             "frames": frames})
+                results[i] = BasecallResult(bases=bases, frames=frames,
+                                            cached=False)
+        return results  # type: ignore[return-value]
+
     def _forward(self, signal: np.ndarray) -> tuple[str, int]:
         """The exact op sequence of ``basecaller.decode.basecall_signal``."""
+        return self._forward_stacked(signal[None, :])[0]
+
+    def _forward_stacked(self,
+                         signals: np.ndarray) -> list[tuple[str, int]]:
+        """Forward a ``(reads, samples)`` stack, decoding each row.
+
+        ``log_softmax`` is rowwise and CTC decode runs per read, so the
+        per-read outputs are bitwise-independent of the stack size.
+        """
         from .protocol import encode_bases
 
         with nn.no_grad():
-            logits = self.model(nn.Tensor(signal[None, :]))
-        log_probs = logits.log_softmax(axis=-1).data[0]
-        if self.config.beam_width and self.config.beam_width > 1:
-            labels = nn.beam_search_decode(
-                log_probs, beam_width=self.config.beam_width, blank=BLANK)
-        else:
-            labels = nn.greedy_decode(log_probs, blank=BLANK)
-        codes = labels.astype(np.int8) - 1
-        return encode_bases(codes), int(log_probs.shape[0])
+            logits = self.model(nn.Tensor(signals))
+        log_probs = logits.log_softmax(axis=-1).data
+        decoded: list[tuple[str, int]] = []
+        for row in range(signals.shape[0]):
+            lp = log_probs[row]
+            if self.config.beam_width and self.config.beam_width > 1:
+                labels = nn.beam_search_decode(
+                    lp, beam_width=self.config.beam_width, blank=BLANK)
+            else:
+                labels = nn.greedy_decode(lp, blank=BLANK)
+            codes = labels.astype(np.int8) - 1
+            decoded.append((encode_bases(codes), int(lp.shape[0])))
+        return decoded

@@ -26,8 +26,8 @@ Layout::
   error, finish every in-flight read, flush every response queue, then
   close.
 
-Per-request latency, queue depth, batch occupancy, and per-client
-in-flight series feed the :mod:`repro.observability` metrics registry
+Per-request latency, queue depth, batch occupancy, stack size, and
+per-client in-flight series feed the :mod:`repro.observability` metrics registry
 (scrapeable over the wire via the ``metrics`` op), and batch execution
 runs under ``serve.batch`` trace spans when ``SWORDFISH_TRACE`` is on.
 """
@@ -496,32 +496,55 @@ class BasecallServer:
 
     def _execute_batch(self, engine: BasecallEngine,
                        batch: list[PendingRead]) -> list[dict | None]:
-        """Worker-thread body: basecall each read of one batch."""
+        """Worker-thread body: basecall one batch, stacking where it can.
+
+        Live reads are grouped by signal length and each group runs as
+        one stacked forward (``BasecallEngine.basecall_batch``); the
+        RNG-epoch restore per group keeps every read's result
+        bitwise-identical to basecalling it alone, so stacking is purely
+        a throughput optimization.  ``compute_s`` is each read's share
+        of its group's wall time (total group time divided by group
+        size) — the per-read cost actually paid under stacking.
+        """
         self.metrics.counter("serve.batches").inc()
         self.metrics.histogram("serve.batch_occupancy").observe(len(batch))
-        results: list[dict | None] = []
+        results: list[dict | None] = [None] * len(batch)
+        groups: dict[int, list[int]] = {}
+        for i, pending in enumerate(batch):
+            if pending.cancelled:
+                continue
+            groups.setdefault(int(pending.signal.size), []).append(i)
         with trace_span("serve.batch", reads=len(batch)):
-            for pending in batch:
-                if pending.cancelled:
-                    results.append(None)
-                    continue
+            for samples, indices in groups.items():
+                self.metrics.histogram("serve.stack_size").observe(
+                    len(indices))
+                if len(indices) > 1:
+                    self.metrics.counter("serve.stacked_reads").inc(
+                        len(indices))
                 started = time.perf_counter()
                 try:
-                    with trace_span("serve.read", client=pending.client_id,
-                                    samples=int(pending.signal.size)):
-                        result = engine.basecall(pending.signal)
-                except DivergenceError as exc:
-                    self.metrics.counter("serve.divergence").inc()
-                    results.append({"error": ("divergence", str(exc))})
-                except Exception as exc:
-                    results.append({"error": (
-                        "internal", f"{type(exc).__name__}: {exc}")})
-                else:
-                    results.append({
-                        "result": result,
-                        "started_perf": started,
-                        "compute_s": time.perf_counter() - started,
-                    })
+                    with trace_span("serve.stack", reads=len(indices),
+                                    samples=samples):
+                        outcomes = engine.basecall_batch(
+                            [batch[i].signal for i in indices])
+                except Exception as exc:  # engine-level failure: all reads
+                    outcomes = [exc] * len(indices)
+                # swd-ok: SWD005 -- groups only hold non-empty index lists
+                share = (time.perf_counter() - started) / len(indices)
+                for i, outcome in zip(indices, outcomes):
+                    if isinstance(outcome, DivergenceError):
+                        self.metrics.counter("serve.divergence").inc()
+                        results[i] = {"error": ("divergence", str(outcome))}
+                    elif isinstance(outcome, Exception):
+                        results[i] = {"error": (
+                            "internal",
+                            f"{type(outcome).__name__}: {outcome}")}
+                    else:
+                        results[i] = {
+                            "result": outcome,
+                            "started_perf": started,
+                            "compute_s": share,
+                        }
         return results
 
     def _count_error(self, code: str) -> None:

@@ -608,13 +608,13 @@ class TestBackpressureAndTimeouts:
         try:
             def slow_wrap():
                 for engine in list(server.server._engines.queue):
-                    original = engine.basecall
+                    original = engine.basecall_batch
 
-                    def sleepy(signal, _original=original):
+                    def sleepy(signals, _original=original):
                         time.sleep(1.0)
-                        return _original(signal)
+                        return _original(signals)
 
-                    engine.basecall = sleepy
+                    engine.basecall_batch = sleepy
             server.call(slow_wrap)
             with server.client() as client:
                 response = client.basecall("tardy", SIGNALS[0])
