@@ -5,18 +5,29 @@ cannot see: seeded-Generator determinism (loop≡batched), config/cache
 coherence (every result-affecting field reaches ``cache_key``),
 float64 discipline and aliasing safety in the crossbar hot kernels,
 guarded division, a resolvable export graph, fault visibility in
-the reliability/runtime layers, and monotonic-clock discipline for
-measurements.  ``repro.analysis`` enforces them as
-rules SWD001–SWD008 with a ratcheting baseline —
+the reliability/runtime layers, monotonic-clock discipline for
+measurements, and — through a project-level call graph — concurrency
+correctness for the serve/runtime stack (no blocking calls reachable
+from coroutines, lock coverage on shared state, task/resource
+lifecycle, fork safety, awaited coroutines).  ``repro.analysis``
+enforces them as rules SWD001–SWD013 with a ratcheting baseline —
 ``python -m repro.analysis`` from the repo root; see DESIGN.md §7 for
 the catalog, baseline, and suppression syntax.
 """
 
 from .baseline import Baseline, BaselineDiff, diff_findings
+from .callgraph import CallEdge, CallGraph, FunctionInfo, build_call_graph
 from .cli import main
 from .config import AnalysisConfig, CACHE_EXCLUDED_FIELDS, DEFAULT_CONFIG
-from .core import AnalysisResult, Finding, Rule, SourceModule
-from .reporters import render_json, render_text
+from .core import (
+    AnalysisResult,
+    Finding,
+    Rule,
+    SourceModule,
+    SuppressionRecord,
+    UnusedSuppression,
+)
+from .reporters import render_json, render_sarif, render_text
 from .runner import ALL_RULES, AnalysisContext, default_rules, run_analysis
 
 __all__ = [
@@ -27,14 +38,21 @@ __all__ = [
     "Baseline",
     "BaselineDiff",
     "CACHE_EXCLUDED_FIELDS",
+    "CallEdge",
+    "CallGraph",
     "DEFAULT_CONFIG",
     "Finding",
+    "FunctionInfo",
     "Rule",
     "SourceModule",
+    "SuppressionRecord",
+    "UnusedSuppression",
+    "build_call_graph",
     "default_rules",
     "diff_findings",
     "main",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_analysis",
 ]

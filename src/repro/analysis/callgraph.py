@@ -1,0 +1,804 @@
+"""Project-level call graph for the concurrency rule family.
+
+The per-file AST walks of SWD001–SWD008 cannot see the property the
+serving and sweep layers actually depend on: *who runs where*.  A
+``time.sleep`` is legal in a worker thread and a bug on the event
+loop; a ``Process`` spawn is legal from the main thread and a hazard
+from inside a thread pool.  This module resolves a lightweight
+intra-repo call graph once per analysis run and shares it through the
+:class:`~repro.analysis.runner.AnalysisContext`, so rules SWD009–SWD013
+can reason transitively instead of line-locally.
+
+What is resolved (deliberately lightweight — no inheritance walking,
+no dataflow beyond single assignments):
+
+* every ``def`` / ``async def``, keyed by qualified name
+  (``repro.serve.server:BasecallServer._ingest``), with its decorator
+  list;
+* module-level aliases (``handler = real_handler``) and
+  ``functools.partial(...)`` bindings, followed to their targets;
+* intra-repo imports (absolute and relative, chased through
+  ``__init__`` re-exports) so ``from .engine import build`` resolves
+  to ``repro.serve.engine:build``;
+* ``self.method()`` to the enclosing class, ``self.attr.method()``
+  through attribute types inferred from ``self.attr = ClassName(...)``
+  assignments in ``__init__``/class bodies, and ``ClassName(...)`` to
+  ``ClassName.__init__``;
+* execution-context spawn points: ``run_in_executor`` /
+  ``asyncio.to_thread`` / ``executor.submit`` / ``Thread(target=...)``
+  (thread), ``Process(target=...)`` (fork), and ``create_task`` /
+  ``ensure_future`` (task).
+
+On top of the edges, :meth:`CallGraph.blocking_chain` computes the
+transitive *may-block* property: a function blocks if it calls a known
+blocking primitive (``time.sleep``, sync file/socket IO, bare
+``Lock.acquire``, blocking ``Queue.get`` ...) directly, or calls —
+synchronously, without an executor hop — an intra-repo function that
+does.  SWD009 uses it to flag coroutines whose await-free call chains
+bottom out in a blocking primitive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .core import SourceModule, dotted_name
+
+__all__ = [
+    "BLOCKING_MODULE_CALLS",
+    "CallEdge",
+    "CallGraph",
+    "FunctionInfo",
+    "build_call_graph",
+]
+
+
+# ----------------------------------------------------------------------
+# Blocking primitives
+# ----------------------------------------------------------------------
+
+#: Dotted module-level calls that block the calling thread.  Matched
+#: against resolved alias-aware names (``import time as t; t.sleep``
+#: still matches ``time.sleep``).
+BLOCKING_MODULE_CALLS: dict[str, str] = {
+    "time.sleep": "sleeps the calling thread",
+    "select.select": "blocks on file descriptors",
+    "subprocess.run": "waits for a child process",
+    "subprocess.call": "waits for a child process",
+    "subprocess.check_call": "waits for a child process",
+    "subprocess.check_output": "waits for a child process",
+    "os.system": "waits for a shell",
+    "os.waitpid": "waits for a child process",
+    "socket.create_connection": "synchronous connect",
+    "urllib.request.urlopen": "synchronous HTTP",
+    "numpy.load": "synchronous file IO",
+    "numpy.save": "synchronous file IO",
+    "numpy.savez": "synchronous file IO",
+    "numpy.savez_compressed": "synchronous file IO",
+    "np.load": "synchronous file IO",
+    "np.save": "synchronous file IO",
+    "np.savez": "synchronous file IO",
+    "np.savez_compressed": "synchronous file IO",
+}
+
+#: Bare builtins that block (file IO, console input).
+_BLOCKING_BUILTINS = {"open": "synchronous file IO",
+                      "input": "blocks on stdin"}
+
+#: Method names that block regardless of receiver.
+_BLOCKING_ANY_METHOD = {
+    "read_text": "synchronous file IO",
+    "write_text": "synchronous file IO",
+    "read_bytes": "synchronous file IO",
+    "write_bytes": "synchronous file IO",
+}
+
+#: Method names that block only on a suggestive receiver (too generic
+#: to flag on every object: ``dict.get``, ``str.join``...).
+_RECEIVER_HINTS: dict[str, tuple[str, ...]] = {
+    "get": ("queue", "_q", "q"),
+    "put": ("queue", "_q", "q"),
+    "join": ("thread", "proc", "process", "worker", "pool"),
+    "result": ("fut", "future", "task"),
+    "shutdown": ("pool", "executor"),
+    "wait": ("proc", "process", "popen"),
+    "communicate": ("proc", "process", "popen"),
+    "recv": ("sock", "conn"),
+    "accept": ("sock", "listener"),
+    "connect": ("sock",),
+    "sendall": ("sock", "conn"),
+}
+
+#: Names that hop work off the current thread: a call appearing as a
+#: *target argument* of one of these is not executed inline.
+_THREAD_SPAWN_METHODS = {"run_in_executor": 1, "submit": 0}
+_THREAD_SPAWN_CALLS = {"asyncio.to_thread": 0, "to_thread": 0}
+_TASK_SPAWN = {"asyncio.create_task", "create_task",
+               "asyncio.ensure_future", "ensure_future"}
+_THREAD_CTORS = {"threading.Thread", "Thread"}
+_FORK_CTORS = {"multiprocessing.Process", "mp.Process", "Process"}
+_POOL_CTOR_HINTS = ("ThreadPoolExecutor", "ProcessPoolExecutor", "Pool")
+
+
+def _receiver_text(func: ast.AST) -> str:
+    """Lower-cased dotted text of a method call's receiver, or ''."""
+    if not isinstance(func, ast.Attribute):
+        return ""
+    name = dotted_name(func.value)
+    return (name or "").lower()
+
+
+def blocking_reason(node: ast.Call, name: str | None) -> str | None:
+    """Why this single call blocks its thread, or ``None``.
+
+    ``name`` is the dotted source text of the callee (alias-resolved
+    by the caller where possible).
+    """
+    if name is not None:
+        if name in BLOCKING_MODULE_CALLS:
+            return f"`{name}()` {BLOCKING_MODULE_CALLS[name]}"
+        if name in _BLOCKING_BUILTINS:
+            return f"`{name}()` {_BLOCKING_BUILTINS[name]}"
+    if not isinstance(node.func, ast.Attribute):
+        return None
+    method = node.func.attr
+    if method in _BLOCKING_ANY_METHOD:
+        return f"`.{method}()` {_BLOCKING_ANY_METHOD[method]}"
+    if method == "acquire":
+        # Lock.acquire() blocks unless explicitly non-blocking.
+        for kw in node.keywords:
+            if kw.arg == "blocking" and isinstance(kw.value, ast.Constant) \
+                    and kw.value.value is False:
+                return None
+        if node.args and isinstance(node.args[0], ast.Constant) \
+                and node.args[0].value is False:
+            return None
+        return "`.acquire()` blocks until the lock is free"
+    hints = _RECEIVER_HINTS.get(method)
+    if hints:
+        receiver = _receiver_text(node.func)
+        tail = receiver.rsplit(".", 1)[-1]
+        if any(hint in tail for hint in hints):
+            if method in ("get", "put") and _has_nowait_shape(node):
+                return None
+            if method == "get" and node.args and not isinstance(
+                    node.args[0], ast.Constant):
+                # `mapping.get(key)` — a dict that merely *sounds* like
+                # a queue; Queue.get's positional arg is a bool literal.
+                return None
+            if method == "shutdown" and not _shutdown_waits(node):
+                return None
+            return (f"`{receiver.rsplit('.', 1)[-1]}.{method}()` blocks "
+                    f"the calling thread")
+    return None
+
+
+def _has_nowait_shape(node: ast.Call) -> bool:
+    """``q.get(block=False)`` / ``q.get(False)`` are non-blocking."""
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and node.args[0].value is False:
+        return True
+    for kw in node.keywords:
+        if kw.arg == "block" and isinstance(kw.value, ast.Constant) \
+                and kw.value.value is False:
+            return True
+    return False
+
+
+def _shutdown_waits(node: ast.Call) -> bool:
+    """``pool.shutdown()`` defaults to ``wait=True``."""
+    if node.args and isinstance(node.args[0], ast.Constant):
+        return bool(node.args[0].value)
+    for kw in node.keywords:
+        if kw.arg == "wait" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return True
+
+
+# ----------------------------------------------------------------------
+# Graph data model
+# ----------------------------------------------------------------------
+
+@dataclass
+class FunctionInfo:
+    """One ``def`` / ``async def`` in the analyzed tree."""
+
+    qname: str                   # "repro.serve.server:Class.method"
+    module: str                  # dotted module name
+    rel: str                     # file path relative to the root
+    name: str                    # bare name
+    cls: str | None              # enclosing class name, if a method
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    decorators: tuple[str, ...] = ()
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class CallEdge:
+    """One resolved call site."""
+
+    caller: str                  # qname of the calling function
+    callee: str                  # qname of the resolved target
+    node: ast.Call               # the call site (for finding anchors)
+    kind: str = "call"           # "call" | "thread" | "fork" | "task"
+    awaited: bool = False
+
+
+@dataclass
+class _ClassInfo:
+    qname: str
+    module: str
+    name: str
+    methods: dict[str, str] = field(default_factory=dict)  # name -> qname
+    attr_types: dict[str, str] = field(default_factory=dict)  # attr -> class
+    lock_attrs: set[str] = field(default_factory=set)
+
+
+@dataclass
+class CallGraph:
+    """Functions, resolved edges, and execution-context classification."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, _ClassInfo] = field(default_factory=dict)
+    edges: list[CallEdge] = field(default_factory=list)
+    out_edges: dict[str, list[CallEdge]] = field(default_factory=dict)
+    #: Direct blocking primitive calls per function: qname -> [(node, why)].
+    blocking_sites: dict[str, list[tuple[ast.Call, str]]] = field(
+        default_factory=dict)
+    #: Functions handed directly to a thread / fork spawn point.
+    thread_roots: set[str] = field(default_factory=set)
+    fork_roots: set[str] = field(default_factory=set)
+    _may_block: dict[str, tuple[str, ...] | None] = field(
+        default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_edge(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self.out_edges.setdefault(edge.caller, []).append(edge)
+        if edge.kind == "thread":
+            self.thread_roots.add(edge.callee)
+        elif edge.kind == "fork":
+            self.fork_roots.add(edge.callee)
+
+    # ------------------------------------------------------------------
+    # Transitive queries
+    # ------------------------------------------------------------------
+    def blocking_chain(self, qname: str) -> tuple[str, ...] | None:
+        """Shortest-found chain from ``qname`` to a blocking primitive.
+
+        The chain is a tuple of human-readable hops ending in the
+        primitive's reason, or ``None`` when every synchronous path out
+        of ``qname`` is block-free.  Only plain synchronous call edges
+        propagate: thread/fork/task spawns hop off the caller's thread,
+        and calling an *async* function merely builds a coroutine.
+        """
+        if qname in self._may_block:
+            return self._may_block[qname]
+        self._may_block[qname] = None        # cycle guard: assume clean
+        sites = self.blocking_sites.get(qname)
+        if sites:
+            chain = (sites[0][1],)
+            self._may_block[qname] = chain
+            return chain
+        for edge in self.out_edges.get(qname, ()):
+            if edge.kind != "call":
+                continue
+            callee = self.functions.get(edge.callee)
+            if callee is None or callee.is_async:
+                continue
+            sub = self.blocking_chain(edge.callee)
+            if sub is not None:
+                chain = (f"{callee.name}()",) + sub
+                self._may_block[qname] = chain
+                return chain
+        return self._may_block[qname]
+
+    def _closure(self, roots: set[str]) -> set[str]:
+        seen = set(roots)
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            for edge in self.out_edges.get(current, ()):
+                if edge.kind != "call" or edge.callee in seen:
+                    continue
+                seen.add(edge.callee)
+                stack.append(edge.callee)
+        return seen
+
+    def thread_context(self) -> set[str]:
+        """Functions that may execute on a worker thread (transitive)."""
+        return self._closure(self.thread_roots)
+
+    def fork_context(self) -> set[str]:
+        """Functions that may execute in a forked worker (transitive)."""
+        return self._closure(self.fork_roots)
+
+    def async_functions(self) -> set[str]:
+        return {q for q, f in self.functions.items() if f.is_async}
+
+
+# ----------------------------------------------------------------------
+# Per-module symbol tables
+# ----------------------------------------------------------------------
+
+@dataclass
+class _ModuleScope:
+    """What a module's names resolve to, for call resolution."""
+
+    name: str
+    #: local name -> dotted module it aliases (intra-repo or external;
+    #: external entries exist so `import numpy as np` normalizes
+    #: `np.load` back to `numpy.load` for the blocking tables)
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: local name -> (module, symbol) imported from an intra-repo module
+    symbol_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: local name -> dotted external origin (`from time import sleep`
+    #: binds ``sleep`` -> ``time.sleep``)
+    ext_symbols: dict[str, str] = field(default_factory=dict)
+    #: module-level function name -> qname
+    functions: dict[str, str] = field(default_factory=dict)
+    #: module-level class name -> class qname
+    classes: dict[str, str] = field(default_factory=dict)
+    #: module-level alias: name -> name it was assigned from
+    aliases: dict[str, str] = field(default_factory=dict)
+
+
+def _module_names(modules: list[SourceModule]) -> set[str]:
+    return {m.name for m in modules}
+
+
+def _relative_target(module: SourceModule, node: ast.ImportFrom) -> str | None:
+    if node.level == 0:
+        return node.module
+    is_package = module.path.name == "__init__.py"
+    package = module.name if is_package else module.name.rpartition(".")[0]
+    parts = package.split(".") if package else []
+    up = node.level - 1
+    if up > len(parts):
+        return None
+    base = parts[:len(parts) - up] if up else parts
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _collect_scope(module: SourceModule, known: set[str]) -> _ModuleScope:
+    scope = _ModuleScope(name=module.name)
+    assert module.tree is not None
+    for node in module.tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                if alias.name in known:
+                    scope.module_aliases[local] = alias.name
+                else:
+                    # `import numpy as np` binds np -> numpy; a bare
+                    # `import numpy.linalg` binds the root name only.
+                    scope.module_aliases.setdefault(
+                        local, alias.name if alias.asname else local)
+        elif isinstance(node, ast.ImportFrom):
+            target = _relative_target(module, node)
+            if target is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                if f"{target}.{alias.name}" in known:
+                    scope.module_aliases[local] = f"{target}.{alias.name}"
+                elif target in known:
+                    scope.symbol_imports[local] = (target, alias.name)
+                else:
+                    scope.ext_symbols[local] = f"{target}.{alias.name}"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope.functions[node.name] = f"{module.name}:{node.name}"
+        elif isinstance(node, ast.ClassDef):
+            scope.classes[node.name] = f"{module.name}:{node.name}"
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            target_name = node.targets[0].id
+            if isinstance(node.value, ast.Name):
+                scope.aliases[target_name] = node.value.id
+            else:
+                partial_target = _partial_target(node.value)
+                if partial_target is not None:
+                    scope.aliases[target_name] = partial_target
+    return scope
+
+
+def _partial_target(node: ast.AST) -> str | None:
+    """Target name of a ``functools.partial(f, ...)`` expression."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name not in ("functools.partial", "partial"):
+        return None
+    if node.args:
+        return dotted_name(node.args[0])
+    return None
+
+
+def _is_lock_ctor(node: ast.AST) -> bool:
+    """``threading.Lock/RLock/Condition`` — NOT asyncio primitives
+    (an event-loop semaphore guards scheduling, not attribute state)."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func) or ""
+    if name.startswith("asyncio."):
+        return False
+    return name.split(".")[-1] in ("Lock", "RLock", "Condition")
+
+
+def _collect_class(module: SourceModule, node: ast.ClassDef,
+                   scope: _ModuleScope) -> _ClassInfo:
+    info = _ClassInfo(qname=f"{module.name}:{node.name}",
+                      module=module.name, name=node.name)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[item.name] = \
+                f"{module.name}:{node.name}.{item.name}"
+            for stmt in ast.walk(item):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    if _is_lock_ctor(stmt.value):
+                        info.lock_attrs.add(target.attr)
+                        continue
+                    attr_cls = _ctor_class(stmt.value, scope)
+                    if attr_cls is not None:
+                        info.attr_types.setdefault(target.attr, attr_cls)
+    return info
+
+
+def _ctor_class(node: ast.AST, scope: _ModuleScope) -> str | None:
+    """Class qname when ``node`` is ``ClassName(...)`` for a known class."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    if name in scope.classes:
+        return scope.classes[name]
+    if name in scope.symbol_imports:
+        target, symbol = scope.symbol_imports[name]
+        return f"{target}:{symbol}"        # chased later, may not exist
+    if "." in name:
+        head, _, tail = name.rpartition(".")
+        target = scope.module_aliases.get(head)
+        if target is not None:
+            return f"{target}:{tail}"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Graph construction
+# ----------------------------------------------------------------------
+
+class _Resolver:
+    """Resolves call-site names to qualified function names."""
+
+    def __init__(self, graph: CallGraph, scopes: dict[str, _ModuleScope]):
+        self.graph = graph
+        self.scopes = scopes
+
+    def chase_symbol(self, module: str, symbol: str,
+                     depth: int = 0) -> str | None:
+        """``module:symbol`` as a function/class qname, chasing re-exports."""
+        if depth > 6:
+            return None
+        qname = f"{module}:{symbol}"
+        if qname in self.graph.functions or qname in self.graph.classes:
+            return qname
+        scope = self.scopes.get(module)
+        if scope is None:
+            return None
+        if symbol in scope.aliases:
+            return self.resolve_in_module(module, scope.aliases[symbol],
+                                          depth + 1)
+        if symbol in scope.symbol_imports:
+            target, name = scope.symbol_imports[symbol]
+            return self.chase_symbol(target, name, depth + 1)
+        return None
+
+    def resolve_in_module(self, module: str, name: str,
+                          depth: int = 0) -> str | None:
+        """A dotted name, as seen inside ``module``, to a qname."""
+        if depth > 6:
+            return None
+        scope = self.scopes.get(module)
+        if scope is None:
+            return None
+        if "." not in name:
+            if name in scope.functions:
+                return scope.functions[name]
+            if name in scope.classes:
+                return scope.classes[name]
+            if name in scope.aliases:
+                return self.resolve_in_module(module, scope.aliases[name],
+                                              depth + 1)
+            if name in scope.symbol_imports:
+                target, symbol = scope.symbol_imports[name]
+                return self.chase_symbol(target, symbol, depth + 1)
+            return None
+        head, _, tail = name.rpartition(".")
+        # Longest-prefix module alias match: `repro.runtime.cache.job_key`.
+        probe = head
+        while probe:
+            target = self.scopes.get(
+                self.scopes[module].module_aliases.get(probe, "")) \
+                if probe in self.scopes[module].module_aliases else None
+            if target is not None:
+                rest = name[len(probe) + 1:]
+                if "." not in rest:
+                    return self.chase_symbol(target.name, rest, depth + 1)
+                # `alias.Class.method` — resolve the class, then method.
+                cls_name, _, method = rest.rpartition(".")
+                cls_q = self.chase_symbol(target.name, cls_name, depth + 1)
+                if cls_q is not None and cls_q in self.graph.classes:
+                    return self.graph.classes[cls_q].methods.get(method)
+                return None
+            probe = probe.rpartition(".")[0]
+        # `ClassName.method` via a locally known class.
+        cls_q = self.resolve_in_module(module, head, depth + 1)
+        if cls_q is not None and cls_q in self.graph.classes:
+            return self.graph.classes[cls_q].methods.get(tail)
+        return None
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Collects edges and blocking sites for one function body."""
+
+    def __init__(self, graph: CallGraph, resolver: _Resolver,
+                 module: SourceModule, info: FunctionInfo,
+                 cls: _ClassInfo | None):
+        self.graph = graph
+        self.resolver = resolver
+        self.module = module
+        self.info = info
+        self.cls = cls
+        self._await_depth = 0
+        #: local name -> qname (partial bindings, local aliases)
+        self.locals: dict[str, str] = {}
+        #: local name -> class qname (instances built in this body)
+        self.local_types: dict[str, str] = {}
+
+    # -- nested defs own their bodies ---------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.info.node:
+            return
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.generic_visit(node)
+
+    # -- local bindings ------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            partial = _partial_target(node.value)
+            if partial is not None:
+                resolved = self._resolve(partial)
+                if resolved is not None:
+                    self.locals[name] = resolved
+            elif isinstance(node.value, ast.Call):
+                ctor = self._resolve(dotted_name(node.value.func) or "")
+                if ctor is not None and ctor in self.graph.classes:
+                    self.local_types[name] = ctor
+            elif isinstance(node.value, ast.Name):
+                resolved = self._resolve(node.value.id)
+                if resolved is not None:
+                    self.locals[name] = resolved
+        self.generic_visit(node)
+
+    # -- await tracking ------------------------------------------------
+    def visit_Await(self, node: ast.Await) -> None:
+        self._await_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._await_depth -= 1
+
+    # -- calls ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        spawned = self._spawn_edges(node, name)
+        resolved = self._resolve_call(node, name)
+        if resolved is not None and resolved not in spawned:
+            self.graph.add_edge(CallEdge(
+                caller=self.info.qname, callee=resolved, node=node,
+                kind="call", awaited=self._await_depth > 0))
+        if (resolved is None or resolved not in self.graph.functions) \
+                and self._await_depth == 0:
+            # An awaited call is by definition the async variant
+            # (`await sem.acquire()` suspends, it does not block).
+            reason = blocking_reason(node, self._alias_normal(name))
+            if reason is not None:
+                self.graph.blocking_sites.setdefault(
+                    self.info.qname, []).append((node, reason))
+        # Visit arguments, but not target args already spawn-classified
+        # (their execution happens off-thread, not at this site).
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    # -- resolution helpers ---------------------------------------------
+    def _alias_normal(self, name: str | None) -> str | None:
+        """Normalize module aliases so `np.load` matches `numpy.load`."""
+        if name is None:
+            return None
+        scope = self.resolver.scopes[self.module.name]
+        if "." not in name:
+            return scope.ext_symbols.get(name, name)
+        head, _, tail = name.partition(".")
+        target = scope.module_aliases.get(head)
+        if target is not None and target != head:
+            return f"{target}.{tail}"
+        return name
+
+    def _resolve(self, name: str | None) -> str | None:
+        if not name:
+            return None
+        if name in self.locals:
+            return self.locals[name]
+        root = name.split(".", 1)[0]
+        if root in self.local_types:
+            cls = self.graph.classes.get(self.local_types[root])
+            if cls is not None and "." in name:
+                return cls.methods.get(name.split(".", 1)[1])
+            return self.local_types[root] if "." not in name else None
+        return self.resolver.resolve_in_module(self.module.name, name)
+
+    def _resolve_call(self, node: ast.Call,
+                      name: str | None) -> str | None:
+        if name is None:
+            return None
+        if name.startswith("self."):
+            rest = name[5:]
+            if self.cls is None:
+                return None
+            if "." not in rest:
+                resolved = self.cls.methods.get(rest)
+                if resolved is not None:
+                    return resolved
+                return None
+            attr, _, method = rest.partition(".")
+            if "." in method:
+                return None
+            attr_cls_q = self.cls.attr_types.get(attr)
+            if attr_cls_q is None:
+                return None
+            attr_cls = self.graph.classes.get(attr_cls_q)
+            if attr_cls is None:
+                return None
+            return attr_cls.methods.get(method)
+        resolved = self._resolve(name)
+        if resolved is None:
+            return None
+        if resolved in self.graph.classes:
+            # Constructor call: the executed body is __init__.
+            return self.graph.classes[resolved].methods.get("__init__")
+        return resolved
+
+    def _spawn_edges(self, node: ast.Call, name: str | None) -> set[str]:
+        """Record thread/fork/task edges; return the spawned targets."""
+        spawned: set[str] = set()
+        norm = self._alias_normal(name)
+
+        def target_qname(arg: ast.AST | None) -> str | None:
+            if arg is None:
+                return None
+            partial = _partial_target(arg)
+            if partial is not None:
+                return self._resolve(partial)
+            text = dotted_name(arg)
+            if text is None:
+                if isinstance(arg, ast.Call):
+                    # create_task(coro(...)): the coroutine call itself.
+                    return self._resolve_call(arg, dotted_name(arg.func))
+                return None
+            if text.startswith("self.") and self.cls is not None:
+                return self.cls.methods.get(text[5:])
+            return self._resolve(text)
+
+        def spawn(target: str | None, kind: str) -> None:
+            if target is not None and target in self.graph.functions:
+                spawned.add(target)
+                self.graph.add_edge(CallEdge(
+                    caller=self.info.qname, callee=target, node=node,
+                    kind=kind, awaited=False))
+
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _THREAD_SPAWN_METHODS:
+            pos = _THREAD_SPAWN_METHODS[node.func.attr]
+            arg = node.args[pos] if len(node.args) > pos else None
+            spawn(target_qname(arg), "thread")
+        if norm in _THREAD_SPAWN_CALLS:
+            pos = _THREAD_SPAWN_CALLS[norm]
+            arg = node.args[pos] if len(node.args) > pos else None
+            spawn(target_qname(arg), "thread")
+        if norm in _TASK_SPAWN or (isinstance(node.func, ast.Attribute)
+                                   and node.func.attr in
+                                   ("create_task", "ensure_future")):
+            arg = node.args[0] if node.args else None
+            inner = target_qname(arg)
+            if isinstance(arg, ast.Call):
+                inner = self._resolve_call(arg, dotted_name(arg.func))
+            spawn(inner, "task")
+        ctor_tail = (norm or "").split(".")[-1]
+        if norm in _THREAD_CTORS or ctor_tail == "Thread":
+            spawn(self._target_kw(node, target_qname), "thread")
+        elif norm in _FORK_CTORS or ctor_tail == "Process":
+            spawn(self._target_kw(node, target_qname), "fork")
+        return spawned
+
+    @staticmethod
+    def _target_kw(node: ast.Call, resolve) -> str | None:
+        for kw in node.keywords:
+            if kw.arg == "target":
+                return resolve(kw.value)
+        return None
+
+
+def build_call_graph(modules: list[SourceModule]) -> CallGraph:
+    """Resolve the intra-repo call graph over parsed modules."""
+    graph = CallGraph()
+    parsed = [m for m in modules if m.tree is not None]
+    known = _module_names(parsed)
+    scopes: dict[str, _ModuleScope] = {}
+    for module in parsed:
+        scopes[module.name] = _collect_scope(module, known)
+
+    # Pass 1: functions and classes.
+    for module in parsed:
+        scope = scopes[module.name]
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _register_function(graph, module, node, cls=None)
+            elif isinstance(node, ast.ClassDef):
+                info = _collect_class(module, node, scope)
+                graph.classes[info.qname] = info
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        _register_function(graph, module, item,
+                                           cls=node.name)
+
+    resolver = _Resolver(graph, scopes)
+
+    # Pass 2: edges.
+    for module in parsed:
+        for qname, info in list(graph.functions.items()):
+            if info.module != module.name:
+                continue
+            cls = graph.classes.get(f"{module.name}:{info.cls}") \
+                if info.cls else None
+            walker = _FunctionWalker(graph, resolver, module, info, cls)
+            for stmt in info.node.body:
+                walker.visit(stmt)
+    return graph
+
+
+def _register_function(graph: CallGraph, module: SourceModule,
+                       node: ast.FunctionDef | ast.AsyncFunctionDef,
+                       cls: str | None) -> None:
+    suffix = f"{cls}.{node.name}" if cls else node.name
+    decorators = tuple(filter(None, (dotted_name(d.func)
+                                     if isinstance(d, ast.Call)
+                                     else dotted_name(d)
+                                     for d in node.decorator_list)))
+    info = FunctionInfo(
+        qname=f"{module.name}:{suffix}", module=module.name,
+        rel=module.rel, name=node.name, cls=cls, node=node,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
+        decorators=decorators)
+    graph.functions[info.qname] = info

@@ -1,7 +1,8 @@
 """``python -m repro.analysis`` — the Swordfish repo linter.
 
-Exit codes: 0 = no new violations, 1 = new violations (or stale-only
-with ``--strict-stale``), 2 = usage error.
+Exit codes: 0 = no new violations, 1 = new violations, unused
+suppression comments, or stale-only with ``--strict-stale``,
+2 = usage error.
 """
 
 from __future__ import annotations
@@ -11,7 +12,7 @@ import sys
 from pathlib import Path
 
 from .baseline import Baseline, diff_findings
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .runner import ALL_RULES, run_analysis
 
 __all__ = ["main"]
@@ -24,12 +25,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Swordfish-specific static analysis (rules SWD001–"
-                    "SWD008) with a ratcheting baseline.")
+                    "SWD013) with a ratcheting baseline.")
     parser.add_argument("paths", nargs="*",
                         help=f"files/directories to analyze (default: "
                              f"{' '.join(DEFAULT_PATHS)})")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="report format")
+    parser.add_argument("--output", metavar="PATH", default=None,
+                        help="write the report to PATH instead of stdout "
+                             "(a one-line summary still prints)")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help=f"baseline file (default: {DEFAULT_BASELINE})")
     parser.add_argument("--no-baseline", action="store_true",
@@ -99,6 +103,16 @@ def main(argv: list[str] | None = None) -> int:
             print("error: --write-baseline conflicts with --no-baseline",
                   file=sys.stderr)
             return 2
+        if result.unused_suppressions:
+            # Refusing here is the ratchet's integrity guarantee: a
+            # stale `# swd-ok` must be deleted, not re-baselined around.
+            print("error: refusing to write baseline — "
+                  f"{len(result.unused_suppressions)} unused suppression "
+                  "comment(s) match no finding:", file=sys.stderr)
+            for entry in result.unused_suppressions:
+                print(f"    {entry.location()}: {', '.join(entry.rules)}",
+                      file=sys.stderr)
+            return 1
         written = Baseline.from_findings(result.findings,
                                          baseline_path).write()
         print(f"wrote {len(result.findings)} finding(s) to {written}")
@@ -111,10 +125,18 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     diff = diff_findings(result.findings, baseline)
 
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(result, diff, baseline))
+    renderer = {"json": render_json, "sarif": render_sarif}.get(
+        args.format, render_text)
+    rendered = renderer(result, diff, baseline)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {args.format} report to {args.output} "
+              f"({len(result.findings)} finding(s), {len(diff.new)} new, "
+              f"{len(result.unused_suppressions)} unused suppression(s))")
+    else:
+        print(rendered)
 
-    if diff.failed:
+    if diff.failed or result.unused_suppressions:
         return 1
     if args.strict_stale and diff.stale:
         return 1

@@ -64,6 +64,25 @@ class AnalysisConfig:
     # (perf_counter / wall_now only; stamps need an explicit swd-ok).
     perf_scope: tuple[str, ...] = ("src/repro/",)
 
+    # SWD009/SWD013: code where coroutines live (the serve stack plus
+    # anything async in examples/benchmarks drives the same loop).
+    async_scope: tuple[str, ...] = ("src/repro/", "examples/", "benchmarks/")
+
+    # SWD010: modules whose lock-owning classes are shared across
+    # threads (serve engine leasing, observability sinks, runtime
+    # telemetry, the DeployedModel RNG-epoch contract).
+    lock_scope: tuple[str, ...] = ("src/repro/",)
+
+    # SWD011: resource-lifecycle discipline (executors/pools/sockets/
+    # file handles need `with`, a tracked handle, or class-wide cleanup).
+    lifecycle_scope: tuple[str, ...] = ("src/repro/", "examples/",
+                                        "benchmarks/")
+
+    # SWD012: fork-safety — SweepRunner-style process spawns must not
+    # follow thread/event-loop creation in the same function, nor run
+    # from coroutine/worker-thread context.
+    fork_scope: tuple[str, ...] = ("src/repro/", "examples/", "benchmarks/")
+
     def in_scope(self, rel: str, patterns: tuple[str, ...],
                  exclude: tuple[str, ...] = ()) -> bool:
         rel = rel.replace("\\", "/")

@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -35,6 +37,8 @@ __all__ = [
     "ModuleInfo",
     "Rule",
     "SourceModule",
+    "SuppressionRecord",
+    "UnusedSuppression",
     "dotted_name",
     "iter_python_files",
     "module_name_for",
@@ -85,6 +89,37 @@ class Finding:
 # ----------------------------------------------------------------------
 
 @dataclass
+class SuppressionRecord:
+    """One ``# swd-ok`` / ``# swd-file-ok`` comment, with usage tracking.
+
+    ``used`` collects the rule ids this record actually suppressed
+    during a run; a record that stays empty for every rule it names is
+    *stale* — the violation it excused no longer exists — and the CLI
+    fails rather than letting the dead comment rot in place.
+    """
+
+    lineno: int
+    scope: str                 # "line" | "file"
+    rules: frozenset[str]
+    reason: str
+    lines: tuple[int, ...]     # covered lines (empty for file scope)
+    used: set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class UnusedSuppression:
+    """A suppression comment that matched no finding this run."""
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+@dataclass
 class SourceModule:
     """One parsed file plus its suppression comments."""
 
@@ -97,6 +132,7 @@ class SourceModule:
     syntax_error: str | None
     line_suppressions: dict[int, set[str]] = field(default_factory=dict)
     file_suppressions: set[str] = field(default_factory=set)
+    suppressions: list[SuppressionRecord] = field(default_factory=list)
 
     @classmethod
     def load(cls, path: Path, root: Path) -> "SourceModule":
@@ -118,35 +154,75 @@ class SourceModule:
         return module
 
     def _parse_suppressions(self) -> None:
-        for lineno, text in enumerate(self.lines, start=1):
-            if "swd-" not in text:
+        for lineno, comment, own_line in self._iter_comments():
+            if "swd-" not in comment:
                 continue
-            match = _SUPPRESS_RE.search(text)
+            match = _SUPPRESS_RE.search(comment)
             if match is None:
                 continue
-            rules = {part.strip().upper()
-                     for part in match.group("rules").split(",")
-                     if part.strip()}
+            rules = frozenset(part.strip().upper()
+                              for part in match.group("rules").split(",")
+                              if part.strip())
+            if not rules:
+                continue
+            reason = (match.group("reason") or "").strip()
             if match.group("scope") == "file-ok":
-                self.file_suppressions |= rules
+                record = SuppressionRecord(lineno=lineno, scope="file",
+                                           rules=rules, reason=reason,
+                                           lines=())
+                self.file_suppressions |= set(rules)
             else:
-                self.line_suppressions.setdefault(lineno, set()).update(rules)
                 # A comment-only line also covers the following line, so
                 # suppressions for long statements stay readable.
-                if text[:match.start()].strip() == "":
+                covered = (lineno, lineno + 1) if own_line else (lineno,)
+                record = SuppressionRecord(lineno=lineno, scope="line",
+                                           rules=rules, reason=reason,
+                                           lines=covered)
+                for covered_line in covered:
                     self.line_suppressions.setdefault(
-                        lineno + 1, set()).update(rules)
+                        covered_line, set()).update(rules)
+            self.suppressions.append(record)
+
+    def _iter_comments(self) -> Iterator[tuple[int, str, bool]]:
+        """Yield ``(lineno, comment_text, is_own_line)`` for real comments.
+
+        Tokenizing (rather than regex-scanning every line) keeps
+        ``# swd-ok`` *examples inside docstrings* — the analyzer's own
+        documentation, for instance — from registering as suppressions,
+        which matters now that unused suppressions fail the run.
+        """
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(self.source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # Unparseable file (SWD000 territory): fall back to a raw
+            # line scan so suppression comments still register.
+            for lineno, text in enumerate(self.lines, start=1):
+                idx = text.find("#")
+                if idx < 0:
+                    continue
+                yield lineno, text[idx:], text[:idx].strip() == ""
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            lineno, col = tok.start
+            own_line = self.line_at(lineno)[:col].strip() == ""
+            yield lineno, tok.string, own_line
 
     def is_suppressed(self, rule: str, line: int,
                       end_line: int | None = None) -> bool:
-        if rule in self.file_suppressions or "ALL" in self.file_suppressions:
-            return True
+        hit = False
         last = end_line if end_line is not None else line
-        for lineno in range(line, max(line, last) + 1):
-            rules = self.line_suppressions.get(lineno)
-            if rules and (rule in rules or "ALL" in rules):
-                return True
-        return False
+        covered = range(line, max(line, last) + 1)
+        for record in self.suppressions:
+            if rule not in record.rules and "ALL" not in record.rules:
+                continue
+            if record.scope == "file" \
+                    or any(ln in record.lines for ln in covered):
+                record.used.add(rule)
+                hit = True
+        return hit
 
     def line_at(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -202,6 +278,7 @@ class AnalysisResult:
     findings: list[Finding]
     files_analyzed: int
     suppressed: int
+    unused_suppressions: list[UnusedSuppression] = field(default_factory=list)
 
 
 # ----------------------------------------------------------------------

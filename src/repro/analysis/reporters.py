@@ -1,4 +1,4 @@
-"""Text and JSON renderings of an analysis run."""
+"""Text, JSON, and SARIF renderings of an analysis run."""
 
 from __future__ import annotations
 
@@ -7,7 +7,10 @@ import json
 from .baseline import Baseline, BaselineDiff
 from .core import AnalysisResult, Finding
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
 
 
 def _status(finding: Finding, diff: BaselineDiff) -> str:
@@ -32,6 +35,15 @@ def render_text(result: AnalysisResult, diff: BaselineDiff,
         for entry in diff.stale:
             lines.append(f"    {entry['path']}: {entry['rule']}: "
                          f"{entry.get('message', '')}")
+    if result.unused_suppressions:
+        lines.append("")
+        lines.append(f"unused suppressions ({len(result.unused_suppressions)}"
+                     f" `# swd-ok` comment(s) match no finding — delete "
+                     f"them, or fix the rule ids they name):")
+        for entry in result.unused_suppressions:
+            reason = f" ({entry.reason})" if entry.reason else ""
+            lines.append(f"    {entry.location()}: "
+                         f"{', '.join(entry.rules)}{reason}")
     lines.append("")
     baseline_note = (str(baseline.path) if baseline.path is not None
                      else "disabled")
@@ -39,9 +51,15 @@ def render_text(result: AnalysisResult, diff: BaselineDiff,
         f"{result.files_analyzed} files · {len(result.findings)} finding(s) "
         f"({len(diff.new)} new, {len(diff.baselined)} baselined, "
         f"{result.suppressed} suppressed) · baseline: {baseline_note}")
+    problems: list[str] = []
     if diff.new:
-        lines.append(f"FAILED: {len(diff.new)} new violation(s) — fix them "
-                     f"or (for accepted debt) add them to the baseline")
+        problems.append(f"{len(diff.new)} new violation(s) — fix them or "
+                        f"(for accepted debt) add them to the baseline")
+    if result.unused_suppressions:
+        problems.append(f"{len(result.unused_suppressions)} unused "
+                        f"suppression(s) — delete the stale comments")
+    if problems:
+        lines.append("FAILED: " + "; ".join(problems))
     else:
         lines.append("OK: no new violations")
     return "\n".join(lines)
@@ -66,6 +84,15 @@ def render_json(result: AnalysisResult, diff: BaselineDiff,
             for finding in result.findings
         ],
         "stale_baseline_entries": diff.stale,
+        "unused_suppressions": [
+            {
+                "path": entry.path,
+                "line": entry.line,
+                "rules": list(entry.rules),
+                "reason": entry.reason,
+            }
+            for entry in result.unused_suppressions
+        ],
         "summary": {
             "files": result.files_analyzed,
             "total": len(result.findings),
@@ -73,8 +100,78 @@ def render_json(result: AnalysisResult, diff: BaselineDiff,
             "baselined": len(diff.baselined),
             "suppressed": result.suppressed,
             "stale": len(diff.stale),
+            "unused_suppressions": len(result.unused_suppressions),
             "baseline": str(baseline.path) if baseline.path else None,
-            "ok": not diff.failed,
+            "ok": not diff.failed and not result.unused_suppressions,
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: AnalysisResult, diff: BaselineDiff,
+                 baseline: Baseline) -> str:
+    """SARIF 2.1.0 — consumed by code-scanning UIs for PR annotations.
+
+    ``baselineState`` mirrors the ratchet: findings the committed
+    baseline already lists are ``unchanged``; everything else is
+    ``new`` (the state that fails the build).
+    """
+    from .runner import ALL_RULES  # local import: avoid a module cycle
+
+    rules_meta = []
+    for cls in ALL_RULES:
+        rule = cls()
+        rules_meta.append({
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {
+                "level": "error" if rule.severity == "error" else "warning",
+            },
+        })
+
+    results = []
+    for finding in result.findings:
+        results.append({
+            "ruleId": finding.rule,
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": max(finding.col + 1, 1),
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "swordfish/v1": finding.fingerprint,
+            },
+            "baselineState": ("unchanged"
+                              if _status(finding, diff) == "baselined"
+                              else "new"),
+        })
+
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "swordfish-analysis",
+                    "version": "1.0.0",
+                    "rules": rules_meta,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

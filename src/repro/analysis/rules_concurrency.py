@@ -1,0 +1,447 @@
+"""SWD009–SWD013: concurrency correctness on top of the call graph.
+
+These rules consume the project-level :mod:`~repro.analysis.callgraph`
+shared through the analysis context, so they see *execution context*
+(coroutine vs. worker thread vs. forked process) rather than just
+syntax.  The bug classes they target are exactly the ones that break
+the serve stack's bitwise-reproducibility contract:
+
+* **SWD009** — a coroutine reaches a blocking primitive (``time.sleep``,
+  sync file/socket IO, bare ``Lock.acquire``, blocking ``queue.get``)
+  directly or through a synchronous call chain with no executor hop;
+  every millisecond spent there stalls *all* connections on the loop.
+* **SWD010** — a method of a lock-owning class stores to ``self``
+  outside a ``with self._lock`` block: the class declared its state
+  shared by owning a lock, then mutated it off-lock.
+* **SWD011** — a resource that owes a cleanup call leaks: bare
+  ``create_task(...)`` with the handle dropped, an executor/pool/
+  socket/file bound to a name that is never closed, returned, or
+  handed off.
+* **SWD012** — a process spawn that can inherit poisoned state: fork
+  after thread/event-loop creation in the same function, or fork from
+  coroutine/worker-thread context.
+* **SWD013** — a coroutine object built and dropped (never awaited,
+  never made a task), or ``asyncio.shield`` wrapped around a *fresh*
+  coroutine call so cancellation orphans the only reference.
+
+Suppression follows the house syntax (``# swd-ok: SWD010 -- reason``);
+SWD010 specifically expects the reason to state the documented
+ownership model that replaces the lock (e.g. "engines are leased
+thread-exclusively").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .callgraph import CallGraph, FunctionInfo
+from .core import Finding, Rule, SourceModule, dotted_name
+
+__all__ = [
+    "AsyncBlockingRule",
+    "CoroutineMisuseRule",
+    "ForkSafetyRule",
+    "ResourceLifecycleRule",
+    "UnlockedSharedStateRule",
+]
+
+
+def _graph(context) -> CallGraph | None:
+    return getattr(context, "call_graph", None)
+
+
+def _module_functions(graph: CallGraph,
+                      module: SourceModule) -> Iterator[FunctionInfo]:
+    for info in graph.functions.values():
+        if info.module == module.name:
+            yield info
+
+
+def _walk_own(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` limited to this function — nested defs excluded."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+# ----------------------------------------------------------------------
+# SWD009 — blocking call reachable from a coroutine
+# ----------------------------------------------------------------------
+
+class AsyncBlockingRule(Rule):
+    id = "SWD009"
+    name = "blocking-call-in-async"
+    severity = "warning"
+    hint = ("hop blocking work off the loop — `await asyncio.to_thread("
+            "...)` / `run_in_executor` — or use the async API")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        graph = _graph(context)
+        config = context.config
+        if graph is None or module.tree is None:
+            return
+        if not config.in_scope(module.rel, config.async_scope):
+            return
+        for info in _module_functions(graph, module):
+            if not info.is_async:
+                continue
+            for node, reason in graph.blocking_sites.get(info.qname, ()):
+                yield self.finding(
+                    module, node,
+                    f"coroutine `{info.name}` blocks the event loop: "
+                    f"{reason}")
+            for edge in graph.out_edges.get(info.qname, ()):
+                if edge.kind != "call":
+                    continue
+                callee = graph.functions.get(edge.callee)
+                if callee is None or callee.is_async:
+                    continue
+                chain = graph.blocking_chain(edge.callee)
+                if chain is None:
+                    continue
+                hops = " -> ".join((f"{callee.name}()",) + chain)
+                yield self.finding(
+                    module, edge.node,
+                    f"coroutine `{info.name}` reaches blocking work "
+                    f"through a synchronous call chain: {hops}")
+
+
+# ----------------------------------------------------------------------
+# SWD010 — lock-owning class mutating state off-lock
+# ----------------------------------------------------------------------
+
+class UnlockedSharedStateRule(Rule):
+    id = "SWD010"
+    name = "unlocked-shared-state"
+    severity = "warning"
+    hint = ("wrap the store in `with self.<lock>:`, move it to a "
+            "`*_locked` helper called under the lock, or document the "
+            "ownership model in a `# swd-ok: SWD010 -- ...` reason")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        graph = _graph(context)
+        config = context.config
+        if graph is None or module.tree is None:
+            return
+        if not config.in_scope(module.rel, config.lock_scope):
+            return
+        for cls in graph.classes.values():
+            if cls.module != module.name or not cls.lock_attrs:
+                continue
+            for method_name, method_q in cls.methods.items():
+                if method_name == "__init__" \
+                        or method_name.endswith("_locked"):
+                    continue
+                info = graph.functions.get(method_q)
+                if info is None:
+                    continue
+                yield from self._check_method(module, cls, info)
+
+    def _check_method(self, module: SourceModule, cls,
+                      info: FunctionInfo) -> Iterator[Finding]:
+        lock_attrs = cls.lock_attrs
+
+        def holds_lock(item: ast.withitem) -> bool:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):        # with self._lock.acquire()?
+                expr = expr.func
+            name = dotted_name(expr) or ""
+            parts = name.split(".")
+            return len(parts) >= 2 and parts[0] == "self" \
+                and any(part in lock_attrs for part in parts[1:])
+
+        def visit(node: ast.AST, locked: bool) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not info.node:
+                return
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inner = locked or any(holds_lock(i) for i in node.items)
+                for item in node.items:
+                    yield from visit(item, locked)
+                for child in node.body:
+                    yield from visit(child, inner)
+                return
+            if not locked and isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    base = target
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    if isinstance(base, ast.Attribute) \
+                            and isinstance(base.value, ast.Name) \
+                            and base.value.id == "self" \
+                            and base.attr not in lock_attrs:
+                        yield self.finding(
+                            module, node,
+                            f"`{cls.name}.{info.name}` stores to "
+                            f"`self.{base.attr}` without holding "
+                            f"`self.{sorted(lock_attrs)[0]}` — the class "
+                            f"owns a lock, so its state is shared")
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, locked)
+
+        for stmt in info.node.body:
+            yield from visit(stmt, False)
+
+
+# ----------------------------------------------------------------------
+# SWD011 — leaked task / resource lifecycle
+# ----------------------------------------------------------------------
+
+#: Constructor name tails that create a resource owing a cleanup call.
+_RESOURCE_CTOR_TAILS = {
+    "ThreadPoolExecutor": "shutdown",
+    "ProcessPoolExecutor": "shutdown",
+    "Pool": "close",
+    "socket": "close",
+}
+_CLEANUP_METHODS = frozenset({
+    "close", "shutdown", "terminate", "stop", "cancel", "join",
+    "disconnect", "release", "aclose",
+})
+_TASK_SPAWN_TAILS = frozenset({"create_task", "ensure_future"})
+
+
+class ResourceLifecycleRule(Rule):
+    id = "SWD011"
+    name = "leaked-resource"
+    severity = "warning"
+    hint = ("use `with`, keep the handle and clean it up on every "
+            "path, or store it on `self` with a class-wide shutdown")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        graph = _graph(context)
+        config = context.config
+        if graph is None or module.tree is None:
+            return
+        if not config.in_scope(module.rel, config.lifecycle_scope):
+            return
+        cleaned_attrs = self._cleaned_self_attrs(module)
+        for info in _module_functions(graph, module):
+            yield from self._check_function(module, info, cleaned_attrs)
+
+    @staticmethod
+    def _cleaned_self_attrs(module: SourceModule) -> set[str]:
+        """``self.X`` attrs some method calls/references cleanup on."""
+        cleaned: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) \
+                    and node.attr in _CLEANUP_METHODS \
+                    and isinstance(node.value, ast.Attribute) \
+                    and isinstance(node.value.value, ast.Name) \
+                    and node.value.value.id == "self":
+                cleaned.add(node.value.attr)
+        return cleaned
+
+    def _check_function(self, module: SourceModule, info: FunctionInfo,
+                        cleaned_attrs: set[str]) -> Iterator[Finding]:
+        body_nodes = list(_walk_own(info.node))
+
+        # Bare `create_task(...)` expression statements: handle dropped.
+        for node in body_nodes:
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                call_name = dotted_name(node.value.func) or ""
+                if call_name.split(".")[-1] in _TASK_SPAWN_TAILS:
+                    yield self.finding(
+                        module, node.value,
+                        "task handle dropped — the event loop keeps only "
+                        "a weak reference, so the task can be collected "
+                        "mid-flight and its exception is never observed")
+
+        # Locals bound to a resource constructor, never cleaned up.
+        escapes = self._escaped_names(body_nodes)
+        for node in body_nodes:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            ctor_name = dotted_name(node.value.func) or ""
+            tail = ctor_name.split(".")[-1]
+            if tail not in _RESOURCE_CTOR_TAILS and ctor_name != "open":
+                continue
+            local = node.targets[0].id
+            if local in escapes:
+                continue
+            what = tail if tail in _RESOURCE_CTOR_TAILS else "open"
+            cleanup = _RESOURCE_CTOR_TAILS.get(tail, "close")
+            yield self.finding(
+                module, node.value,
+                f"`{local}` holds a `{what}(...)` resource that is never "
+                f"`.{cleanup}()`d, returned, or handed off in "
+                f"`{info.name}`")
+
+        # `self.X = Ctor(...)` with no class-wide cleanup on self.X.
+        for node in body_nodes:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and isinstance(node.targets[0].value, ast.Name)
+                    and node.targets[0].value.id == "self"
+                    and isinstance(node.value, ast.Call)):
+                continue
+            ctor_name = dotted_name(node.value.func) or ""
+            tail = ctor_name.split(".")[-1]
+            if tail not in _RESOURCE_CTOR_TAILS and ctor_name != "open":
+                continue
+            attr = node.targets[0].attr
+            if attr in cleaned_attrs:
+                continue
+            yield self.finding(
+                module, node.value,
+                f"`self.{attr}` holds a `{tail or 'open'}(...)` resource "
+                f"but no method of the class ever cleans it up")
+
+    @staticmethod
+    def _escaped_names(body_nodes: list[ast.AST]) -> set[str]:
+        """Names whose resource provably reaches a cleanup or owner."""
+        escapes: set[str] = set()
+        for node in body_nodes:
+            if isinstance(node, ast.Attribute) \
+                    and node.attr in _CLEANUP_METHODS \
+                    and isinstance(node.value, ast.Name):
+                escapes.add(node.value.id)
+            elif isinstance(node, (ast.Return, ast.Yield)) \
+                    and isinstance(node.value, ast.Name):
+                escapes.add(node.value.id)
+            elif isinstance(node, ast.Call):
+                for arg in list(node.args) + [kw.value for kw in
+                                              node.keywords]:
+                    if isinstance(arg, ast.Name):
+                        escapes.add(arg.id)
+            elif isinstance(node, ast.Assign):
+                # `self.x = pool` or container store hands ownership off.
+                if isinstance(node.value, ast.Name):
+                    escapes.add(node.value.id)
+            elif isinstance(node, (ast.Tuple, ast.List, ast.Dict)):
+                for element in ast.iter_child_nodes(node):
+                    if isinstance(element, ast.Name):
+                        escapes.add(element.id)
+        return escapes
+
+
+# ----------------------------------------------------------------------
+# SWD012 — fork safety
+# ----------------------------------------------------------------------
+
+_FORK_SPAWN_TAILS = frozenset({"Process", "ProcessPoolExecutor"})
+_THREAD_CTOR_TAILS = frozenset({"Thread", "ThreadPoolExecutor", "Timer"})
+_LOOP_CALL_TAILS = frozenset({
+    "run", "get_event_loop", "new_event_loop", "run_until_complete",
+    "run_forever",
+})
+
+
+class ForkSafetyRule(Rule):
+    id = "SWD012"
+    name = "fork-safety"
+    severity = "warning"
+    hint = ("spawn worker processes before creating threads or event "
+            "loops, and never from coroutine/worker-thread context — "
+            "forked children inherit locks and loop state mid-flight")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        graph = _graph(context)
+        config = context.config
+        if graph is None or module.tree is None:
+            return
+        if not config.in_scope(module.rel, config.fork_scope):
+            return
+        thread_ctx = graph.thread_context()
+        for info in _module_functions(graph, module):
+            forks = []
+            threads_before: list[ast.Call] = []
+            loops_before: list[ast.Call] = []
+            for node in _walk_own(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func) or ""
+                tail = name.split(".")[-1]
+                if tail in _FORK_SPAWN_TAILS:
+                    forks.append(node)
+                elif tail in _THREAD_CTOR_TAILS:
+                    threads_before.append(node)
+                elif tail in _LOOP_CALL_TAILS and (
+                        name.startswith("asyncio.")
+                        or name.startswith("loop.")):
+                    loops_before.append(node)
+            if not forks:
+                continue
+            for fork in forks:
+                earlier_threads = [t for t in threads_before
+                                   if t.lineno < fork.lineno]
+                earlier_loops = [l for l in loops_before
+                                 if l.lineno < fork.lineno]
+                if earlier_threads:
+                    yield self.finding(
+                        module, fork,
+                        f"`{info.name}` forks a process after creating a "
+                        f"thread (line {earlier_threads[0].lineno}) — the "
+                        f"child inherits lock/loop state mid-flight")
+                if earlier_loops:
+                    yield self.finding(
+                        module, fork,
+                        f"`{info.name}` forks a process after touching an "
+                        f"event loop (line {earlier_loops[0].lineno})")
+                if info.is_async or info.qname in thread_ctx:
+                    where = ("a coroutine" if info.is_async
+                             else "worker-thread context")
+                    yield self.finding(
+                        module, fork,
+                        f"`{info.name}` spawns a process from {where} — "
+                        f"fork start methods capture thread state")
+
+
+# ----------------------------------------------------------------------
+# SWD013 — unawaited / shielded coroutine misuse
+# ----------------------------------------------------------------------
+
+class CoroutineMisuseRule(Rule):
+    id = "SWD013"
+    name = "coroutine-misuse"
+    severity = "error"
+    hint = ("await the coroutine, or wrap it in `create_task` and keep "
+            "the handle; shield a *stored* task, never a fresh call")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        graph = _graph(context)
+        config = context.config
+        if graph is None or module.tree is None:
+            return
+        if not config.in_scope(module.rel, config.async_scope):
+            return
+        for info in _module_functions(graph, module):
+            discarded = {
+                id(node.value) for node in _walk_own(info.node)
+                if isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+            }
+            for edge in graph.out_edges.get(info.qname, ()):
+                if edge.kind != "call" or edge.awaited:
+                    continue
+                callee = graph.functions.get(edge.callee)
+                if callee is None or not callee.is_async:
+                    continue
+                if id(edge.node) in discarded:
+                    yield self.finding(
+                        module, edge.node,
+                        f"`{info.name}` builds coroutine "
+                        f"`{callee.name}()` and drops it — it never "
+                        f"runs and raises `RuntimeWarning: coroutine "
+                        f"was never awaited`")
+            for node in _walk_own(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func) or ""
+                if name.split(".")[-1] != "shield":
+                    continue
+                if node.args and isinstance(node.args[0], ast.Call):
+                    yield self.finding(
+                        module, node,
+                        f"`{info.name}` shields a fresh coroutine call — "
+                        f"on cancellation the inner task keeps running "
+                        f"with no reference left to observe it")

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from .callgraph import CallGraph, build_call_graph
 from .config import AnalysisConfig, DEFAULT_CONFIG
 from .core import (
     SYNTAX_RULE_ID,
@@ -14,10 +15,18 @@ from .core import (
     ModuleInfo,
     Rule,
     SourceModule,
+    UnusedSuppression,
     assign_occurrences,
     iter_python_files,
 )
 from .rules_alias import AliasHazardRule
+from .rules_concurrency import (
+    AsyncBlockingRule,
+    CoroutineMisuseRule,
+    ForkSafetyRule,
+    ResourceLifecycleRule,
+    UnlockedSharedStateRule,
+)
 from .rules_config import ConfigCoherenceRule
 from .rules_exports import ExportCoherenceRule, build_module_index
 from .rules_numeric import DtypeDriftRule, NumericSafetyRule
@@ -37,6 +46,11 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ExportCoherenceRule,
     ExceptionSwallowRule,
     WallClockDurationRule,
+    AsyncBlockingRule,
+    UnlockedSharedStateRule,
+    ResourceLifecycleRule,
+    ForkSafetyRule,
+    CoroutineMisuseRule,
 )
 
 
@@ -52,6 +66,7 @@ class AnalysisContext:
     root: Path
     modules: list[SourceModule] = field(default_factory=list)
     module_index: dict[str, ModuleInfo] = field(default_factory=dict)
+    call_graph: CallGraph | None = None
 
 
 def run_analysis(paths: Sequence[Path | str], *,
@@ -79,6 +94,7 @@ def run_analysis(paths: Sequence[Path | str], *,
     for path in iter_python_files([Path(p) for p in paths]):
         context.modules.append(SourceModule.load(path, root))
     context.module_index = build_module_index(context.modules)
+    context.call_graph = build_call_graph(context.modules)
 
     findings: list[Finding] = []
     suppressed = 0
@@ -100,6 +116,27 @@ def run_analysis(paths: Sequence[Path | str], *,
                 else:
                     findings.append(finding)
 
+    # Suppressions that excused nothing this run are stale: the debt
+    # they covered is gone, so the comment must go too (otherwise it
+    # would silently mask the next, unrelated violation on that line).
+    # Only records naming at least one *active* rule can be judged —
+    # a `--select` subset must not condemn the rest of the catalog.
+    active_ids = {rule.id for rule in active} | {SYNTAX_RULE_ID}
+    unused: list[UnusedSuppression] = []
+    for module in context.modules:
+        if module.syntax_error is not None:
+            continue
+        for record in module.suppressions:
+            relevant = ("ALL" in record.rules
+                        or bool(set(record.rules) & active_ids))
+            if relevant and not record.used:
+                unused.append(UnusedSuppression(
+                    path=module.rel, line=record.lineno,
+                    rules=tuple(sorted(record.rules)),
+                    reason=record.reason))
+    unused.sort(key=lambda u: (u.path, u.line))
+
     return AnalysisResult(findings=assign_occurrences(findings),
                           files_analyzed=len(context.modules),
-                          suppressed=suppressed)
+                          suppressed=suppressed,
+                          unused_suppressions=unused)

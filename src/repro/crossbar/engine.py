@@ -706,7 +706,6 @@ def _execute_batched(engine: TileEngine, x: np.ndarray) -> np.ndarray:
     # --- Wires: input-dependent droop + neighbour sneak coupling ------
     with (trace_span("vmm.wires") if traced else _NULL):
         worst_case = np.multiply(engine._wc_base, scale, out=ws.wc)
-        # swd-ok: SWD005 -- rows >= 1, w_max floored at 1e-9, scale at 1e-12
         np.divide(y, worst_case, out=ws.lf)
         y *= dynamic_droop(ws.lf, engine._rows3,
                            config.wire, config.device, out=ws.lf)

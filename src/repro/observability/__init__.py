@@ -14,7 +14,11 @@ Three pieces:
 * :mod:`~repro.observability.metrics` — counters, gauges, and bounded
   histograms (p50/p95/p99) with a Prometheus text exporter;
 * :mod:`~repro.observability.report` — the ``python -m
-  repro.observability report`` flame table over a trace file.
+  repro.observability report`` flame table over a trace file;
+* :mod:`~repro.observability.sanitize` — the opt-in
+  ``SWORDFISH_SANITIZE=1`` concurrency sanitizer (event-loop blocking
+  watchdog + DeployedModel lock-coverage guards) that cross-validates
+  the static SWD009/SWD010 rules at run time.
 
 Everything here is *bitwise-neutral*: no RNG streams are consumed, no
 cache keys change, and results with tracing on are identical to
@@ -36,6 +40,15 @@ from .report import (
     load_span_events,
     render_flame_table,
 )
+from .sanitize import (
+    ENV_SANITIZE,
+    ENV_SANITIZE_BLOCK_MS,
+    ENV_SANITIZE_LOG,
+    LoopBlockMonitor,
+    MutationGuard,
+    guard_deployed,
+    sanitize_enabled,
+)
 from .tracer import (
     ENV_TRACE,
     ENV_TRACE_FILE,
@@ -49,11 +62,16 @@ from .tracer import (
 
 __all__ = [
     "Counter",
+    "ENV_SANITIZE",
+    "ENV_SANITIZE_BLOCK_MS",
+    "ENV_SANITIZE_LOG",
     "ENV_TRACE",
     "ENV_TRACE_FILE",
     "Gauge",
     "Histogram",
+    "LoopBlockMonitor",
     "MetricsRegistry",
+    "MutationGuard",
     "NullSpan",
     "Span",
     "SpanRow",
@@ -62,9 +80,11 @@ __all__ = [
     "build_flame_table",
     "get_metrics",
     "get_tracer",
+    "guard_deployed",
     "labelset",
     "load_span_events",
     "render_flame_table",
+    "sanitize_enabled",
     "trace_span",
     "tracing_enabled",
     "wall_now",

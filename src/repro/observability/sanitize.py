@@ -1,0 +1,293 @@
+"""Opt-in concurrency sanitizer: the runtime half of SWD009/SWD010.
+
+The static rules in :mod:`repro.analysis` prove properties about call
+*sites*; this module watches the same properties at run time so the
+two cross-validate — a blocking call the call graph missed still
+trips the loop monitor, and a loop monitor report with no matching
+SWD009 finding means the rule family has a hole.
+
+Enable with ``SWORDFISH_SANITIZE=1`` (the serve CI job runs the full
+test suite this way).  Like tracing, the sanitizer is bitwise-neutral:
+it never consumes RNG streams or touches cache keys, so sanitized
+results are identical to unsanitized ones.
+
+Two detectors:
+
+* :class:`LoopBlockMonitor` — a watchdog thread heartbeats the asyncio
+  event loop via ``call_soon_threadsafe``; if the beat does not land
+  within ``SWORDFISH_SANITIZE_BLOCK_MS`` (default 250), something is
+  blocking the loop.  The monitor snapshots the loop thread's stack
+  (``sys._current_frames``) so the report names the offending frame,
+  and exports each stall as a JSONL event shaped like trace events
+  (``{"event": "loop_block", "ts": ..., ...}``) — appended to
+  ``SWORDFISH_SANITIZE_LOG`` when set, always kept in memory.
+
+* :class:`MutationGuard` — wraps an object's mutating methods and
+  records a violation whenever two threads are inside a guarded
+  method *concurrently*.  This is exactly lock-coverage checking
+  without needing to know which lock: if every caller serialized
+  through ``DeployedModel.lock`` (or the engine-leasing discipline),
+  overlap is impossible; any overlap means a caller mutated shared
+  state off-lock.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import sys
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any
+
+from .clock import wall_now
+
+__all__ = [
+    "ENV_SANITIZE",
+    "ENV_SANITIZE_BLOCK_MS",
+    "ENV_SANITIZE_LOG",
+    "LoopBlockMonitor",
+    "MutationGuard",
+    "guard_deployed",
+    "sanitize_enabled",
+]
+
+ENV_SANITIZE = "SWORDFISH_SANITIZE"
+ENV_SANITIZE_BLOCK_MS = "SWORDFISH_SANITIZE_BLOCK_MS"
+ENV_SANITIZE_LOG = "SWORDFISH_SANITIZE_LOG"
+
+_FALSEY = frozenset({"", "0", "false", "off", "no"})
+
+#: DeployedModel methods that mutate shared RNG/tile state.
+DEPLOYED_MUTATORS = ("rng_restore",)
+
+
+def sanitize_enabled() -> bool:
+    """Is ``SWORDFISH_SANITIZE`` set to a truthy value?"""
+    return os.environ.get(ENV_SANITIZE, "").strip().lower() not in _FALSEY
+
+
+def _default_threshold_s() -> float:
+    raw = os.environ.get(ENV_SANITIZE_BLOCK_MS, "").strip()
+    try:
+        ms = float(raw) if raw else 250.0
+    except ValueError:
+        ms = 250.0
+    return max(ms, 1.0) / 1000.0
+
+
+class _JsonlWriter:
+    """Append-only JSONL sink shared by both detectors (whole lines,
+    single lock — safe for concurrent reporters)."""
+
+    def __init__(self, path: str | Path | None):
+        self._path = Path(path) if path else None
+        self._lock = threading.Lock()
+        self._fh = None
+
+    def write(self, event: dict) -> None:
+        if self._path is None:
+            return
+        line = json.dumps(event, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._fh is None:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self._path.open("a", encoding="utf-8")
+            self._fh.write(line)
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+class LoopBlockMonitor:
+    """Watchdog thread that detects blocking calls on an event loop."""
+
+    def __init__(self, threshold_s: float | None = None,
+                 log_path: str | Path | None = None,
+                 max_frames: int = 12):
+        self.threshold_s = (threshold_s if threshold_s is not None
+                            else _default_threshold_s())
+        self.max_frames = max_frames
+        self._writer = _JsonlWriter(
+            log_path if log_path is not None
+            else os.environ.get(ENV_SANITIZE_LOG, "").strip() or None)
+        self._mu = threading.Lock()
+        self._reports: list[dict] = []
+        self._stop = threading.Event()
+        self._loop = None
+        self._loop_ident: int | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def install(self, loop) -> "LoopBlockMonitor":
+        """Start watching ``loop``; call from any thread."""
+        with self._mu:
+            if self._thread is not None:
+                return self
+            self._loop = loop
+            self._stop.clear()
+            thread = threading.Thread(
+                target=self._watch, name="swordfish-sanitize", daemon=True)
+            self._thread = thread
+        thread.start()
+        return self
+
+    def uninstall(self) -> None:
+        self._stop.set()
+        with self._mu:
+            thread, self._thread = self._thread, None
+        # Joined outside the lock: the watchdog takes it to record.
+        if thread is not None:
+            thread.join(timeout=self.threshold_s * 8 + 1.0)
+        self._writer.close()
+
+    @property
+    def reports(self) -> list[dict]:
+        with self._mu:
+            return list(self._reports)
+
+    # ------------------------------------------------------------------
+    def _watch(self) -> None:
+        beat = threading.Event()
+
+        def heartbeat() -> None:
+            self._loop_ident = threading.get_ident()
+            beat.set()
+
+        while not self._stop.is_set():
+            beat.clear()
+            start = time.perf_counter()
+            try:
+                self._loop.call_soon_threadsafe(heartbeat)
+            except RuntimeError:        # loop closed under us
+                return
+            if not beat.wait(self.threshold_s) and not self._stop.is_set():
+                frames = self._capture_frames()
+                stall_s = time.perf_counter() - start
+                self._record(stall_s, frames)
+                # Let the stall clear before probing again, so one
+                # long block produces one report, not a burst.
+                beat.wait(self.threshold_s * 8)
+            self._stop.wait(self.threshold_s / 2)
+
+    def _capture_frames(self) -> list[str]:
+        ident = self._loop_ident
+        if ident is None:
+            return []
+        frame = sys._current_frames().get(ident)
+        if frame is None:
+            return []
+        stack = traceback.extract_stack(frame)[-self.max_frames:]
+        return [f"{fs.filename}:{fs.lineno} in {fs.name}" for fs in stack]
+
+    def _record(self, stall_s: float, frames: list[str]) -> None:
+        event = {
+            "event": "loop_block",
+            "ts": round(wall_now(), 6),
+            "stall_ms": round(stall_s * 1000.0, 3),
+            "threshold_ms": round(self.threshold_s * 1000.0, 3),
+            "frames": frames,
+        }
+        with self._mu:
+            self._reports.append(event)
+        self._writer.write(event)
+
+
+class MutationGuard:
+    """Overlap detector for methods that mutate shared state.
+
+    Wrap the mutators with :meth:`guard`; a violation is recorded when
+    two threads are inside guarded sections of the same instance at
+    the same time.  Properly lock-covered (or lease-serialized)
+    callers can never overlap, so every violation is a real coverage
+    hole.
+    """
+
+    def __init__(self, name: str = "shared",
+                 log_path: str | Path | None = None):
+        self.name = name
+        self._mu = threading.Lock()
+        self._active: dict[int, str] = {}      # thread ident -> method
+        self._violations: list[dict] = []
+        self._writer = _JsonlWriter(
+            log_path if log_path is not None
+            else os.environ.get(ENV_SANITIZE_LOG, "").strip() or None)
+
+    @property
+    def violations(self) -> list[dict]:
+        with self._mu:
+            return list(self._violations)
+
+    def guard(self, method: str):
+        return _GuardContext(self, method)
+
+    def wrap(self, obj: Any, method_names: tuple[str, ...]) -> "MutationGuard":
+        """Monkeypatch ``obj``'s methods to run inside the guard."""
+        for attr in method_names:
+            original = getattr(obj, attr, None)
+            if original is None:
+                continue
+
+            def wrapped(*args: Any, _original=original, _name=attr,
+                        **kwargs: Any):
+                with self.guard(_name):
+                    return _original(*args, **kwargs)
+
+            functools.update_wrapper(wrapped, original)
+            setattr(obj, attr, wrapped)
+        return self
+
+    # ------------------------------------------------------------------
+    def _enter(self, method: str) -> None:
+        ident = threading.get_ident()
+        with self._mu:
+            others = {tid: m for tid, m in self._active.items()
+                      if tid != ident}
+            if others:
+                event = {
+                    "event": "mutation_overlap",
+                    "ts": round(wall_now(), 6),
+                    "name": self.name,
+                    "method": method,
+                    "thread": threading.current_thread().name,
+                    "concurrent_with": sorted(others.values()),
+                }
+                self._violations.append(event)
+                self._writer.write(event)
+            self._active[ident] = method
+
+    def _exit(self) -> None:
+        ident = threading.get_ident()
+        with self._mu:
+            self._active.pop(ident, None)
+
+
+class _GuardContext:
+    __slots__ = ("_guard", "_method")
+
+    def __init__(self, guard: MutationGuard, method: str):
+        self._guard = guard
+        self._method = method
+
+    def __enter__(self) -> "_GuardContext":
+        self._guard._enter(self._method)
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._guard._exit()
+        return False
+
+
+def guard_deployed(deployed: Any, name: str = "DeployedModel",
+                   log_path: str | Path | None = None) -> MutationGuard:
+    """Guard a DeployedModel's RNG-mutating methods against off-lock
+    concurrent mutation (the SWD010 contract, checked at run time)."""
+    guard = MutationGuard(name=name, log_path=log_path)
+    return guard.wrap(deployed, DEPLOYED_MUTATORS)

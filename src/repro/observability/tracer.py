@@ -144,7 +144,9 @@ class Tracer:
         self._env_raw: str | None = None
         self._env_enabled = False
         self._env_path: str | None = None
-        self._lock = threading.Lock()
+        # Re-entrant: the flush path re-reads `path` (and thus may
+        # refresh the env cache) while already holding the lock.
+        self._lock = threading.RLock()
         self._local = threading.local()
         self._buffer: list[dict] = []
         self._fh = None
@@ -157,15 +159,21 @@ class Tracer:
     # ------------------------------------------------------------------
     def _refresh_env(self) -> None:
         raw = os.environ.get(ENV_TRACE, "")
-        if raw == self._env_raw:
-            return
-        self._env_raw = raw
-        value = raw.strip()
-        self._env_enabled = value.lower() not in _FALSEY
-        if self._env_enabled and _is_pathlike(value):
-            self._env_path = value
-        else:
-            self._env_path = os.environ.get(ENV_TRACE_FILE, "").strip() or None
+        if raw == self._env_raw:       # unlocked fast path: hot spans
+            return                     # only read an immutable str
+        with self._lock:
+            if raw == self._env_raw:   # double-checked under the lock
+                return
+            value = raw.strip()
+            self._env_enabled = value.lower() not in _FALSEY
+            if self._env_enabled and _is_pathlike(value):
+                self._env_path = value
+            else:
+                self._env_path = (os.environ.get(ENV_TRACE_FILE, "").strip()
+                                  or None)
+            # Published last: readers that see the new raw string also
+            # see the matching enabled/path pair.
+            self._env_raw = raw
 
     @property
     def enabled(self) -> bool:
@@ -198,14 +206,17 @@ class Tracer:
 
     def _ensure_process(self) -> None:
         """After a fork the child must not replay the parent's state."""
-        if os.getpid() == self._pid:
+        if os.getpid() == self._pid:   # unlocked fast path (hot)
             return
-        self._pid = os.getpid()
-        self._buffer = []
-        self._fh = None
-        self._local = threading.local()
-        self._ids = itertools.count(1)
-        self.dropped = 0
+        with self._lock:
+            if os.getpid() == self._pid:
+                return
+            self._buffer = []
+            self._fh = None
+            self._local = threading.local()
+            self._ids = itertools.count(1)
+            self.dropped = 0
+            self._pid = os.getpid()    # published last (see above)
 
     def _open(self, span: Span) -> None:
         self._ensure_process()

@@ -104,7 +104,10 @@ def build_model(args: argparse.Namespace) -> BonitoModel:
 
 
 async def _run(args: argparse.Namespace) -> int:
-    model = build_model(args)
+    # Checkpoint loading is synchronous numpy file IO; build the model
+    # off-loop so a supervisor embedding this coroutine (or a future
+    # multi-server process) is not frozen for the whole np.load.
+    model = await asyncio.to_thread(build_model, args)
     engine_config = EngineConfig(
         bundle=args.bundle,
         crossbar_size=args.crossbar_size,

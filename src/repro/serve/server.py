@@ -44,7 +44,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..basecaller import BonitoModel
-from ..observability import get_metrics, trace_span
+from ..observability import (
+    LoopBlockMonitor,
+    MutationGuard,
+    get_metrics,
+    guard_deployed,
+    sanitize_enabled,
+    trace_span,
+)
 from ..reliability import DivergenceError
 from ..runtime import ResultCache
 from .batcher import CoalescingBatcher, PendingRead
@@ -155,6 +162,11 @@ class BasecallServer:
         )
         self.metrics = get_metrics()
         self.port: int | None = None
+        # SWORDFISH_SANITIZE=1: loop-blocking watchdog + lock-coverage
+        # guards on every engine's DeployedModel (see observability
+        # docs); both are bitwise-neutral and None/empty when off.
+        self._sanitizer: LoopBlockMonitor | None = None
+        self._mutation_guards: list[MutationGuard] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -162,6 +174,8 @@ class BasecallServer:
     async def start(self) -> None:
         """Deploy the worker engines and begin accepting connections."""
         loop = asyncio.get_running_loop()
+        if sanitize_enabled():
+            self._sanitizer = LoopBlockMonitor().install(loop)
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers,
             thread_name_prefix="serve-worker")
@@ -179,8 +193,15 @@ class BasecallServer:
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
 
     def _build_engine(self) -> BasecallEngine:
-        return BasecallEngine(self._model, self.engine_config,
-                              cache=self._cache)
+        engine = BasecallEngine(self._model, self.engine_config,
+                                cache=self._cache)
+        if sanitize_enabled():
+            # Engines are leased thread-exclusively, so their deployed
+            # models must never see overlapping mutation; the guard
+            # turns a broken lease into a shutdown-time error.
+            self._mutation_guards.append(guard_deployed(
+                engine.deployed, name="DeployedModel[serve-engine]"))
+        return engine
 
     async def shutdown(self, drain: bool = True) -> None:
         """Graceful drain: finish accepted work, flush, then close."""
@@ -210,7 +231,30 @@ class BasecallServer:
             self._close_transport(conn)
         self._conns.clear()
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            # Joining worker threads can take as long as the slowest
+            # in-flight batch; hop it off the loop so a parallel server
+            # (tests run several) never stalls on this one's teardown.
+            await asyncio.to_thread(self._pool.shutdown, True)
+        if self._sanitizer is not None:
+            self._sanitizer.uninstall()
+        violations = [v for guard in self._mutation_guards
+                      for v in guard.violations]
+        if violations:
+            raise RuntimeError(
+                f"sanitizer: {len(violations)} off-lock DeployedModel "
+                f"mutation(s) detected — engine leasing is broken: "
+                f"{violations[:3]}")
+
+    def sanitizer_report(self) -> dict:
+        """Loop-block reports and mutation overlaps (sanitize mode)."""
+        return {
+            "enabled": (self._sanitizer is not None
+                        or bool(self._mutation_guards)),
+            "loop_blocks": (self._sanitizer.reports
+                            if self._sanitizer is not None else []),
+            "mutation_overlaps": [v for guard in self._mutation_guards
+                                  for v in guard.violations],
+        }
 
     async def _wait_idle(self) -> None:
         """Wait until no read is pending or being computed."""

@@ -1,0 +1,18 @@
+"""SWD009 fixture: coroutines reach blocking primitives on the loop."""
+
+import asyncio
+import time
+
+
+def _flush(path, payload):
+    path.write_bytes(payload)
+
+
+async def nap_on_loop():
+    time.sleep(0.05)
+    await asyncio.sleep(0)
+
+
+async def drain(path, payload):
+    _flush(path, payload)
+    await asyncio.sleep(0)

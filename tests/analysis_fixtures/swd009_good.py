@@ -1,0 +1,21 @@
+"""SWD009 fixture: blocking work hops off the loop via an executor."""
+
+import asyncio
+import time
+
+
+def _flush(path, payload):
+    path.write_bytes(payload)
+    time.sleep(0.01)
+
+
+async def nap_off_loop():
+    await asyncio.sleep(0.05)
+
+
+async def drain(path, payload):
+    await asyncio.to_thread(_flush, path, payload)
+
+
+async def drain_via_executor(loop, path, payload):
+    await loop.run_in_executor(None, _flush, path, payload)

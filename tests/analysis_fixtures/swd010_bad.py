@@ -1,0 +1,17 @@
+"""SWD010 fixture: a lock-owning class mutates state off-lock."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def bump(self, amount):
+        self.total += amount
+
+    def reset(self):
+        with self._lock:
+            self.total = 0
+        self.note = "reset"

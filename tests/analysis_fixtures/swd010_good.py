@@ -1,0 +1,20 @@
+"""SWD010 fixture: every store happens under the class's own lock."""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def bump(self, amount):
+        with self._lock:
+            self.total += amount
+
+    def snapshot(self):
+        with self._lock:
+            return self.total
+
+    def _reset_locked(self):
+        self.total = 0

@@ -1,0 +1,23 @@
+"""SWD011 fixture: resources that owe a cleanup call leak."""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+
+async def _send(payload):
+    await asyncio.sleep(0)
+
+
+async def fire_and_forget(payload):
+    asyncio.create_task(_send(payload))
+
+
+def fan_out(jobs):
+    pool = ThreadPoolExecutor(2)
+    for job in jobs:
+        pool.submit(job)
+
+
+class Runner:
+    def __init__(self):
+        self._pool = ThreadPoolExecutor(2)

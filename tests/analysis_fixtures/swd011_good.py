@@ -1,0 +1,35 @@
+"""SWD011 fixture: every resource is kept, cleaned up, or handed off."""
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+
+async def _send(payload):
+    await asyncio.sleep(0)
+
+
+async def supervised(payload):
+    task = asyncio.create_task(_send(payload))
+    await task
+
+
+def fan_out(jobs):
+    pool = ThreadPoolExecutor(2)
+    try:
+        for job in jobs:
+            pool.submit(job)
+    finally:
+        pool.shutdown(False)
+
+
+def lease():
+    pool = ThreadPoolExecutor(2)
+    return pool
+
+
+class Runner:
+    def __init__(self):
+        self._pool = ThreadPoolExecutor(2)
+
+    def close(self):
+        self._pool.shutdown(False)

@@ -1,0 +1,28 @@
+"""SWD012 fixture: process spawns that inherit poisoned state."""
+
+import asyncio
+import multiprocessing
+import threading
+
+
+def thread_then_fork(work):
+    feeder = threading.Thread(target=work)
+    feeder.start()
+    child = multiprocessing.Process(target=work)
+    child.start()
+
+
+async def fork_from_coroutine(work):
+    child = multiprocessing.Process(target=work)
+    child.start()
+    await asyncio.sleep(0)
+
+
+def _pump(work):
+    child = multiprocessing.Process(target=work)
+    child.start()
+
+
+def start_pump(work):
+    feeder = threading.Thread(target=_pump, args=(work,))
+    feeder.start()

@@ -1,0 +1,16 @@
+"""SWD012 fixture: processes spawn first, from the main thread only."""
+
+import multiprocessing
+import threading
+
+
+def fork_then_thread(work):
+    child = multiprocessing.Process(target=work)
+    child.start()
+    feeder = threading.Thread(target=work)
+    feeder.start()
+
+
+def threads_only(work):
+    feeder = threading.Thread(target=work)
+    feeder.start()

@@ -1,0 +1,16 @@
+"""SWD013 fixture: coroutine objects built and dropped or mis-shielded."""
+
+import asyncio
+
+
+async def step():
+    await asyncio.sleep(0)
+
+
+async def run_all():
+    step()
+    await step()
+
+
+async def guarded(timeout):
+    return await asyncio.wait_for(asyncio.shield(step()), timeout)

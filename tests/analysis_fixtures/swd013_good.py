@@ -1,0 +1,22 @@
+"""SWD013 fixture: coroutines are awaited; shields wrap stored tasks."""
+
+import asyncio
+
+
+async def step():
+    await asyncio.sleep(0)
+
+
+async def run_all():
+    await step()
+    task = asyncio.create_task(step())
+    await task
+
+
+async def guarded(timeout):
+    task = asyncio.create_task(step())
+    try:
+        return await asyncio.wait_for(asyncio.shield(task), timeout)
+    except asyncio.TimeoutError:
+        task.cancel()
+        raise

@@ -40,6 +40,10 @@ WIDE_CONFIG = replace(
     numeric_exclude=(),
     swallow_scope=("",),
     perf_scope=("",),
+    async_scope=("",),
+    lock_scope=("",),
+    lifecycle_scope=("",),
+    fork_scope=("",),
 )
 
 
@@ -64,6 +68,11 @@ def rules_of(result) -> set[str]:
     ("SWD005", "swd005"),
     ("SWD007", "swd007"),
     ("SWD008", "swd008"),
+    ("SWD009", "swd009"),
+    ("SWD010", "swd010"),
+    ("SWD011", "swd011"),
+    ("SWD012", "swd012"),
+    ("SWD013", "swd013"),
 ])
 def test_bad_fixture_fires_rule(rule_id: str, stem: str):
     result = analyze(FIXTURES / f"{stem}_bad.py")
@@ -76,6 +85,7 @@ def test_bad_fixture_fires_rule(rule_id: str, stem: str):
 
 @pytest.mark.parametrize("stem", [
     "swd001", "swd002", "swd003", "swd004", "swd005", "swd007", "swd008",
+    "swd009", "swd010", "swd011", "swd012", "swd013",
 ])
 def test_good_fixture_is_clean(stem: str):
     result = analyze(FIXTURES / f"{stem}_good.py")
@@ -112,6 +122,65 @@ def test_swd007_scope_is_reliability_and_runtime_only():
     # layers it polices.
     result = analyze(FIXTURES / "swd007_bad.py", config=DEFAULT_CONFIG)
     assert "SWD007" not in rules_of(result)
+
+
+# ----------------------------------------------------------------------
+# Concurrency family (SWD009–SWD013): shape of the findings, not just
+# presence — the call graph must name the chain, the lock, the leak.
+# ----------------------------------------------------------------------
+
+def test_swd009_reports_direct_and_transitive():
+    result = analyze(FIXTURES / "swd009_bad.py")
+    messages = [finding.message for finding in result.findings]
+    assert len(messages) == 2
+    assert any("blocks the event loop" in m for m in messages)
+    assert any("synchronous call chain" in m and "_flush()" in m
+               for m in messages)
+
+
+def test_swd010_names_the_lock_and_the_attr():
+    result = analyze(FIXTURES / "swd010_bad.py")
+    assert len(result.findings) == 2
+    assert all("self._lock" in finding.message
+               for finding in result.findings)
+    attrs = {m.split("`")[3] for m in
+             (finding.message for finding in result.findings)}
+    assert attrs == {"self.total", "self.note"}
+
+
+def test_swd011_covers_tasks_locals_and_attrs():
+    result = analyze(FIXTURES / "swd011_bad.py")
+    messages = " | ".join(finding.message for finding in result.findings)
+    assert len(result.findings) == 3
+    assert "task handle dropped" in messages
+    assert "`pool` holds a `ThreadPoolExecutor(...)`" in messages
+    assert "`self._pool`" in messages
+
+
+def test_swd012_covers_order_coroutine_and_thread_context():
+    result = analyze(FIXTURES / "swd012_bad.py")
+    messages = " | ".join(finding.message for finding in result.findings)
+    assert len(result.findings) == 3
+    assert "after creating a thread" in messages
+    assert "from a coroutine" in messages
+    assert "worker-thread context" in messages
+
+
+def test_swd013_is_error_severity():
+    result = analyze(FIXTURES / "swd013_bad.py")
+    assert len(result.findings) == 2
+    assert {finding.severity for finding in result.findings} == {"error"}
+    messages = " | ".join(finding.message for finding in result.findings)
+    assert "drops it" in messages and "shields a fresh coroutine" in messages
+
+
+def test_concurrency_rules_respect_scopes():
+    # Under the real config the fixture paths match no concurrency
+    # scope, so the whole family stays silent outside src/repro et al.
+    for stem in ("swd009", "swd010", "swd011", "swd012", "swd013"):
+        result = analyze(FIXTURES / f"{stem}_bad.py", config=DEFAULT_CONFIG)
+        assert not rules_of(result) & {
+            "SWD009", "SWD010", "SWD011", "SWD012", "SWD013"}
 
 
 def test_select_and_ignore_filter_rules():
@@ -180,6 +249,70 @@ def test_all_keyword_suppresses_everything(tmp_path):
     ))
     result = run_analysis([target], root=tmp_path, config=WIDE_CONFIG)
     assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# Unused suppressions: a `# swd-ok` that matches no finding is debt
+# rot — it fails the run and blocks --write-baseline.
+# ----------------------------------------------------------------------
+
+def test_unused_suppression_is_reported(tmp_path):
+    target = _write(tmp_path, (
+        "def f(a, b):\n"
+        "    return a + b  # swd-ok: SWD005 -- no division here anymore\n"
+    ))
+    result = run_analysis([target], root=tmp_path, config=WIDE_CONFIG)
+    assert result.findings == []
+    assert len(result.unused_suppressions) == 1
+    entry = result.unused_suppressions[0]
+    assert entry.rules == ("SWD005",)
+    assert entry.line == 2
+    assert "no division" in entry.reason
+
+
+def test_used_suppression_is_not_reported(tmp_path):
+    target = _write(tmp_path, (
+        "def f(a, b):\n"
+        "    return a / b  # swd-ok: SWD005 -- caller checks b\n"
+    ))
+    result = run_analysis([target], root=tmp_path, config=WIDE_CONFIG)
+    assert result.suppressed == 1
+    assert result.unused_suppressions == []
+
+
+def test_unused_suppression_fails_cli(tmp_path, capsys):
+    target = _write(tmp_path, "VALUE = 1  # swd-ok: SWD008 -- stale\n")
+    code = main([str(target), "--no-baseline", "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "unused suppressions" in out
+    assert "FAILED" in out
+
+
+def test_write_baseline_refuses_unused_suppressions(tmp_path, capsys):
+    target = _write(tmp_path, (
+        "import numpy as np\n"
+        "x = np.random.normal()\n"
+        "y = 1  # swd-ok: SWD005 -- stale excuse\n"
+    ))
+    code = main([str(target), "--write-baseline", "--root", str(tmp_path)])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "refusing to write baseline" in err
+    assert not (tmp_path / ".swordfish-lint-baseline.json").exists()
+
+
+def test_docstring_swd_ok_text_is_not_a_suppression(tmp_path):
+    # Only real COMMENT tokens count: documenting the syntax inside a
+    # string literal must neither suppress nor show up as unused.
+    target = _write(tmp_path, (
+        'DOC = """use `# swd-ok: SWD005 -- like this` to suppress"""\n'
+        "def f(a, b):\n"
+        "    return a / b\n"
+    ))
+    result = run_analysis([target], root=tmp_path, config=WIDE_CONFIG)
+    assert rules_of(result) == {"SWD005"}
+    assert result.unused_suppressions == []
 
 
 # ----------------------------------------------------------------------
@@ -269,9 +402,53 @@ def test_cli_json_report(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("SWD001", "SWD002", "SWD003",
-                    "SWD004", "SWD005", "SWD006"):
+    for rule_id in ("SWD001", "SWD002", "SWD003", "SWD004", "SWD005",
+                    "SWD006", "SWD007", "SWD008", "SWD009", "SWD010",
+                    "SWD011", "SWD012", "SWD013"):
         assert rule_id in out
+
+
+def test_cli_sarif_report(tmp_path, capsys):
+    bad = _write(tmp_path, "import numpy as np\nx = np.random.normal()\n")
+    code = main([str(bad), "--no-baseline", "--format", "sarif",
+                 "--root", str(tmp_path)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "swordfish-analysis"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"SWD001", "SWD009", "SWD013"} <= rule_ids
+    entry = run["results"][0]
+    assert entry["ruleId"] == "SWD001"
+    assert entry["baselineState"] == "new"
+    assert entry["partialFingerprints"]["swordfish/v1"]
+    region = entry["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 2
+
+
+def test_cli_sarif_baselined_findings_are_unchanged(tmp_path, capsys):
+    bad = _write(tmp_path, "import numpy as np\nx = np.random.normal()\n")
+    assert main([str(bad), "--write-baseline", "--root", str(tmp_path)]) == 0
+    capsys.readouterr()
+    code = main([str(bad), "--format", "sarif", "--root", str(tmp_path)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    states = [entry["baselineState"]
+              for entry in payload["runs"][0]["results"]]
+    assert states == ["unchanged"]
+
+
+def test_cli_output_writes_report_to_file(tmp_path, capsys):
+    bad = _write(tmp_path, "import numpy as np\nx = np.random.normal()\n")
+    out_path = tmp_path / "analysis.sarif"
+    code = main([str(bad), "--no-baseline", "--format", "sarif",
+                 "--output", str(out_path), "--root", str(tmp_path)])
+    summary = capsys.readouterr().out
+    assert code == 1
+    assert "wrote sarif report" in summary
+    payload = json.loads(out_path.read_text(encoding="utf-8"))
+    assert payload["runs"][0]["results"]
 
 
 def test_cli_strict_stale(tmp_path, capsys):
@@ -311,10 +488,11 @@ def test_repo_clean_against_committed_baseline(capsys):
 def test_baseline_contains_no_error_severity_debt():
     data = json.loads(BASELINE.read_text(encoding="utf-8"))
     rules = {entry["rule"] for entry in data["findings"]}
-    # Determinism (SWD001), config coherence (SWD002), and export
-    # coherence (SWD006) are errors: they must be fixed, never
-    # baselined.  examples/ and benchmarks/ are already fully seeded.
-    assert not rules & {"SWD000", "SWD001", "SWD002", "SWD006"}
+    # Determinism (SWD001), config coherence (SWD002), export
+    # coherence (SWD006), and coroutine misuse (SWD013) are errors:
+    # they must be fixed, never baselined.  examples/ and benchmarks/
+    # are already fully seeded.
+    assert not rules & {"SWD000", "SWD001", "SWD002", "SWD006", "SWD013"}
 
 
 def test_examples_and_benchmarks_have_no_ambient_randomness():

@@ -1,0 +1,295 @@
+"""Unit tests for the call-graph resolver behind SWD009–SWD013.
+
+The resolver is deliberately lightweight, but the properties the
+concurrency rules lean on must hold exactly: transitive blocking
+chains across modules, alias / ``functools.partial`` / decorator
+resolution, re-export chasing, spawn-point classification, and the
+await-aware blocking tables.  Each test builds a small package on
+disk and inspects the graph directly.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import SourceModule, build_call_graph
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def load_tree(tmp_path: Path, files: dict[str, str]):
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return [SourceModule.load(tmp_path / rel, tmp_path) for rel in files]
+
+
+def graph_of(tmp_path: Path, files: dict[str, str]):
+    return build_call_graph(load_tree(tmp_path, files))
+
+
+def edges_between(graph, caller: str, callee: str):
+    return [edge for edge in graph.out_edges.get(caller, ())
+            if edge.callee == callee]
+
+
+# ----------------------------------------------------------------------
+# Blocking chains
+# ----------------------------------------------------------------------
+
+def test_transitive_blocking_chain_crosses_modules(tmp_path):
+    graph = graph_of(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/disk.py": """
+            import numpy as np
+
+            def load_weights(path):
+                return np.load(path)
+        """,
+        "pkg/api.py": """
+            from .disk import load_weights
+
+            def build(path):
+                return load_weights(path)
+        """,
+    })
+    chain = graph.blocking_chain("pkg.api:build")
+    assert chain is not None
+    assert chain[0] == "load_weights()"
+    assert "numpy.load" in chain[-1]
+
+
+def test_import_alias_normalizes_to_blocking_table(tmp_path):
+    graph = graph_of(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/nap.py": """
+            import time as clock
+            from time import sleep
+
+            def pause_via_alias():
+                clock.sleep(1.0)
+
+            def pause_via_bare_name():
+                sleep(1.0)
+        """,
+    })
+    for qname in ("pkg.nap:pause_via_alias", "pkg.nap:pause_via_bare_name"):
+        sites = graph.blocking_sites.get(qname)
+        assert sites, f"{qname} should carry a blocking site"
+        assert "time.sleep" in sites[0][1]
+
+
+def test_awaited_and_nonblocking_acquire_are_clean(tmp_path):
+    graph = graph_of(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/locks.py": """
+            import asyncio
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._sem = asyncio.Semaphore(2)
+                    self._mu = threading.Lock()
+
+                async def borrow(self):
+                    await self._sem.acquire()
+
+                def try_grab(self):
+                    return self._mu.acquire(blocking=False)
+
+                def grab(self):
+                    self._mu.acquire()
+        """,
+    })
+    assert "pkg.locks:Box.borrow" not in graph.blocking_sites
+    assert "pkg.locks:Box.try_grab" not in graph.blocking_sites
+    assert "pkg.locks:Box.grab" in graph.blocking_sites
+
+
+def test_spawn_hop_does_not_propagate_blocking(tmp_path):
+    graph = graph_of(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/hop.py": """
+            import asyncio
+            import time
+
+            def slow():
+                time.sleep(1.0)
+
+            async def safe():
+                await asyncio.to_thread(slow)
+        """,
+    })
+    assert graph.blocking_chain("pkg.hop:slow") is not None
+    assert graph.blocking_chain("pkg.hop:safe") is None
+    thread_edges = edges_between(graph, "pkg.hop:safe", "pkg.hop:slow")
+    assert [edge.kind for edge in thread_edges] == ["thread"]
+
+
+# ----------------------------------------------------------------------
+# Name resolution: aliases, partials, decorators, re-exports
+# ----------------------------------------------------------------------
+
+def test_module_alias_and_partial_resolve_to_target(tmp_path):
+    graph = graph_of(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/jobs.py": """
+            import functools
+
+            def worker(n):
+                return n
+
+            handler = worker
+            bound = functools.partial(worker, 3)
+        """,
+        "pkg/use.py": """
+            from .jobs import bound, handler
+
+            def run_handler():
+                return handler()
+
+            def run_bound():
+                return bound()
+        """,
+    })
+    assert edges_between(graph, "pkg.use:run_handler", "pkg.jobs:worker")
+    assert edges_between(graph, "pkg.use:run_bound", "pkg.jobs:worker")
+
+
+def test_decorated_def_is_registered_and_callable(tmp_path):
+    graph = graph_of(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/deco.py": """
+            import functools
+
+            def traced(fn):
+                @functools.wraps(fn)
+                def inner(*args, **kwargs):
+                    return fn(*args, **kwargs)
+                return inner
+
+            @traced
+            def decorated_worker():
+                return 1
+
+            def call_it():
+                return decorated_worker()
+        """,
+    })
+    info = graph.functions["pkg.deco:decorated_worker"]
+    assert info.decorators == ("traced",)
+    assert edges_between(graph, "pkg.deco:call_it",
+                         "pkg.deco:decorated_worker")
+
+
+def test_reexport_chasing_through_package_init(tmp_path):
+    graph = graph_of(tmp_path, {
+        "pkg/__init__.py": "from .disk import load_weights\n",
+        "pkg/disk.py": """
+            import numpy as np
+
+            def load_weights(path):
+                return np.load(path)
+        """,
+        "client.py": """
+            from pkg import load_weights
+
+            def fetch(path):
+                return load_weights(path)
+        """,
+    })
+    assert edges_between(graph, "client:fetch", "pkg.disk:load_weights")
+    chain = graph.blocking_chain("client:fetch")
+    assert chain is not None and chain[0] == "load_weights()"
+
+
+def test_self_attr_type_inference(tmp_path):
+    graph = graph_of(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/objs.py": """
+            import time
+
+            class Engine:
+                def run(self):
+                    time.sleep(0.1)
+
+            class Host:
+                def __init__(self):
+                    self.engine = Engine()
+
+                def tick(self):
+                    self.engine.run()
+        """,
+    })
+    assert edges_between(graph, "pkg.objs:Host.tick", "pkg.objs:Engine.run")
+    chain = graph.blocking_chain("pkg.objs:Host.tick")
+    assert chain is not None and chain[0] == "run()"
+
+
+# ----------------------------------------------------------------------
+# Execution-context classification
+# ----------------------------------------------------------------------
+
+def test_thread_context_closure_follows_partial_targets(tmp_path):
+    graph = graph_of(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/spawn.py": """
+            import functools
+            import threading
+
+            def leaf():
+                return 1
+
+            def worker():
+                return leaf()
+
+            def start():
+                thread = threading.Thread(
+                    target=functools.partial(worker))
+                thread.start()
+        """,
+    })
+    assert "pkg.spawn:worker" in graph.thread_roots
+    context = graph.thread_context()
+    assert {"pkg.spawn:worker", "pkg.spawn:leaf"} <= context
+    assert "pkg.spawn:start" not in context
+
+
+def test_fork_context_from_process_target(tmp_path):
+    graph = graph_of(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/forks.py": """
+            import multiprocessing
+
+            def child_main():
+                return 0
+
+            def launch():
+                proc = multiprocessing.Process(target=child_main)
+                proc.start()
+                return proc
+        """,
+    })
+    assert "pkg.forks:child_main" in graph.fork_roots
+    assert "pkg.forks:child_main" in graph.fork_context()
+
+
+# ----------------------------------------------------------------------
+# Repo self-check: the graph resolves the real serve stack.
+# ----------------------------------------------------------------------
+
+def test_graph_resolves_the_serve_stack():
+    src = REPO / "src" / "repro" / "serve"
+    modules = [SourceModule.load(path, REPO / "src")
+               for path in sorted(src.rglob("*.py"))]
+    graph = build_call_graph(modules)
+    start = graph.functions["repro.serve.server:BasecallServer.start"]
+    assert start.is_async
+    # The shutdown fix in this PR: the pool shutdown hops through
+    # asyncio.to_thread, so no coroutine in the server retains a
+    # synchronous blocking chain.
+    for qname in graph.async_functions():
+        assert graph.blocking_sites.get(qname, []) == [], (
+            f"coroutine {qname} blocks the loop directly")

@@ -1,0 +1,215 @@
+"""Tests for the runtime concurrency sanitizer (``SWORDFISH_SANITIZE``).
+
+The sanitizer is the runtime half of the SWD009/SWD010 static rules:
+the loop watchdog must catch a deliberate event-loop block (with the
+offending frame), the mutation guard must catch genuinely concurrent
+entry into a guarded mutator, and — the contract everything else hangs
+on — sanitized serving must be bitwise-identical to unsanitized
+serving with zero reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.basecaller import BonitoModel
+from repro.observability import (
+    ENV_SANITIZE,
+    ENV_SANITIZE_BLOCK_MS,
+    LoopBlockMonitor,
+    MutationGuard,
+    guard_deployed,
+    sanitize_enabled,
+)
+from repro.serve import BasecallServer, ServeClient
+from repro.serve.cli import DEMO_CONFIG
+
+
+# ----------------------------------------------------------------------
+# Enablement
+# ----------------------------------------------------------------------
+
+def test_sanitize_enabled_env(monkeypatch):
+    monkeypatch.delenv(ENV_SANITIZE, raising=False)
+    assert not sanitize_enabled()
+    for value in ("0", "false", "OFF", "no", ""):
+        monkeypatch.setenv(ENV_SANITIZE, value)
+        assert not sanitize_enabled()
+    monkeypatch.setenv(ENV_SANITIZE, "1")
+    assert sanitize_enabled()
+
+
+# ----------------------------------------------------------------------
+# LoopBlockMonitor
+# ----------------------------------------------------------------------
+
+def test_loop_block_detected_with_frames(tmp_path):
+    log = tmp_path / "sanitize.jsonl"
+    monitor = LoopBlockMonitor(threshold_s=0.05, log_path=log)
+
+    async def scenario():
+        monitor.install(asyncio.get_running_loop())
+        await asyncio.sleep(0.2)      # let the first heartbeat land
+        time.sleep(0.4)               # the bug the watchdog must catch
+        await asyncio.sleep(0.1)
+        await asyncio.to_thread(monitor.uninstall)
+
+    asyncio.run(scenario())
+    reports = monitor.reports
+    assert reports, "a 400ms block must trip a 50ms watchdog"
+    event = reports[0]
+    assert event["event"] == "loop_block"
+    assert event["stall_ms"] >= 50.0
+    assert event["threshold_ms"] == pytest.approx(50.0)
+    assert any("test_sanitize" in frame for frame in event["frames"]), \
+        "the report must name the offending frame"
+    lines = [json.loads(line)
+             for line in log.read_text(encoding="utf-8").splitlines()]
+    assert lines and lines[0]["event"] == "loop_block"
+
+
+def test_quiet_loop_produces_no_reports():
+    monitor = LoopBlockMonitor(threshold_s=0.1)
+
+    async def scenario():
+        monitor.install(asyncio.get_running_loop())
+        for _ in range(4):
+            await asyncio.sleep(0.05)
+        await asyncio.to_thread(monitor.uninstall)
+
+    asyncio.run(scenario())
+    assert monitor.reports == []
+
+
+def test_install_is_idempotent():
+    monitor = LoopBlockMonitor(threshold_s=0.1)
+
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        assert monitor.install(loop) is monitor
+        assert monitor.install(loop) is monitor
+        await asyncio.sleep(0.05)
+        await asyncio.to_thread(monitor.uninstall)
+
+    asyncio.run(scenario())
+    assert monitor.reports == []
+
+
+# ----------------------------------------------------------------------
+# MutationGuard
+# ----------------------------------------------------------------------
+
+def test_mutation_guard_detects_overlap():
+    guard = MutationGuard(name="dummy")
+    barrier = threading.Barrier(2)
+
+    def hit():
+        with guard.guard("mutate"):
+            barrier.wait(timeout=5)
+
+    threads = [threading.Thread(target=hit) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+    violations = guard.violations
+    assert violations, "two threads inside the guard must be a violation"
+    event = violations[0]
+    assert event["event"] == "mutation_overlap"
+    assert event["name"] == "dummy"
+    assert event["method"] == "mutate"
+    assert event["concurrent_with"] == ["mutate"]
+
+
+def test_mutation_guard_lock_covered_is_clean():
+    guard = MutationGuard(name="dummy")
+    lock = threading.Lock()
+
+    def hit():
+        with lock:
+            with guard.guard("mutate"):
+                pass
+
+    threads = [threading.Thread(target=hit) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert guard.violations == []
+
+
+def test_guard_deployed_wraps_rng_restore():
+    class FakeDeployed:
+        def __init__(self):
+            self.calls = 0
+            self.barrier = threading.Barrier(2)
+
+        def rng_restore(self, epoch):
+            self.calls += 1
+            self.barrier.wait(timeout=5)
+            return epoch
+
+    deployed = FakeDeployed()
+    guard = guard_deployed(deployed, name="fake")
+    threads = [threading.Thread(target=deployed.rng_restore, args=(k,))
+               for k in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert deployed.calls == 2, "wrapping must not change behavior"
+    assert guard.violations
+    assert guard.violations[0]["method"] == "rng_restore"
+
+
+# ----------------------------------------------------------------------
+# End to end: sanitized serving is bitwise-identical and report-free
+# ----------------------------------------------------------------------
+
+def _serve_roundtrip(signals):
+    """Serve ``signals`` on a fresh server; return (bases, report)."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+
+    def run(coro, timeout=300):
+        return asyncio.run_coroutine_threadsafe(coro, loop).result(timeout)
+
+    server = BasecallServer(BonitoModel(DEMO_CONFIG))
+    run(server.start())
+    try:
+        with ServeClient("127.0.0.1", server.port, timeout=120) as client:
+            bases = [client.basecall(f"r{index}", signal)["bases"]
+                     for index, signal in enumerate(signals)]
+    finally:
+        run(server.shutdown(drain=True))
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+    return bases, server.sanitizer_report()
+
+
+def test_sanitized_serve_is_bitwise_identical(monkeypatch):
+    rng = np.random.default_rng(42)
+    signals = [rng.normal(size=size) for size in (96, 128)]
+
+    monkeypatch.delenv(ENV_SANITIZE, raising=False)
+    plain, off_report = _serve_roundtrip(signals)
+    assert off_report["enabled"] is False
+
+    monkeypatch.setenv(ENV_SANITIZE, "1")
+    # Generous threshold: this asserts "no *blocking calls* on the
+    # loop", not scheduler latency on a loaded CI machine.
+    monkeypatch.setenv(ENV_SANITIZE_BLOCK_MS, "500")
+    sanitized, report = _serve_roundtrip(signals)
+
+    assert sanitized == plain, "sanitizer must be bitwise-neutral"
+    assert report["enabled"] is True
+    assert report["mutation_overlaps"] == []
+    assert report["loop_blocks"] == []
