@@ -1,0 +1,153 @@
+"""Distributed-sweep overhead: broker + N local workers vs serial.
+
+Runs one plan twice from a cold cache — first in-process through
+:class:`repro.runtime.SweepRunner`, then through a
+:class:`repro.runtime.distrib.SweepBroker` feeding ``--workers``
+subprocess workers over the NDJSON socket protocol — and reports
+jobs/s for both, the distributed speedup, and proof that the merged
+distributed result is value-identical to the serial run (the chained
+per-value digest both the CLI and the chaos acceptance test use).
+
+Standalone script — run it directly, not through pytest (it needs no
+trained baseline, so it skips ``benchmarks/conftest``'s session-scoped
+baseline fixture)::
+
+    PYTHONPATH=src python benchmarks/bench_distrib.py [--smoke] [--out PATH]
+
+Emits ``BENCH_distrib.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.runtime import Job, ResultCache, SweepPlan, SweepRunner
+from repro.runtime.distrib import BrokerConfig, SweepBroker
+from repro.runtime.distrib.cli import values_digest
+
+#: Real sweep payload: the fig14 throughput model, small dataset cut.
+JOB_FN = "repro.experiments.fig14_throughput:evaluate_variant"
+VARIANTS = ("ideal", "rvw", "rsa", "rsa_kd")
+
+
+def build_plan(smoke: bool) -> SweepPlan:
+    datasets = ("D1",) if smoke else ("D1", "D2", "D3", "D4")
+    rates = (1000.0,) if smoke else (500.0, 1000.0)
+    return SweepPlan("bench-distrib", [
+        Job(fn=JOB_FN,
+            kwargs={"variant": variant, "crossbar_size": 64,
+                    "datasets": datasets, "gpu_kbps": rate},
+            tag=f"bench/{variant}/{rate:g}")
+        for variant in VARIANTS for rate in rates
+    ])
+
+
+def bench_serial(plan: SweepPlan, cache_dir: Path) -> dict:
+    runner = SweepRunner(cache=ResultCache(cache_dir), salt="bench")
+    start = time.perf_counter()
+    result = runner.run(plan)
+    wall = time.perf_counter() - start
+    if not result.ok:
+        raise SystemExit("serial sweep failed")
+    return {"wall_s": wall, "jobs": len(plan.jobs),
+            "jobs_per_s": len(plan.jobs) / wall,
+            "digest": values_digest(result.values)}
+
+
+def bench_distributed(plan: SweepPlan, cache_dir: Path,
+                      workers: int) -> dict:
+    broker = SweepBroker(plan, cache=str(cache_dir),
+                         config=BrokerConfig(port=0, lease_s=30.0))
+    box: dict = {}
+
+    def run_broker() -> None:
+        box["result"] = broker.run()
+
+    thread = threading.Thread(target=run_broker)
+    start = time.perf_counter()
+    thread.start()
+    if not broker.started.wait(timeout=30):
+        raise SystemExit("broker did not start")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parent.parent / "src"),
+         env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    procs = [subprocess.Popen(
+        [sys.executable, "-m", "repro.runtime.distrib", "worker",
+         "--connect", f"127.0.0.1:{broker.port}",
+         "--cache-dir", str(cache_dir)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        for _ in range(workers)]
+    thread.join(timeout=600)
+    wall = time.perf_counter() - start
+    for proc in procs:
+        proc.wait(timeout=60)
+
+    result = box.get("result")
+    if result is None or not result.ok:
+        raise SystemExit("distributed sweep failed")
+    counts = broker.state.counts()
+    return {"wall_s": wall, "jobs": len(plan.jobs), "workers": workers,
+            "jobs_per_s": len(plan.jobs) / wall,
+            "requeues": counts["requeues"],
+            "digest": values_digest(result.values)}
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI (seconds, not minutes)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="local worker subprocesses (default 2)")
+    parser.add_argument("--out", default="BENCH_distrib.json",
+                        help="output JSON path (default: "
+                             "BENCH_distrib.json)")
+    args = parser.parse_args(argv)
+
+    plan = build_plan(args.smoke)
+    with tempfile.TemporaryDirectory(prefix="bench-distrib-") as scratch:
+        serial = bench_serial(plan, Path(scratch) / "serial-cache")
+        dist = bench_distributed(plan, Path(scratch) / "dist-cache",
+                                 args.workers)
+
+    identical = serial["digest"] == dist["digest"]
+    payload = {
+        "benchmark": "distrib_overhead",
+        "version": __version__,
+        "smoke": args.smoke,
+        "platform": platform.platform(),
+        "serial": serial,
+        "distributed": dist,
+        "speedup": serial["wall_s"] / dist["wall_s"],
+        "values_identical": identical,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+
+    print(f"distrib overhead ({'smoke' if args.smoke else 'full'}), "
+          f"repro {__version__}")
+    print(f"  serial       {serial['jobs']} jobs in "
+          f"{serial['wall_s']:6.2f} s   {serial['jobs_per_s']:6.2f} jobs/s")
+    print(f"  distributed  {dist['jobs']} jobs in "
+          f"{dist['wall_s']:6.2f} s   {dist['jobs_per_s']:6.2f} jobs/s   "
+          f"({dist['workers']} workers, {dist['requeues']} requeues)")
+    print(f"  speedup {payload['speedup']:.2f}x   values identical: "
+          f"{identical}")
+    if not identical:
+        raise SystemExit("distributed values diverged from serial run")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

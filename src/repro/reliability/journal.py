@@ -12,6 +12,15 @@ uninterrupted one.
 
 A torn final line (the writer died mid-append) is skipped on read,
 never fatal — the corresponding job simply re-executes.
+
+Beyond terminal ``job`` lines, a journal may carry *queue-state*
+events (``lease`` / ``requeue`` / ``poison``) appended by the
+distributed broker (:mod:`repro.runtime.distrib`): they record every
+non-terminal state transition so a SIGKILLed broker reconstructs its
+work queue — attempt counts, worker-death counts, quarantines —
+exactly on ``--resume``.  Readers must tolerate unknown event kinds
+and missing optional fields, so journals survive mixed producer
+versions.
 """
 
 from __future__ import annotations
@@ -52,7 +61,14 @@ class RunJournal:
 
     # ------------------------------------------------------------------
     def load(self) -> tuple[dict | None, list[dict]]:
-        """``(last plan header, job records after it)`` from disk."""
+        """``(last plan header, event records after it)`` from disk.
+
+        Records keep journal order and include every non-header event
+        kind (``job``, ``lease``, ``requeue``, ``poison``, and anything
+        a future producer appends) — consumers filter on ``event``.
+        Unparseable lines (torn tail from a killed writer) and
+        non-object lines are skipped, never fatal.
+        """
         header: dict | None = None
         records: list[dict] = []
         try:
@@ -64,10 +80,12 @@ class RunJournal:
                 event = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn tail from a killed writer
+            if not isinstance(event, dict):
+                continue  # foreign line; skip like a torn one
             if event.get("event") == "plan":
                 header = event
                 records = []
-            elif event.get("event") == "job":
+            elif event.get("event"):
                 records.append(event)
         return header, records
 
@@ -91,9 +109,12 @@ class RunJournal:
                         f"fingerprints as {fingerprint} — refusing to "
                         f"resume across different plans")
                 wanted = set(keys)
-                done = {r["key"] for r in records
-                        if r.get("status") == "ok" and r.get("key") in wanted}
+                done = {r.get("key") for r in records
+                        if r.get("event") == "job"
+                        and r.get("status") == "ok"
+                        and r.get("key") in wanted}
             mode = "a"
+            self._seal_torn_tail()
         else:
             mode = "w"
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -103,6 +124,23 @@ class RunJournal:
                       "resumed": len(done)})
         self.resumed_ok = done
         return set(done)
+
+    def _seal_torn_tail(self) -> None:
+        """Terminate a half-written final line before appending.
+
+        A writer killed mid-append leaves a line with no trailing
+        newline; appending straight after it would fuse the new
+        session header onto the torn fragment and lose both.
+        """
+        with self.path.open("rb") as fh:
+            fh.seek(0, 2)
+            if fh.tell() == 0:
+                return
+            fh.seek(-1, 2)
+            torn = fh.read(1) != b"\n"
+        if torn:
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write("\n")
 
     def record(self, *, index: int, key: str, tag: str, status: str,
                cache_hit: bool = False, attempts: int = 0,
@@ -114,6 +152,18 @@ class RunJournal:
         if error_type:
             event["error_type"] = error_type
         self._append(event)
+
+    def record_event(self, kind: str, **fields) -> None:
+        """Append one non-terminal queue-state event (flushed).
+
+        ``kind`` must not collide with the structural kinds (``plan``
+        is reserved for session headers, ``job`` for terminal outcomes
+        via :meth:`record`).
+        """
+        if kind in ("plan", "job"):
+            raise ValueError(
+                f"event kind {kind!r} is reserved; use begin()/record()")
+        self._append({"event": kind, **fields})
 
     def _append(self, event: dict) -> None:
         if self._fh is None:

@@ -21,7 +21,13 @@ is the execution backbone that runs those grids as schedulable jobs:
 """
 
 from .cache import ResultCache, canonical_json, default_salt, job_key
-from .executor import JobOutcome, SweepError, SweepResult, SweepRunner
+from .executor import (
+    CircuitOpenError,
+    JobOutcome,
+    SweepError,
+    SweepResult,
+    SweepRunner,
+)
 from .figures import FIGURES, FigureSpec, render_figure, run_figure
 from .job import Job, SweepPlan, resolve_target, run_swordfish_config
 from .telemetry import JsonlSink, SummaryAggregator, Telemetry
@@ -31,5 +37,6 @@ __all__ = [
     "ResultCache", "canonical_json", "default_salt", "job_key",
     "Telemetry", "JsonlSink", "SummaryAggregator",
     "JobOutcome", "SweepResult", "SweepRunner", "SweepError",
+    "CircuitOpenError",
     "FIGURES", "FigureSpec", "run_figure", "render_figure",
 ]

@@ -22,7 +22,7 @@ import sys
 
 from ..observability import ENV_TRACE, get_tracer
 from .cache import ResultCache
-from .executor import SweepError, SweepRunner
+from .executor import CircuitOpenError, SweepError, SweepRunner
 from .figures import FIGURES, available, render_figure, run_figure
 from .telemetry import JsonlSink, Telemetry
 
@@ -51,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="extra attempts per failed job (default 2)")
     run.add_argument("--backoff", type=float, default=0.25,
                      help="base retry backoff in seconds (default 0.25)")
+    run.add_argument("--max-failure-rate", type=float, default=None,
+                     metavar="FRACTION",
+                     help="circuit breaker: abort the sweep early once "
+                          "this fraction of executed (non-cache) jobs "
+                          "has failed, e.g. 0.5")
     run.add_argument("--scale", type=float, default=None,
                      help="set SWORDFISH_SCALE for this run")
     run.add_argument("--save", default=None, metavar="DIR",
@@ -122,9 +127,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             strict=True,
             journal=args.journal,
             resume=args.resume,
+            max_failure_rate=args.max_failure_rate,
         )
         try:
             record = run_figure(args.figure, runner=runner)
+        except CircuitOpenError as exc:
+            print(f"sweep aborted: {exc}", file=sys.stderr)
+            for field, value in exc.summary.items():
+                print(f"  {field}: {value}", file=sys.stderr)
+            return 1
         except SweepError as exc:
             print(f"sweep failed: {exc}", file=sys.stderr)
             return 1

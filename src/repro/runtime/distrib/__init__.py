@@ -1,0 +1,58 @@
+"""``repro.runtime.distrib`` — fault-tolerant distributed sweeps.
+
+A work-queue executor that shards one
+:class:`~repro.runtime.SweepPlan` across worker processes on any
+number of hosts: a :class:`SweepBroker` serves jobs over a small
+NDJSON socket protocol, :class:`DistribWorker` processes pull, execute
+and report them, and everything in between is built to survive
+violence — time-bounded leases renewed by heartbeats, attempt-token
+dedup of zombie results, bounded requeues with deterministic backoff,
+poison-job quarantine, and journal-backed crash-safe resume of the
+broker itself (see DESIGN.md §11).
+
+Because jobs are content-addressed (the PR-1 :class:`ResultCache`
+contract) and every job lands exactly one result, a distributed run's
+merged result set is bitwise-identical to a single-host serial run of
+the same plan — chaos-proven in ``tests/test_distrib.py``.
+
+Entry points: ``python -m repro.runtime.distrib broker|worker|stats``.
+"""
+
+from .broker import BrokerConfig, BrokerError, DistribRunner, SweepBroker
+from .protocol import (
+    BROKER_OPS,
+    DistribProtocolError,
+    WORKER_OPS,
+    WireLimits,
+    decode_value,
+    encode,
+    encode_value,
+    parse_message,
+)
+from .state import (
+    FAILED,
+    LEASED,
+    OK,
+    PENDING,
+    POISONED,
+    TERMINAL_STATES,
+    JobState,
+    PlanState,
+)
+from .worker import (
+    DONE_EXIT_CODE,
+    LOST_BROKER_EXIT_CODE,
+    REVOKED_EXIT_CODE,
+    DistribWorker,
+    WorkerError,
+)
+
+__all__ = [
+    "BrokerConfig", "BrokerError", "DistribRunner", "SweepBroker",
+    "DistribProtocolError", "WireLimits", "WORKER_OPS", "BROKER_OPS",
+    "encode", "encode_value", "decode_value", "parse_message",
+    "JobState", "PlanState", "PENDING", "LEASED", "OK", "FAILED",
+    "POISONED", "TERMINAL_STATES",
+    "DistribWorker", "WorkerError", "DONE_EXIT_CODE",
+    "LOST_BROKER_EXIT_CODE", "REVOKED_EXIT_CODE",
+]

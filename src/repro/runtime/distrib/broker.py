@@ -1,0 +1,545 @@
+"""The sweep broker: one plan served to N pull-based workers.
+
+A :class:`SweepBroker` owns a :class:`~repro.runtime.job.SweepPlan`
+and answers worker messages (see :mod:`.protocol`) over an asyncio
+socket server.  All queue logic — leases, heartbeats, attempt tokens,
+bounded requeues, poison quarantine — lives in the pure
+:class:`~repro.runtime.distrib.state.PlanState`; this module wires it
+to the wall clock, the result cache, the run journal, telemetry, and
+the metrics registry:
+
+* every state transition is journaled (``lease`` / ``requeue`` /
+  ``poison`` queue events plus the standard terminal ``job`` lines),
+  so a SIGKILLed broker restarted with ``resume=True`` reconstructs
+  its queue exactly and re-executes only work that never landed;
+* cache hits resolve jobs before any worker sees them, and worker
+  results are written into the broker's cache (inline values sync
+  caches by content key when workers don't share a directory);
+* queue depth, active leases, connected workers, requeues, poison
+  count, and stale discards feed :mod:`repro.observability` gauges
+  and counters, scrapeable in Prometheus text form via the wire-level
+  ``stats`` op.
+
+The broker is complete when every job is terminal; :meth:`run` then
+returns a :class:`~repro.runtime.executor.SweepResult` shaped exactly
+like a local :class:`~repro.runtime.SweepRunner` run of the same plan
+(and — because values are content-addressed and every job is executed
+exactly once per result — bitwise-identical to it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ...observability import get_metrics, trace_span
+from ...reliability import FaultInjector, RunJournal
+from ..cache import ResultCache, default_salt, job_key
+from ..executor import JobOutcome, SweepResult
+from ..job import SweepPlan
+from ..telemetry import JsonlSink, SummaryAggregator, Telemetry
+from .protocol import (
+    DistribProtocolError,
+    WireLimits,
+    decode_value,
+    encode,
+    parse_message,
+)
+from .state import FAILED, OK, POISONED, JobState, PlanState
+
+__all__ = ["BrokerConfig", "BrokerError", "SweepBroker", "DistribRunner"]
+
+
+class BrokerError(RuntimeError):
+    """Broker-level misconfiguration or unrecoverable serving failure."""
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Queue and serving knobs for one broker process."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                    # 0 = ephemeral (read broker.port)
+    #: Lease duration; a worker must heartbeat within this window or
+    #: its job is requeued.  Heartbeats go out every ``lease_s / 3``.
+    lease_s: float = 15.0
+    #: Total attempts per job (first run + requeues of any cause).
+    max_attempts: int = 3
+    #: Base of the deterministic requeue backoff (``backoff * 2**n``).
+    backoff: float = 0.25
+    #: Worker deaths (lease expiry / disconnect / revocation) before a
+    #: job is quarantined as poison instead of requeued.
+    poison_after: int = 3
+    #: Optional hard wall-clock limit per attempt; a heartbeating but
+    #: wedged attempt is revoked past this (and the worker told so).
+    job_timeout: float | None = None
+    #: How long the listener lingers after the plan completes, so idle
+    #: workers polling for work receive ``done`` instead of a reset.
+    #: The broker leaves early once every connected worker says goodbye.
+    drain_s: float = 5.0
+    limits: WireLimits = field(default_factory=WireLimits)
+
+    def __post_init__(self) -> None:
+        if self.lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be positive when set")
+
+
+class SweepBroker:
+    """Serve one plan's jobs to remote workers, fault-tolerantly."""
+
+    def __init__(self, plan: SweepPlan,
+                 cache: ResultCache | str | None = None,
+                 config: BrokerConfig | None = None,
+                 telemetry: Telemetry | None = None,
+                 telemetry_path: str | None = None,
+                 journal: RunJournal | str | None = None,
+                 resume: bool = False,
+                 fault_injector: FaultInjector | None = None,
+                 salt: str | None = None):
+        self.plan = plan
+        self.config = config or BrokerConfig()
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.telemetry = telemetry or Telemetry()
+        if telemetry_path:
+            self.telemetry.subscribe(JsonlSink(telemetry_path))
+        if journal is not None and not isinstance(journal, RunJournal):
+            journal = RunJournal(journal, resume=resume)
+        self.journal = journal
+        self.resume = bool(resume)
+        self.fault_injector = fault_injector
+        self.salt = salt if salt is not None else default_salt()
+        self.keys = [job_key(job, self.salt) for job in plan.jobs]
+        # The session stamp makes every token minted by this broker
+        # process distinct from any minted before a crash, so zombie
+        # results from a previous session can never be accepted.
+        self.state = PlanState(
+            plan, self.keys, lease_s=self.config.lease_s,
+            max_attempts=self.config.max_attempts,
+            backoff=self.config.backoff,
+            poison_after=self.config.poison_after,
+            job_timeout=self.config.job_timeout,
+            session=time.monotonic_ns() % 1_000_000_007)
+        self.metrics = get_metrics()
+        self.port: int | None = None
+        #: Set (thread-safely) once the listener is bound — waiters can
+        #: read :attr:`port` after this fires.
+        self.started = threading.Event()
+        self._workers: set[str] = set()
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._done = asyncio.Event()
+        self._listener: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # Sync entry point
+    # ------------------------------------------------------------------
+    def run(self) -> SweepResult:
+        """Serve the plan to completion; returns plan-ordered outcomes."""
+        aggregator = SummaryAggregator()
+        self.telemetry.subscribe(aggregator)
+        started = time.perf_counter()
+        try:
+            with trace_span("distrib.broker", plan=self.plan.name,
+                            jobs=len(self.plan.jobs)):
+                asyncio.run(self._serve())
+            summary = aggregator.summary()
+            summary["plan"] = self.plan.name
+            summary["run_wall_s"] = round(time.perf_counter() - started, 6)
+            summary.update(self.state.counts())
+            if self.telemetry.hook_errors:
+                summary["hook_errors"] = {
+                    "count": len(self.telemetry.hook_errors),
+                    "first": self.telemetry.hook_errors[0],
+                }
+            self.telemetry.emit("summary", **summary)
+        finally:
+            self.telemetry.unsubscribe(aggregator)
+        outcomes = self._assemble()
+        return SweepResult(plan=self.plan, outcomes=outcomes,
+                           summary=summary)
+
+    def _assemble(self) -> list[JobOutcome]:
+        outcomes = []
+        for rec in self.state.jobs:
+            outcomes.append(JobOutcome(
+                job=rec.job, status="ok" if rec.status == OK else rec.status,
+                value=rec.value, error=rec.error, error_type=rec.error_type,
+                attempts=rec.attempt, wall_s=rec.wall_s,
+                cache_hit=rec.cache_hit, worker=rec.worker))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Startup: journal restore + cache pre-scan
+    # ------------------------------------------------------------------
+    def _begin(self) -> None:
+        if self.journal is not None:
+            if self.resume:
+                _, records = self.journal.load()
+            else:
+                records = []
+            completed = self.journal.begin(self.plan.name, self.keys)
+            if records:
+                self.state.restore(records)
+            if completed:
+                self.telemetry.emit("resume", plan=self.plan.name,
+                                    completed=len(completed),
+                                    total=len(self.keys))
+        for rec in self.state.jobs:
+            self.telemetry.emit("submit", plan=self.plan.name,
+                                job=rec.job.tag, key=rec.key,
+                                index=rec.index)
+            if rec.terminal:
+                if rec.status in (FAILED, POISONED):
+                    self._journal_terminal(rec, replayed=True)
+                continue
+            if self.cache is not None:
+                hit, value = self.cache.lookup(rec.key)
+                if hit:
+                    self.state.mark_cached(rec.index, value)
+                    self._finish(rec)
+        self._observe_queue()
+
+    # ------------------------------------------------------------------
+    # Serving loop
+    # ------------------------------------------------------------------
+    async def _serve(self) -> None:
+        self._done = asyncio.Event()
+        self._begin()
+        if self.state.terminal:
+            self.started.set()
+            return
+        self._listener = await asyncio.start_server(
+            self._handle_worker, self.config.host, self.config.port,
+            limit=self.config.limits.max_line_bytes)
+        self.port = self._listener.sockets[0].getsockname()[1]
+        self.started.set()
+        reaper = asyncio.ensure_future(self._reap_loop())
+        try:
+            await self._done.wait()
+            # Linger so idle workers polling for work hear "done"
+            # instead of a reset; leave as soon as they all say goodbye.
+            deadline = time.monotonic() + self.config.drain_s
+            while self._workers and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+        finally:
+            reaper.cancel()
+            try:
+                await reaper
+            except asyncio.CancelledError:
+                pass
+            self._listener.close()
+            await self._listener.wait_closed()
+            # Close lingering connections so their handler coroutines
+            # see EOF and return before the loop shuts down (a task
+            # cancelled mid-readline logs noisy stream warnings).
+            for writer in list(self._connections):
+                writer.close()
+            for _ in range(40):
+                if not self._connections:
+                    break
+                await asyncio.sleep(0.01)
+
+    async def _reap_loop(self) -> None:
+        interval = min(self.config.lease_s / 4, 0.5)
+        while not self._done.is_set():
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for reason, rec in self.state.reap(now):
+                self._after_abandon(rec, reason)
+            self._observe_queue()
+            self._check_done()
+
+    async def _handle_worker(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        worker_id: str | None = None
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line overflowed the stream limit: framing is
+                    # lost; answer once and hang up.
+                    writer.write(encode({
+                        "op": "error",
+                        "message": "message line exceeds the "
+                                   f"{self.config.limits.max_line_bytes} "
+                                   "byte limit"}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = parse_message(line, self.config.limits)
+                except DistribProtocolError as exc:
+                    writer.write(encode({"op": "error",
+                                         "message": str(exc)}))
+                    await writer.drain()
+                    break
+                if message["op"] == "hello":
+                    worker_id = message["worker"]
+                reply = self._dispatch(message)
+                writer.write(encode(reply))
+                await writer.drain()
+                self._check_done()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            if worker_id is not None:
+                self._on_disconnect(worker_id)
+            try:
+                writer.close()
+            except (OSError, RuntimeError):  # transport already gone
+                pass
+
+    # ------------------------------------------------------------------
+    # Message dispatch (single-threaded on the loop: no locks)
+    # ------------------------------------------------------------------
+    def _dispatch(self, message: dict) -> dict:
+        op = message["op"]
+        now = time.monotonic()
+        if op == "hello":
+            self._workers.add(message["worker"])
+            self.metrics.gauge("distrib.workers").set(len(self._workers))
+            self.telemetry.emit("worker_joined", plan=self.plan.name,
+                                worker=message["worker"],
+                                pid=message.get("pid"))
+            return {"op": "welcome", "plan": self.plan.name,
+                    "jobs": len(self.plan.jobs),
+                    "lease_s": self.config.lease_s,
+                    "want_values": True}
+        if op == "lease":
+            return self._grant(message["worker"], now)
+        if op == "heartbeat":
+            self.metrics.counter("distrib.heartbeats").inc()
+            verdict, rec = self.state.heartbeat(message["index"],
+                                                message["token"], now)
+            if verdict == "ok":
+                return {"op": "ok"}
+            if verdict == "revoked":
+                self._after_abandon(rec, "revoked")
+                self._observe_queue()
+            return {"op": "revoked"}
+        if op == "result":
+            return self._result(message, now)
+        if op == "stats":
+            return {"op": "stats", **self.state.counts(),
+                    "workers": len(self._workers),
+                    "plan": self.plan.name,
+                    "metrics": self.metrics.render_prometheus()}
+        if op == "goodbye":
+            self._on_disconnect(message["worker"])
+            return {"op": "ok"}
+        raise AssertionError(f"unreachable op {op!r}")
+
+    def _grant(self, worker: str, now: float) -> dict:
+        verdict, payload = self.state.grant(worker, now)
+        if verdict == "done":
+            return {"op": "done"}
+        if verdict == "wait":
+            return {"op": "wait", "delay_s": payload}
+        rec: JobState = payload
+        executable = rec.job
+        if self.fault_injector is not None:
+            # Chaos wraps at grant time only; rec.key still addresses
+            # the original job, so injected faults never pollute the
+            # result namespace.
+            executable = self.fault_injector.wrap(rec.job)
+        self.metrics.counter("distrib.grants").inc()
+        self.telemetry.emit("start", plan=self.plan.name, job=rec.job.tag,
+                            key=rec.key, attempt=rec.attempt,
+                            where=f"distrib:{worker}")
+        if self.journal is not None:
+            self.journal.record_event("lease", index=rec.index, key=rec.key,
+                                      worker=worker, attempt=rec.attempt,
+                                      token=rec.token)
+        self._observe_queue()
+        return {"op": "grant", "index": rec.index, "token": rec.token,
+                "fn": executable.fn, "kwargs": executable.kwargs,
+                "tag": rec.job.tag, "key": rec.key,
+                "attempt": rec.attempt, "lease_s": self.config.lease_s,
+                "job_timeout": self.config.job_timeout}
+
+    def _result(self, message: dict, now: float) -> dict:
+        index, token = message["index"], message["token"]
+        status = message["status"]
+        value = None
+        if status == "ok":
+            if "value_b64" in message:
+                try:
+                    value = decode_value(message["value_b64"])
+                except DistribProtocolError as exc:
+                    status = "error"
+                    message = {**message, "error": str(exc),
+                               "error_type": "UndecodableValue"}
+            elif self.cache is not None:
+                rec = self.state.jobs[index] \
+                    if index < len(self.state.jobs) else None
+                hit, cached = (self.cache.lookup(rec.key)
+                               if rec is not None else (False, None))
+                if hit:
+                    value = cached
+                else:
+                    status = "error"
+                    message = {**message,
+                               "error": "worker sent no inline value and "
+                                        "the broker cache has no entry "
+                                        "for the job key",
+                               "error_type": "MissingValue"}
+            else:
+                status = "error"
+                message = {**message,
+                           "error": "worker sent no inline value and the "
+                                    "broker has no cache to read from",
+                           "error_type": "MissingValue"}
+        verdict, rec = self.state.complete(
+            index, token, status=status, now=now, value=value,
+            error=message.get("error"),
+            error_type=message.get("error_type"),
+            wall_s=float(message.get("wall_s", 0.0)))
+        if verdict == "stale":
+            self.metrics.counter("distrib.stale_results").inc()
+            self.telemetry.emit("stale_result", plan=self.plan.name,
+                                index=index, token=token,
+                                worker=message.get("worker"))
+            self._observe_queue()
+            return {"op": "stale"}
+        self.metrics.counter(f"distrib.results_{status}").inc()
+        if rec.status == OK:
+            rec.worker = message.get("worker")
+            if self.cache is not None and rec.key not in self.cache:
+                self.cache.put(rec.key, rec.value,
+                               meta={"plan": self.plan.name,
+                                     "job": rec.job.tag,
+                                     "worker": message.get("worker")})
+            self._finish(rec)
+        elif rec.terminal:
+            # A structured error exhausted the job's attempts.
+            self._journal_terminal(rec)
+            self._emit_finish(rec, reason="error")
+        else:
+            # Requeued for another attempt.
+            self._journal_requeue(rec, "error")
+            self.telemetry.emit("retry", plan=self.plan.name,
+                                job=rec.job.tag, key=rec.key,
+                                attempt=rec.attempt, reason="error",
+                                delay_s=round(
+                                    self.state.backoff_delay(rec.attempt), 6))
+            self.metrics.counter("distrib.requeues").inc()
+        self._observe_queue()
+        return {"op": "accepted"}
+
+    # ------------------------------------------------------------------
+    # Transition bookkeeping
+    # ------------------------------------------------------------------
+    def _on_disconnect(self, worker_id: str) -> None:
+        self._workers.discard(worker_id)
+        self.metrics.gauge("distrib.workers").set(len(self._workers))
+        now = time.monotonic()
+        for reason, rec in self.state.release_worker(worker_id, now):
+            self._after_abandon(rec, reason)
+        self._observe_queue()
+        self._check_done()
+
+    def _after_abandon(self, rec: JobState, reason: str) -> None:
+        """Journal/telemeter one abandoned attempt's transition."""
+        if rec.status == POISONED:
+            self.metrics.counter("distrib.poison").inc()
+            if self.journal is not None:
+                self.journal.record_event(
+                    "poison", index=rec.index, key=rec.key,
+                    deaths=rec.deaths, attempt=rec.attempt,
+                    error=rec.error)
+            self.telemetry.emit("poison", plan=self.plan.name,
+                                job=rec.job.tag, key=rec.key,
+                                deaths=rec.deaths)
+            self._journal_terminal(rec)
+            self._emit_finish(rec, reason="poison")
+        elif rec.terminal:
+            self._journal_terminal(rec)
+            self._emit_finish(rec, reason=reason)
+        else:
+            self._journal_requeue(rec, reason)
+            self.telemetry.emit("retry", plan=self.plan.name,
+                                job=rec.job.tag, key=rec.key,
+                                attempt=rec.attempt, reason=reason,
+                                delay_s=round(
+                                    self.state.backoff_delay(rec.attempt), 6))
+            self.metrics.counter("distrib.requeues").inc()
+
+    def _journal_requeue(self, rec: JobState, reason: str) -> None:
+        if self.journal is not None:
+            self.journal.record_event("requeue", index=rec.index,
+                                      key=rec.key, reason=reason,
+                                      attempt=rec.attempt,
+                                      deaths=rec.deaths)
+
+    def _journal_terminal(self, rec: JobState,
+                          replayed: bool = False) -> None:
+        if self.journal is not None and not replayed:
+            self.journal.record(index=rec.index, key=rec.key,
+                                tag=rec.job.tag, status=rec.status,
+                                cache_hit=rec.cache_hit,
+                                attempts=rec.attempt,
+                                error_type=rec.error_type)
+
+    def _finish(self, rec: JobState) -> None:
+        self._journal_terminal(rec)
+        self._emit_finish(rec)
+
+    def _emit_finish(self, rec: JobState, reason: str | None = None) -> None:
+        fields = {
+            "plan": self.plan.name,
+            "job": rec.job.tag,
+            "key": rec.key,
+            "index": rec.index,
+            "status": "ok" if rec.status == OK else "failed",
+            "cache": "hit" if rec.cache_hit else "miss",
+            "wall_s": round(rec.wall_s, 6),
+            "attempts": rec.attempt,
+        }
+        if reason:
+            fields["reason"] = reason
+        if rec.error_type:
+            fields["error_type"] = rec.error_type
+        self.telemetry.emit("finish", **fields)
+
+    def _observe_queue(self) -> None:
+        counts = self.state.counts()
+        self.metrics.gauge("distrib.queue_depth").set(counts["pending"])
+        self.metrics.gauge("distrib.active_leases").set(counts["leased"])
+
+    def _check_done(self) -> None:
+        if self.state.terminal and not self._done.is_set():
+            self._done.set()
+
+
+class DistribRunner:
+    """A :class:`SweepRunner`-shaped adapter around :class:`SweepBroker`.
+
+    Figure modules only call ``runner.run(plan)``; this adapter lets
+    ``python -m repro.runtime.distrib broker --figure fig08`` reuse
+    every experiment unchanged: the plan the figure builds is served
+    to remote workers instead of a local pool.
+    """
+
+    def __init__(self, strict: bool = False, **broker_kwargs):
+        self.broker_kwargs = broker_kwargs
+        self.strict = strict
+        self.last_broker: SweepBroker | None = None
+
+    def run(self, plan: SweepPlan) -> SweepResult:
+        broker = SweepBroker(plan, **self.broker_kwargs)
+        self.last_broker = broker
+        result = broker.run()
+        if self.strict:
+            result.raise_on_failure()
+        return result

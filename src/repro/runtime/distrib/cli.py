@@ -1,0 +1,280 @@
+"""Command-line entry points for distributed sweeps.
+
+Usage::
+
+    # Terminal 1 — serve a figure's grid (port printed on stdout):
+    python -m repro.runtime.distrib broker --figure fig08 \\
+        --cache-dir /shared/cache --journal runs/fig08.jsonl --port 7733
+
+    # Terminals 2..N — pull work (same or different hosts):
+    python -m repro.runtime.distrib worker --connect HOST:7733 \\
+        --cache-dir /shared/cache
+
+    # Anywhere — live queue counters + Prometheus metrics:
+    python -m repro.runtime.distrib stats --connect HOST:7733
+
+Kill the broker at any point and restart it with ``--resume`` (plus
+the same ``--journal`` and ``--cache-dir``): the journal reconstructs
+queue state exactly, finished values replay from the cache, and any
+number of workers — not necessarily the previous number — finish the
+rest.  Custom plans come from ``--plan pkg.module:factory`` where the
+factory returns a :class:`~repro.runtime.SweepPlan`; chaos tests
+inject faults with ``--chaos pkg.module:factory`` returning a
+configured :class:`~repro.reliability.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import pickle
+import sys
+
+from ..job import SweepPlan, resolve_target
+from .broker import BrokerConfig, SweepBroker
+from .protocol import encode, parse_message  # noqa: F401  (re-export for tests)
+from .worker import DistribWorker
+
+__all__ = ["build_parser", "main", "values_digest"]
+
+
+def values_digest(values: list) -> str:
+    """Canonical SHA-256 of a plan's result values.
+
+    Hashes each value's own pickle, then chains the digests — the
+    whole-list pickle is *not* stable across provenances (pickle
+    memoizes shared sub-objects like interned dict keys, so equal
+    values assembled from different processes serialize to different
+    bytes at the list level while every element is bitwise identical).
+    """
+    chain = hashlib.sha256()
+    for value in values:
+        chain.update(hashlib.sha256(
+            pickle.dumps(value,
+                         protocol=pickle.HIGHEST_PROTOCOL)).digest())
+    return chain.hexdigest()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.distrib",
+        description="Fault-tolerant distributed sweep execution: a "
+                    "work-queue broker with leases, heartbeats, and "
+                    "crash-safe elastic resume.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    broker = sub.add_parser("broker", help="serve one plan's jobs to "
+                                           "pull-based workers")
+    source = broker.add_mutually_exclusive_group(required=True)
+    source.add_argument("--figure", default=None,
+                        help="paper figure/table id to serve (fig08, ...)")
+    source.add_argument("--plan", default=None, metavar="TARGET",
+                        help="'pkg.module:factory' returning a SweepPlan")
+    broker.add_argument("--host", default="127.0.0.1")
+    broker.add_argument("--port", type=int, default=0,
+                        help="listen port (0 = ephemeral, printed)")
+    broker.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (shared with workers "
+                             "or synced by inline values)")
+    broker.add_argument("--journal", default=None, metavar="PATH",
+                        help="JSONL journal of every queue transition")
+    broker.add_argument("--resume", action="store_true",
+                        help="reconstruct queue state from the journal of "
+                             "a killed broker (requires --journal and "
+                             "--cache-dir)")
+    broker.add_argument("--lease", type=float, default=15.0,
+                        help="lease seconds; a worker missing heartbeats "
+                             "this long forfeits its job (default 15)")
+    broker.add_argument("--max-attempts", type=int, default=3,
+                        help="total attempts per job (default 3)")
+    broker.add_argument("--backoff", type=float, default=0.25,
+                        help="base requeue backoff in seconds (default "
+                             "0.25)")
+    broker.add_argument("--poison-after", type=int, default=3,
+                        help="worker deaths before a job is quarantined "
+                             "as poison (default 3)")
+    broker.add_argument("--job-timeout", type=float, default=None,
+                        help="hard wall-clock limit per attempt")
+    broker.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="append per-job JSONL events to this file")
+    broker.add_argument("--chaos", default=None, metavar="TARGET",
+                        help="'pkg.module:factory' returning a "
+                             "FaultInjector (chaos testing)")
+    broker.add_argument("--dump", default=None, metavar="PATH",
+                        help="pickle the plan-ordered result values here")
+
+    worker = sub.add_parser("worker", help="pull and execute jobs from a "
+                                           "broker")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT")
+    worker.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (ideally shared with "
+                             "the broker)")
+    worker.add_argument("--id", default=None,
+                        help="worker id (default: hostname-pid)")
+    worker.add_argument("--connect-retries", type=int, default=10,
+                        help="reconnect attempts before giving up on the "
+                             "broker (default 10)")
+    worker.add_argument("--no-send-values", action="store_true",
+                        help="do not ship result values inline (requires "
+                             "a cache directory shared with the broker)")
+
+    stats = sub.add_parser("stats", help="print a broker's queue counters "
+                                         "and Prometheus metrics")
+    stats.add_argument("--connect", required=True, metavar="HOST:PORT")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="print the raw Prometheus exposition instead "
+                            "of the counter summary")
+    return parser
+
+
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise SystemExit(f"--connect must look like HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _build_plan(args: argparse.Namespace) -> SweepPlan:
+    plan = resolve_target(args.plan)()
+    if not isinstance(plan, SweepPlan):
+        raise SystemExit(
+            f"--plan target {args.plan!r} returned "
+            f"{type(plan).__name__}, not a SweepPlan")
+    return plan
+
+
+def _cmd_broker(args: argparse.Namespace) -> int:
+    if args.resume and not args.journal:
+        print("--resume requires --journal", file=sys.stderr)
+        return 2
+    if args.resume and not args.cache_dir:
+        print("--resume requires --cache-dir (finished jobs replay "
+              "their values from the result cache)", file=sys.stderr)
+        return 2
+    fault_injector = None
+    if args.chaos:
+        fault_injector = resolve_target(args.chaos)()
+    config = BrokerConfig(host=args.host, port=args.port,
+                          lease_s=args.lease,
+                          max_attempts=args.max_attempts,
+                          backoff=args.backoff,
+                          poison_after=args.poison_after,
+                          job_timeout=args.job_timeout)
+    broker_kwargs = dict(cache=args.cache_dir, config=config,
+                         telemetry_path=args.telemetry,
+                         journal=args.journal, resume=args.resume,
+                         fault_injector=fault_injector)
+
+    if args.figure:
+        from ...runtime import SweepError
+        from ..figures import render_figure, run_figure
+        from .broker import DistribRunner
+        runner = DistribRunner(**broker_kwargs)
+        _announce_port_when_started(runner)
+        try:
+            record = run_figure(args.figure, runner=runner)
+        except SweepError as exc:
+            print(f"distributed sweep failed: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if (runner.last_broker is not None
+                    and runner.last_broker.journal is not None):
+                runner.last_broker.journal.close()
+        render_figure(args.figure, record)
+        return 0
+
+    plan = _build_plan(args)
+    broker = SweepBroker(plan, **broker_kwargs)
+    _announce_port_when_started(broker)
+    result = broker.run()
+    if broker.journal is not None:
+        broker.journal.close()
+    values = result.values
+    digest = values_digest(values)
+    if args.dump:
+        with open(args.dump, "wb") as fh:
+            pickle.dump(values, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    counts = broker.state.counts()
+    print(f"RESULT_SHA256={digest}")
+    print(f"plan {plan.name!r}: {counts['ok']}/{counts['jobs']} ok, "
+          f"{counts['failed']} failed, {counts['poisoned']} poisoned, "
+          f"{counts['requeues']} requeues, "
+          f"{counts['stale_results']} stale results discarded")
+    for outcome in result.outcomes:
+        if outcome.status == "poisoned":
+            print(f"poisoned: {outcome.job.tag}\n{outcome.error}",
+                  file=sys.stderr)
+    return 0 if result.ok else 3
+
+
+def _announce_port_when_started(broker_owner) -> None:
+    """Print ``BROKER_PORT=<n>`` once the listener is bound.
+
+    Launchers (tests, supervisors, humans with a second terminal)
+    parse this to learn an ephemeral port; it fires from a helper
+    thread because ``run()`` blocks the main one.
+    """
+    import threading
+
+    def announce() -> None:
+        broker = broker_owner
+        while True:
+            target = getattr(broker, "last_broker", broker)
+            if target is not None and target.started.wait(timeout=0.05):
+                print(f"BROKER_PORT={target.port}", flush=True)
+                return
+
+    threading.Thread(target=announce, daemon=True).start()
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    host, port = _parse_endpoint(args.connect)
+    worker = DistribWorker(host, port, worker_id=args.id,
+                           cache=args.cache_dir,
+                           send_values=not args.no_send_values,
+                           connect_retries=args.connect_retries)
+    code = worker.run()
+    print(f"worker {worker.worker_id}: {worker.jobs_done} jobs done, "
+          f"exit {code}", flush=True)
+    return code
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import socket as socket_mod
+
+    host, port = _parse_endpoint(args.connect)
+    try:
+        sock = socket_mod.create_connection((host, port), timeout=10.0)
+    except OSError as exc:
+        print(f"cannot reach broker at {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        sock.sendall(encode({"op": "stats"}))
+        reply = sock.makefile("rb").readline()
+    finally:
+        sock.close()
+    import json
+    stats = json.loads(reply)
+    if args.prometheus:
+        print(stats.get("metrics", ""), end="")
+        return 0
+    for key in ("plan", "jobs", "pending", "leased", "ok", "failed",
+                "poisoned", "requeues", "stale_results",
+                "stale_heartbeats", "workers"):
+        if key in stats:
+            print(f"{key}: {stats[key]}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "broker":
+        return _cmd_broker(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    return _cmd_stats(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

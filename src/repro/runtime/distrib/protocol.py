@@ -1,0 +1,161 @@
+"""Wire protocol for the distributed sweep broker: NDJSON messages.
+
+One message per line, UTF-8 JSON, ``\\n``-terminated — the same
+dependency-free framing as :mod:`repro.serve.protocol`, but strictly
+request/response: a worker sends one message and the broker answers it
+with exactly one reply, in order, per connection.
+
+Worker → broker operations (``op`` field):
+
+* ``hello`` — announce a worker: ``{"op": "hello", "worker": "w1",
+  "pid": 123}``; answered with ``welcome`` (plan name, job count, and
+  whether the broker wants result values inline).
+* ``lease`` — ask for work; answered with ``grant`` (job payload +
+  attempt token + lease duration), ``wait`` (nothing ready — retry
+  after ``delay_s``), or ``done`` (plan finished — exit cleanly).
+* ``heartbeat`` — renew a held lease; answered with ``ok`` or
+  ``revoked`` (the lease expired or the attempt hit its hard timeout;
+  any eventual result will be discarded, stop working on it).
+* ``result`` — deliver one attempt's outcome (status, wall time, and
+  either an inline base64-pickled value or a cache key the broker can
+  read from the shared result cache); answered with ``accepted`` or
+  ``stale`` (the attempt token no longer owns the job).
+* ``stats`` — queue/lease/requeue/poison counters plus a Prometheus
+  rendering of the broker's metrics registry; used by the ``stats``
+  CLI and by monitoring.
+* ``goodbye`` — clean disconnect (an idle worker shutting down);
+  answered with ``ok``.
+
+Every broker reply carries ``op``; protocol violations are answered
+with ``{"op": "error", "message": ...}`` and the connection is closed.
+Validation lives here so broker, worker, and tests share one notion of
+a well-formed message; violations raise :class:`DistribProtocolError`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "DistribProtocolError",
+    "WireLimits",
+    "WORKER_OPS",
+    "BROKER_OPS",
+    "encode",
+    "decode_value",
+    "encode_value",
+    "parse_message",
+]
+
+#: Ops a worker may send, with their required fields (beyond ``op``).
+WORKER_OPS: dict[str, tuple[str, ...]] = {
+    "hello": ("worker",),
+    "lease": ("worker",),
+    "heartbeat": ("worker", "index", "token"),
+    "result": ("worker", "index", "token", "status"),
+    "stats": (),
+    "goodbye": ("worker",),
+}
+
+#: Ops a broker may answer with.
+BROKER_OPS = ("welcome", "grant", "wait", "done", "ok", "revoked",
+              "accepted", "stale", "stats", "error")
+
+
+@dataclass(frozen=True)
+class WireLimits:
+    """Bounds both sides enforce on every message line."""
+
+    #: Longest accepted message line, in bytes (result values ride
+    #: inline as base64 pickles; sweep results are small row dicts).
+    max_line_bytes: int = 64 * 1024 * 1024
+    #: Longest accepted worker id, in characters.
+    max_worker_chars: int = 128
+
+
+class DistribProtocolError(Exception):
+    """A malformed or rejected broker/worker message."""
+
+
+def encode(obj: dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def encode_value(value: Any) -> str:
+    """A job result as line-safe text (base64 over pickle)."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return base64.b64encode(payload).decode("ascii")
+
+
+def decode_value(text: str) -> Any:
+    """Inverse of :func:`encode_value`."""
+    try:
+        return pickle.loads(base64.b64decode(text.encode("ascii")))
+    except Exception as exc:
+        raise DistribProtocolError(
+            f"undecodable result value: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def parse_message(line: bytes | str,
+                  limits: WireLimits | None = None) -> dict:
+    """Validate one worker→broker line; raises :class:`DistribProtocolError`.
+
+    Returns the decoded payload with ``op`` guaranteed to be a known
+    worker op and every required field present with a sane type.
+    """
+    limits = limits or WireLimits()
+    if isinstance(line, bytes):
+        if len(line) > limits.max_line_bytes:
+            raise DistribProtocolError(
+                f"message line exceeds {limits.max_line_bytes} bytes")
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError:
+            raise DistribProtocolError(
+                "message line is not UTF-8") from None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise DistribProtocolError(
+            f"message is not JSON: {exc.msg}") from None
+    if not isinstance(payload, dict):
+        raise DistribProtocolError("message must be a JSON object")
+
+    op = payload.get("op")
+    if op not in WORKER_OPS:
+        raise DistribProtocolError(
+            f"unknown op {op!r}; expected one of {sorted(WORKER_OPS)}")
+    for field_name in WORKER_OPS[op]:
+        if field_name not in payload:
+            raise DistribProtocolError(
+                f"op {op!r} requires field {field_name!r}")
+
+    worker = payload.get("worker")
+    if "worker" in WORKER_OPS[op]:
+        if not isinstance(worker, str) or not worker:
+            raise DistribProtocolError(
+                "'worker' must be a non-empty string")
+        if len(worker) > limits.max_worker_chars:
+            raise DistribProtocolError(
+                f"worker id exceeds {limits.max_worker_chars} characters")
+    if "index" in WORKER_OPS[op]:
+        index = payload.get("index")
+        if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+            raise DistribProtocolError(
+                "'index' must be a non-negative integer")
+        token = payload.get("token")
+        if not isinstance(token, str) or not token:
+            raise DistribProtocolError(
+                "'token' must be a non-empty string")
+    if op == "result":
+        status = payload.get("status")
+        if status not in ("ok", "error"):
+            raise DistribProtocolError(
+                f"result status must be 'ok' or 'error', got {status!r}")
+    return payload

@@ -1,0 +1,381 @@
+"""The broker's work-queue state machine — pure, with time injected.
+
+Everything fault-tolerance-critical about the distributed executor
+lives here, free of sockets and clocks, so every transition is unit-
+testable deterministically:
+
+* **Leases** — a granted job is owned by exactly one ``(worker,
+  attempt-token)`` pair for ``lease_s`` seconds; heartbeats renew the
+  lease, a missed renewal (crash, hang, partition) expires it and the
+  job is requeued.
+* **Attempt tokens** — every grant mints a fresh token
+  (``index.attempt.session``); results and heartbeats carrying any
+  other token are *stale* and discarded, so exactly one result lands
+  per job no matter how many zombie workers eventually report.
+* **Bounded attempts + deterministic backoff** — a requeued attempt
+  becomes dispatchable only after ``backoff * 2**(attempt-1)`` seconds;
+  ``max_attempts`` total attempts exhaust into a terminal failure.
+* **Poison quarantine** — a job whose attempts keep *killing workers*
+  (lease expiry, disconnect mid-job, hard-timeout revocation — as
+  opposed to returning a structured error) is quarantined as poisoned
+  after ``poison_after`` such deaths, with the evidence it left
+  behind, instead of grinding the plan (and its workers) forever.
+* **Journal replay** — :meth:`PlanState.restore` reconstructs attempt
+  counters, death counters, and terminal states from the
+  ``lease``/``requeue``/``poison``/``job`` events a
+  :class:`~repro.reliability.RunJournal` recorded, so a SIGKILLed
+  broker resumes with its queue state exact (an attempt that was in
+  flight at the kill stays consumed — its zombie result, if it ever
+  arrives, is stale by token).
+
+Timestamps are plain floats supplied by the caller (the broker passes
+``time.monotonic()``); nothing here reads a clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..job import Job, SweepPlan
+
+__all__ = ["JobState", "PlanState", "PENDING", "LEASED", "OK", "FAILED",
+           "POISONED", "TERMINAL_STATES"]
+
+PENDING = "pending"
+LEASED = "leased"
+OK = "ok"
+FAILED = "failed"
+POISONED = "poisoned"
+
+TERMINAL_STATES = (OK, FAILED, POISONED)
+
+#: Requeue reasons that count as a worker death (poison evidence).
+_DEATH_REASONS = ("lease_expired", "disconnect", "revoked")
+
+
+@dataclass
+class JobState:
+    """Queue-side record for one job of the plan."""
+
+    index: int
+    job: Job
+    key: str
+    status: str = PENDING
+    attempt: int = 0                 # attempts granted so far
+    ready_at: float = 0.0            # backoff gate for the next grant
+    token: str | None = None         # attempt token of the live lease
+    worker: str | None = None
+    lease_expires: float | None = None
+    attempt_deadline: float | None = None   # hard per-attempt timeout
+    deaths: int = 0                  # worker-killing evidence
+    evidence: list[dict] = field(default_factory=list)
+    value: Any = None
+    error: str | None = None
+    error_type: str | None = None
+    wall_s: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+
+class PlanState:
+    """Lease/requeue/poison bookkeeping for one :class:`SweepPlan`."""
+
+    def __init__(self, plan: SweepPlan, keys: Iterable[str], *,
+                 lease_s: float = 15.0, max_attempts: int = 3,
+                 backoff: float = 0.25, poison_after: int = 3,
+                 job_timeout: float | None = None, session: int = 0):
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        if max_attempts < 1:
+            raise ValueError("need at least one attempt per job")
+        if poison_after < 1:
+            raise ValueError("poison_after must be at least 1")
+        self.plan = plan
+        self.lease_s = float(lease_s)
+        self.max_attempts = int(max_attempts)
+        self.backoff = max(float(backoff), 0.0)
+        self.poison_after = int(poison_after)
+        self.job_timeout = job_timeout
+        self.session = int(session)
+        self.jobs = [JobState(index=i, job=job, key=key)
+                     for i, (job, key) in enumerate(zip(plan.jobs, keys))]
+        self.requeues = 0
+        self.stale_results = 0
+        self.stale_heartbeats = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return all(rec.terminal for rec in self.jobs)
+
+    def counts(self) -> dict:
+        by_status: dict[str, int] = {PENDING: 0, LEASED: 0, OK: 0,
+                                     FAILED: 0, POISONED: 0}
+        for rec in self.jobs:
+            by_status[rec.status] += 1
+        return {
+            "jobs": len(self.jobs),
+            "pending": by_status[PENDING],
+            "leased": by_status[LEASED],
+            "ok": by_status[OK],
+            "failed": by_status[FAILED],
+            "poisoned": by_status[POISONED],
+            "requeues": self.requeues,
+            "stale_results": self.stale_results,
+            "stale_heartbeats": self.stale_heartbeats,
+        }
+
+    def _mint_token(self, rec: JobState) -> str:
+        return f"{rec.index}.{rec.attempt}.{self.session}"
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Deterministic re-dispatch delay after attempt ``attempt``."""
+        if not self.backoff or attempt < 1:
+            return 0.0
+        return self.backoff * (2 ** (attempt - 1))
+
+    # ------------------------------------------------------------------
+    # Cache pre-scan / resume
+    # ------------------------------------------------------------------
+    def mark_cached(self, index: int, value: Any) -> JobState:
+        """A cache hit resolved this job without executing anything."""
+        rec = self.jobs[index]
+        rec.status = OK
+        rec.value = value
+        rec.cache_hit = True
+        return rec
+
+    def restore(self, records: Iterable[dict]) -> None:
+        """Replay journal events from a killed broker session.
+
+        Must run before any grant.  ``lease`` events restore attempt
+        counters (a granted attempt stays consumed even if its outcome
+        never landed), ``requeue`` events restore death counters and
+        backoff-relevant attempt numbers, ``poison`` and terminal
+        ``job`` events restore quarantines and failures.  ``job``
+        records with status ``ok`` are *not* marked done here — the
+        cache pre-scan is the authority on recoverable values, so a
+        journal that says "ok" for a value the cache cannot produce
+        simply re-executes that job.  Unknown event kinds and missing
+        fields are tolerated (mixed-version journals).
+        """
+        for event in records:
+            kind = event.get("event")
+            index = event.get("index")
+            if not isinstance(index, int) or not 0 <= index < len(self.jobs):
+                continue
+            rec = self.jobs[index]
+            if kind == "lease":
+                attempt = event.get("attempt")
+                if isinstance(attempt, int) and attempt > rec.attempt:
+                    rec.attempt = attempt
+            elif kind == "requeue":
+                deaths = event.get("deaths")
+                if isinstance(deaths, int) and deaths > rec.deaths:
+                    rec.deaths = deaths
+                attempt = event.get("attempt")
+                if isinstance(attempt, int) and attempt > rec.attempt:
+                    rec.attempt = attempt
+            elif kind == "poison":
+                rec.status = POISONED
+                rec.error_type = "PoisonJob"
+                rec.error = event.get("error") or "quarantined as poison"
+                deaths = event.get("deaths")
+                if isinstance(deaths, int):
+                    rec.deaths = deaths
+            elif kind == "job":
+                status = event.get("status")
+                if status in (FAILED, POISONED):
+                    rec.status = status
+                    rec.error_type = event.get("error_type")
+                    rec.error = event.get("error_type") or "failed"
+                attempts = event.get("attempts")
+                if isinstance(attempts, int) and attempts > rec.attempt:
+                    rec.attempt = attempts
+
+    # ------------------------------------------------------------------
+    # Grant / heartbeat / result
+    # ------------------------------------------------------------------
+    def grant(self, worker: str, now: float) -> tuple[str, Any]:
+        """Answer one lease request.
+
+        Returns ``("grant", rec)`` with the job to run, ``("wait",
+        delay_s)`` when nothing is dispatchable yet (backoff gates or
+        every remaining job is leased), or ``("done", None)`` when the
+        plan is terminal.
+        """
+        if self.terminal:
+            return "done", None
+        best: JobState | None = None
+        soonest: float | None = None
+        for rec in self.jobs:
+            if rec.status != PENDING:
+                continue
+            if rec.ready_at <= now:
+                best = rec
+                break
+            soonest = rec.ready_at if soonest is None else min(
+                soonest, rec.ready_at)
+        if best is None:
+            # Nothing dispatchable: either backoff-gated (wake the
+            # worker just after the gate) or all in flight (poll at a
+            # fraction of the lease so a freed job is picked up fast).
+            delay = (max(soonest - now, 0.01) if soonest is not None
+                     else min(self.lease_s / 4, 1.0))
+            return "wait", round(delay, 3)
+        best.status = LEASED
+        best.attempt += 1
+        best.worker = worker
+        best.token = self._mint_token(best)
+        best.lease_expires = now + self.lease_s
+        best.attempt_deadline = (now + self.job_timeout
+                                 if self.job_timeout else None)
+        return "grant", best
+
+    def _owns(self, index: int, token: str) -> JobState | None:
+        if not 0 <= index < len(self.jobs):
+            return None
+        rec = self.jobs[index]
+        if rec.status != LEASED or rec.token != token:
+            return None
+        return rec
+
+    def heartbeat(self, index: int, token: str,
+                  now: float) -> tuple[str, JobState | None]:
+        """Renew a lease.
+
+        Returns ``("ok", rec)`` on a successful renewal, ``("stale",
+        None)`` when the token no longer owns the job, or
+        ``("revoked", rec)`` when the attempt outlived its hard
+        timeout — it is abandoned on the spot (one worker death)
+        rather than letting a wedged-but-heartbeating worker hold the
+        job forever.
+        """
+        rec = self._owns(index, token)
+        if rec is None:
+            self.stale_heartbeats += 1
+            return "stale", None
+        if rec.attempt_deadline is not None and now > rec.attempt_deadline:
+            self._abandon(rec, now, "revoked")
+            return "revoked", rec
+        rec.lease_expires = now + self.lease_s
+        return "ok", rec
+
+    def complete(self, index: int, token: str, *, status: str, now: float,
+                 value: Any = None, error: str | None = None,
+                 error_type: str | None = None,
+                 wall_s: float = 0.0) -> tuple[str, JobState | None]:
+        """Land one attempt's outcome.
+
+        Returns ``("accepted", rec)`` when the token still owns the
+        job (``rec.status`` then tells whether the job finished,
+        failed, was poisoned, or went back to pending for a retry) or
+        ``("stale", None)`` for a zombie attempt whose lease already
+        expired — its result is discarded.
+        """
+        rec = self._owns(index, token)
+        if rec is None:
+            self.stale_results += 1
+            return "stale", None
+        self._clear_lease(rec)
+        rec.wall_s = wall_s
+        if status == "ok":
+            rec.status = OK
+            rec.value = value
+            rec.error = None
+            rec.error_type = None
+            return "accepted", rec
+        # A structured error is an ordinary failed attempt: retried
+        # with backoff, never poison evidence (the worker survived).
+        rec.evidence.append({"reason": "error", "attempt": rec.attempt,
+                             "error_type": error_type, "error": error})
+        rec.error = error
+        rec.error_type = error_type
+        self._requeue_or_exhaust(rec, now, "error")
+        return "accepted", rec
+
+    # ------------------------------------------------------------------
+    # Expiry / disconnect / reaping
+    # ------------------------------------------------------------------
+    def reap(self, now: float) -> list[tuple[str, JobState]]:
+        """Expire overdue leases and hard-timed-out attempts.
+
+        Returns ``(reason, rec)`` transitions for journaling; reasons
+        are ``lease_expired`` / ``revoked`` and each counts as one
+        worker death for poison purposes.
+        """
+        transitions: list[tuple[str, JobState]] = []
+        for rec in self.jobs:
+            if rec.status != LEASED:
+                continue
+            if (rec.attempt_deadline is not None
+                    and now > rec.attempt_deadline):
+                self._abandon(rec, now, "revoked")
+                transitions.append(("revoked", rec))
+            elif rec.lease_expires is not None and now > rec.lease_expires:
+                self._abandon(rec, now, "lease_expired")
+                transitions.append(("lease_expired", rec))
+        return transitions
+
+    def release_worker(self, worker: str,
+                       now: float) -> list[tuple[str, JobState]]:
+        """A worker's connection dropped: abandon every lease it held."""
+        transitions: list[tuple[str, JobState]] = []
+        for rec in self.jobs:
+            if rec.status == LEASED and rec.worker == worker:
+                self._abandon(rec, now, "disconnect")
+                transitions.append(("disconnect", rec))
+        return transitions
+
+    # ------------------------------------------------------------------
+    # Internal transitions
+    # ------------------------------------------------------------------
+    def _clear_lease(self, rec: JobState) -> None:
+        rec.token = None
+        rec.lease_expires = None
+        rec.attempt_deadline = None
+
+    def _abandon(self, rec: JobState, now: float, reason: str) -> None:
+        """The attempt's worker is dead/hung/partitioned to us."""
+        assert reason in _DEATH_REASONS
+        worker = rec.worker
+        self._clear_lease(rec)
+        rec.deaths += 1
+        rec.evidence.append({"reason": reason, "attempt": rec.attempt,
+                             "worker": worker})
+        self._requeue_or_exhaust(rec, now, reason)
+
+    def _requeue_or_exhaust(self, rec: JobState, now: float,
+                            reason: str) -> None:
+        rec.worker = None
+        if rec.deaths >= self.poison_after:
+            rec.status = POISONED
+            rec.error_type = "PoisonJob"
+            rec.error = self._poison_report(rec)
+        elif rec.attempt >= self.max_attempts:
+            rec.status = FAILED
+            if reason in _DEATH_REASONS:
+                rec.error_type = "WorkerDeath"
+                rec.error = (f"attempt {rec.attempt} abandoned "
+                             f"({reason}); attempts exhausted")
+        else:
+            rec.status = PENDING
+            rec.ready_at = now + self.backoff_delay(rec.attempt)
+            self.requeues += 1
+
+    @staticmethod
+    def _poison_report(rec: JobState) -> str:
+        lines = [f"job {rec.job.tag!r} quarantined as poison after "
+                 f"{rec.deaths} worker death(s) in {rec.attempt} "
+                 f"attempt(s); evidence:"]
+        for item in rec.evidence:
+            detail = item.get("error") or item.get("worker") or ""
+            lines.append(f"  attempt {item.get('attempt')}: "
+                         f"{item.get('reason')} {detail}".rstrip())
+        return "\n".join(lines)

@@ -1,0 +1,275 @@
+"""A pull-based sweep worker: lease, execute, heartbeat, report.
+
+One :class:`DistribWorker` is one OS process serving one broker.  The
+main thread runs the lease→execute→result loop; while a job executes,
+a daemon heartbeat thread renews the lease every ``lease_s / 3``
+seconds over the same connection (socket use is serialized by an RPC
+lock, and the broker answers strictly in request order, so the two
+threads never mis-pair replies).
+
+Failure contract, mirroring the broker's lease state machine:
+
+* A job that raises returns a structured ``error`` result (traceback
+  included) — the broker retries it with backoff; the worker lives on.
+* A worker that dies mid-job (chaos ``crash``, OOM-kill, SIGKILL)
+  drops its connection; the broker requeues its lease immediately.
+* A ``revoked`` heartbeat answer means the broker gave up on this
+  attempt (hard timeout) and any result would be discarded as stale.
+  The main thread may be wedged in the hung job — unrecoverable from
+  within Python — so the heartbeat thread hard-exits the process with
+  :data:`REVOKED_EXIT_CODE`; run workers under a supervisor (or the
+  CLI's ``--respawn``) to restore capacity.
+* A broker that vanishes (SIGKILL, partition) fails the current RPC;
+  the worker finishes its job, then reconnects with bounded
+  deterministic backoff and re-enters the loop against the restarted
+  broker (a fresh session: any result it still holds is stale by
+  token and simply dropped).
+
+Results are synced by content key: when the worker has a (shared)
+result cache it writes the value there *and* — because the broker
+asks for inline values by default — ships the base64-pickled value on
+the wire, so single-host directories and many-host setups produce the
+same merged result set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import traceback
+
+from ...observability import get_tracer
+from ..cache import ResultCache
+from ..job import resolve_target
+from .protocol import (
+    DistribProtocolError,
+    WireLimits,
+    encode,
+    encode_value,
+)
+
+__all__ = ["DistribWorker", "WorkerError", "REVOKED_EXIT_CODE",
+           "DONE_EXIT_CODE", "LOST_BROKER_EXIT_CODE"]
+
+#: The heartbeat thread hard-exits with this when the broker revokes
+#: the attempt the main thread is (possibly wedged) executing.
+REVOKED_EXIT_CODE = 86
+#: Clean exit: the broker reported the plan complete.
+DONE_EXIT_CODE = 0
+#: The broker stayed unreachable through every reconnect attempt.
+LOST_BROKER_EXIT_CODE = 7
+
+
+class WorkerError(RuntimeError):
+    """Lost or misbehaving broker connection."""
+
+
+class _BrokerLink:
+    """One NDJSON connection with lock-step RPC, shared by two threads."""
+
+    def __init__(self, host: str, port: int, timeout: float,
+                 limits: WireLimits):
+        self.limits = limits
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise WorkerError(
+                f"cannot connect to broker at {host}:{port}: {exc}") from exc
+        self._file = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+
+    def rpc(self, payload: dict) -> dict:
+        """Send one message and read its reply (atomic per caller)."""
+        with self._lock:
+            try:
+                self._sock.sendall(encode(payload))
+                line = self._file.readline()
+            except OSError as exc:
+                raise WorkerError(f"broker rpc failed: {exc}") from exc
+        if not line:
+            raise WorkerError("broker closed the connection")
+        if len(line) > self.limits.max_line_bytes:
+            raise WorkerError("broker reply exceeds the line limit")
+        try:
+            reply = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WorkerError(f"broker reply is not JSON: {exc}") from exc
+        if not isinstance(reply, dict) or "op" not in reply:
+            raise WorkerError("broker reply is not a protocol message")
+        if reply["op"] == "error":
+            raise DistribProtocolError(
+                f"broker rejected message: {reply.get('message')}")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+class _Heartbeat:
+    """Daemon thread renewing one attempt's lease until stopped."""
+
+    def __init__(self, link: _BrokerLink, worker_id: str, index: int,
+                 token: str, interval_s: float):
+        self.link = link
+        self.worker_id = worker_id
+        self.index = index
+        self.token = token
+        self.interval_s = max(interval_s, 0.05)
+        self.broker_lost = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"heartbeat-{index}")
+        self._thread.start()
+
+    def _run(self) -> None:
+        started = time.monotonic()
+        while not self._stop.wait(self.interval_s):
+            try:
+                reply = self.link.rpc({
+                    "op": "heartbeat", "worker": self.worker_id,
+                    "index": self.index, "token": self.token,
+                    "elapsed_s": round(time.monotonic() - started, 3)})
+            except (WorkerError, DistribProtocolError):
+                # Broker gone: nothing to renew against.  The main
+                # thread discovers this on its next RPC and handles
+                # reconnection; a hung main thread is the broker's
+                # problem now (our lease will expire there).
+                self.broker_lost = True
+                return
+            if reply["op"] == "revoked" and not self._stop.is_set():
+                # The attempt is dead broker-side; our eventual result
+                # would be stale.  The main thread may be wedged in the
+                # job, so exiting the process is the only reliable way
+                # to free this worker slot for a supervisor restart.
+                os._exit(REVOKED_EXIT_CODE)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+class DistribWorker:
+    """Blocking worker loop for one broker (one process)."""
+
+    def __init__(self, host: str, port: int,
+                 worker_id: str | None = None,
+                 cache: ResultCache | str | None = None,
+                 send_values: bool = True,
+                 connect_retries: int = 10,
+                 connect_backoff: float = 0.5,
+                 rpc_timeout: float = 60.0,
+                 limits: WireLimits | None = None):
+        self.host = host
+        self.port = int(port)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.send_values = bool(send_values)
+        self.connect_retries = max(int(connect_retries), 0)
+        self.connect_backoff = max(float(connect_backoff), 0.0)
+        self.rpc_timeout = float(rpc_timeout)
+        self.limits = limits or WireLimits()
+        self.jobs_done = 0
+        self.lease_s = 15.0
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Serve until the broker reports the plan done.
+
+        Returns a process exit code: :data:`DONE_EXIT_CODE` when the
+        plan completed, :data:`LOST_BROKER_EXIT_CODE` when the broker
+        stayed unreachable through every reconnect attempt.
+        """
+        while True:
+            link = self._connect()
+            if link is None:
+                return LOST_BROKER_EXIT_CODE
+            try:
+                outcome = self._serve(link)
+            except (WorkerError, DistribProtocolError):
+                outcome = "reconnect"
+            finally:
+                link.close()
+            if outcome == "done":
+                return DONE_EXIT_CODE
+
+    def _connect(self) -> _BrokerLink | None:
+        for attempt in range(self.connect_retries + 1):
+            try:
+                link = _BrokerLink(self.host, self.port, self.rpc_timeout,
+                                   self.limits)
+                reply = link.rpc({"op": "hello", "worker": self.worker_id,
+                                  "pid": os.getpid()})
+            except (WorkerError, DistribProtocolError):
+                if attempt >= self.connect_retries:
+                    return None
+                # Deterministic backoff, capped so a long broker
+                # restart doesn't strand workers in hour-long sleeps.
+                time.sleep(min(self.connect_backoff * (2 ** attempt), 5.0))
+                continue
+            self.lease_s = float(reply.get("lease_s", self.lease_s))
+            return link
+        return None
+
+    def _serve(self, link: _BrokerLink) -> str:
+        tracer = get_tracer()
+        while True:
+            reply = link.rpc({"op": "lease", "worker": self.worker_id})
+            op = reply["op"]
+            if op == "done":
+                link.rpc({"op": "goodbye", "worker": self.worker_id})
+                return "done"
+            if op == "wait":
+                time.sleep(min(float(reply.get("delay_s", 0.1)), 5.0))
+                continue
+            if op != "grant":
+                raise WorkerError(f"unexpected lease reply op {op!r}")
+            self._execute(link, reply, tracer)
+
+    def _execute(self, link: _BrokerLink, grant: dict, tracer) -> None:
+        index, token = grant["index"], grant["token"]
+        heartbeat = _Heartbeat(link, self.worker_id, index, token,
+                               interval_s=self.lease_s / 3.0)
+        started = time.perf_counter()
+        status, value, error, error_type = "ok", None, None, None
+        try:
+            with tracer.span("distrib.job", job=grant.get("tag"),
+                             index=index, attempt=grant.get("attempt"),
+                             where="distrib-worker"):
+                value = resolve_target(grant["fn"])(**grant["kwargs"])
+        except BaseException as exc:
+            status = "error"
+            error = traceback.format_exc(limit=20)
+            error_type = type(exc).__name__
+        wall_s = time.perf_counter() - started
+        heartbeat.stop()
+        if tracer.enabled:
+            tracer.flush()
+
+        message = {"op": "result", "worker": self.worker_id,
+                   "index": index, "token": token, "status": status,
+                   "wall_s": round(wall_s, 6)}
+        if status == "ok":
+            if self.cache is not None:
+                # Shared-directory sync path; identical bytes land at
+                # the same content key, so concurrent same-key writes
+                # from another worker are harmless.
+                self.cache.put(grant["key"], value,
+                               meta={"job": grant.get("tag"),
+                                     "worker": self.worker_id})
+            if self.send_values or self.cache is None:
+                message["value_b64"] = encode_value(value)
+        else:
+            message["error"] = error
+            message["error_type"] = error_type
+        reply = link.rpc(message)  # "accepted" or "stale" — both final
+        if reply["op"] == "accepted" and status == "ok":
+            self.jobs_done += 1

@@ -48,15 +48,34 @@ from .cache import ResultCache, default_salt, job_key
 from .job import Job, SweepPlan, resolve_target
 from .telemetry import JsonlSink, SummaryAggregator, Telemetry
 
-__all__ = ["JobOutcome", "SweepResult", "SweepRunner", "SweepError"]
+__all__ = ["JobOutcome", "SweepResult", "SweepRunner", "SweepError",
+           "CircuitOpenError"]
 
 #: Floor/ceiling for the parent's poll interval while supervising workers.
 _POLL_MIN_S = 0.01
 _POLL_MAX_S = 0.25
 
+#: The circuit breaker never trips on fewer executed failures than
+#: this, so a single flaky job can't abort a barely-started grid.
+_BREAKER_MIN_FAILURES = 3
+
 
 class SweepError(RuntimeError):
     """Raised when a strict sweep finishes with failed jobs."""
+
+
+class CircuitOpenError(SweepError):
+    """The sweep aborted early: too many non-cache failures.
+
+    ``summary`` is the structured abort report — plan name, executed
+    and failed counts, the observed failure rate vs the configured
+    threshold, and the first few error types seen — so callers (and
+    the CLI) can render the verdict without parsing prose.
+    """
+
+    def __init__(self, message: str, summary: dict):
+        super().__init__(message)
+        self.summary = summary
 
 
 @dataclass
@@ -64,13 +83,14 @@ class JobOutcome:
     """Terminal record for one job of a plan."""
 
     job: Job
-    status: str = "pending"          # "ok" | "failed"
+    status: str = "pending"          # "ok" | "failed" | "poisoned"
     value: Any = None
     error: str | None = None
     error_type: str | None = None    # exception class name, if failed
     attempts: int = 0
     wall_s: float = 0.0
     cache_hit: bool = False
+    worker: str | None = None        # who computed it, when known
 
     @property
     def ok(self) -> bool:
@@ -224,6 +244,12 @@ class SweepRunner:
         A :class:`~repro.reliability.FaultInjector` whose planned
         faults are injected at dispatch time (cache keys stay those of
         the original jobs).
+    max_failure_rate:
+        Circuit breaker: abort the plan with
+        :class:`CircuitOpenError` (a structured summary attached) once
+        the failure rate among *executed* jobs — cache hits don't
+        count — exceeds this fraction, instead of grinding through a
+        doomed grid.  Needs at least ``3`` executed failures to trip.
     """
 
     def __init__(self, workers: int = 1,
@@ -238,7 +264,8 @@ class SweepRunner:
                  strict: bool = False,
                  journal: RunJournal | str | Path | None = None,
                  resume: bool = False,
-                 fault_injector: FaultInjector | None = None):
+                 fault_injector: FaultInjector | None = None,
+                 max_failure_rate: float | None = None):
         self.workers = max(int(workers), 1)
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
@@ -256,6 +283,12 @@ class SweepRunner:
             journal = RunJournal(journal, resume=resume)
         self.journal = journal
         self.fault_injector = fault_injector
+        if max_failure_rate is not None and not 0 < max_failure_rate <= 1:
+            raise ValueError("max_failure_rate must be in (0, 1]")
+        self.max_failure_rate = max_failure_rate
+        self._exec_ok = 0
+        self._exec_failed = 0
+        self._breaker_errors: list[dict] = []
 
     # ------------------------------------------------------------------
     def run(self, plan: SweepPlan) -> SweepResult:
@@ -290,6 +323,9 @@ class SweepRunner:
 
     # ------------------------------------------------------------------
     def _run(self, plan: SweepPlan) -> list[JobOutcome]:
+        self._exec_ok = 0
+        self._exec_failed = 0
+        self._breaker_errors = []
         outcomes = [JobOutcome(job=job) for job in plan.jobs]
         keys = [job_key(job, self.salt) for job in plan.jobs]
         pending: deque[tuple[int, int, float]] = deque()
@@ -369,12 +405,14 @@ class SweepRunner:
                             time.sleep(delay)
                         attempt += 1
                         continue
+                    outcomes[index].worker = "in-process"
                     self._record_failure(plan, index, job, key,
                                          outcomes[index], attempt,
                                          elapsed, "error", error, error_type)
                     break
                 else:
                     elapsed = time.perf_counter() - started
+                    outcomes[index].worker = "in-process"
                     self._record_success(plan, index, job, key,
                                          outcomes[index], attempt,
                                          elapsed, value)
@@ -439,6 +477,7 @@ class SweepRunner:
                         # reporting): drop it.
                         continue
                     attempt = worker.attempt
+                    outcomes[index].worker = f"pid:{worker.proc.pid}"
                     worker.release()
                     job, key = plan.jobs[index], keys[index]
                     if status == "ok":
@@ -465,6 +504,7 @@ class SweepRunner:
                     if worker.deadline is not None and now > worker.deadline:
                         job, key = plan.jobs[index], keys[index]
                         attempt = worker.attempt
+                        outcomes[index].worker = f"pid:{worker.proc.pid}"
                         del busy[index]
                         worker.stop(kill=True)
                         workers[workers.index(worker)] = _Worker(ctx, result_q)
@@ -480,6 +520,7 @@ class SweepRunner:
                         job, key = plan.jobs[index], keys[index]
                         attempt = worker.attempt
                         exitcode = worker.proc.exitcode
+                        outcomes[index].worker = f"pid:{worker.proc.pid}"
                         del busy[index]
                         worker.stop(kill=True)
                         workers[workers.index(worker)] = _Worker(ctx, result_q)
@@ -550,6 +591,7 @@ class SweepRunner:
         outcome.value = value
         outcome.attempts = attempt
         outcome.wall_s = elapsed
+        self._exec_ok += 1
         if self.cache is not None:
             self.cache.put(key, value, meta={"plan": plan.name,
                                              "job": job.tag})
@@ -563,7 +605,36 @@ class SweepRunner:
         outcome.error_type = error_type
         outcome.attempts = attempt
         outcome.wall_s = elapsed
+        self._exec_failed += 1
+        self._breaker_errors.append({"job": job.tag, "reason": reason,
+                                     "error_type": error_type})
         self._finish(plan, index, job, key, outcome, reason=reason)
+        self._check_breaker(plan)
+
+    def _check_breaker(self, plan) -> None:
+        """Open the circuit when executed failures exceed the budget."""
+        if self.max_failure_rate is None:
+            return
+        executed = self._exec_ok + self._exec_failed
+        if self._exec_failed < _BREAKER_MIN_FAILURES or not executed:
+            return
+        rate = self._exec_failed / executed
+        if rate <= self.max_failure_rate:
+            return
+        summary = {
+            "plan": plan.name,
+            "executed": executed,
+            "executed_failed": self._exec_failed,
+            "failure_rate": round(rate, 4),
+            "max_failure_rate": self.max_failure_rate,
+            "first_errors": self._breaker_errors[:5],
+        }
+        self.telemetry.emit("circuit_open", **summary)
+        raise CircuitOpenError(
+            f"circuit breaker opened for plan {plan.name!r}: "
+            f"{self._exec_failed}/{executed} executed jobs failed "
+            f"({rate:.0%} > {self.max_failure_rate:.0%} allowed)",
+            summary)
 
     def _finish(self, plan, index, job, key, outcome: JobOutcome,
                 reason: str | None = None) -> None:

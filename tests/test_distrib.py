@@ -1,0 +1,634 @@
+"""Tests for the distributed work-queue executor (`repro.runtime.distrib`).
+
+Three layers, increasingly end-to-end:
+
+* the pure :class:`PlanState` lease state machine with injected time —
+  every fault-tolerance transition is asserted deterministically;
+* the NDJSON wire protocol's validation;
+* a real broker serving real worker *subprocesses* (resolvable job
+  targets live at module level), including chaos-injected crashes,
+  poison quarantine, heartbeat-kept long jobs, and the acceptance
+  test: a fig08-style grid run across 3 workers with crash faults and
+  a SIGKILLed broker, resumed elastically with a different worker
+  count, whose merged result is bitwise-identical (by SHA-256 of the
+  pickled values) to a single-host serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.reliability import CRASH_EXIT_CODE, FaultInjector
+from repro.runtime import Job, ResultCache, SweepPlan, SweepRunner
+from repro.runtime.distrib import (
+    FAILED,
+    OK,
+    PENDING,
+    POISONED,
+    REVOKED_EXIT_CODE,
+    BrokerConfig,
+    DistribProtocolError,
+    PlanState,
+    SweepBroker,
+    WireLimits,
+    decode_value,
+    encode,
+    encode_value,
+    parse_message,
+)
+from repro.runtime.distrib.cli import values_digest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# Worker-resolvable job targets and chaos factories
+# ----------------------------------------------------------------------
+def _simulate(seed: int, sleep_s: float = 0.0) -> dict:
+    """Deterministic seeded computation (stand-in for a design point)."""
+    import numpy as np
+    if sleep_s:
+        time.sleep(sleep_s)
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=128)
+    return {"seed": seed, "mean": float(values.mean()),
+            "norm": float(np.linalg.norm(values))}
+
+
+def _make_plan(n: int, sleep_s: float = 0.0,
+               name: str = "distrib-test") -> SweepPlan:
+    return SweepPlan(name, [
+        Job(fn="tests.test_distrib:_simulate",
+            kwargs={"seed": s, "sleep_s": sleep_s}, tag=f"sim/{s}")
+        for s in range(n)])
+
+
+#: Shape of the acceptance-test grid (fig08-style: one job per design
+#: point), shared by the broker subprocess and the in-test serial run.
+CHAOS_PLAN_JOBS = 12
+CHAOS_PLAN_SLEEP = 0.25
+
+
+def make_chaos_plan() -> SweepPlan:
+    """``--plan`` factory for the acceptance test's broker subprocess."""
+    return _make_plan(CHAOS_PLAN_JOBS, sleep_s=CHAOS_PLAN_SLEEP,
+                      name="chaos-grid")
+
+
+def make_chaos_injector() -> FaultInjector:
+    """``--chaos`` factory: two crash faults, state dir from the env."""
+    injector = FaultInjector(os.environ["DISTRIB_CHAOS_DIR"], seed=0)
+    injector.inject("sim/2", "crash", times=1)
+    injector.inject("sim/6", "crash", times=1)
+    return injector
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def roundtrip(self, payload):
+        return parse_message(encode(payload), WireLimits())
+
+    def test_valid_ops_roundtrip(self):
+        for payload in (
+                {"op": "hello", "worker": "w1", "pid": 42},
+                {"op": "lease", "worker": "w1"},
+                {"op": "heartbeat", "worker": "w1", "index": 3,
+                 "token": "3.1.7"},
+                {"op": "result", "worker": "w1", "index": 0,
+                 "token": "0.1.7", "status": "ok", "value_b64": "xxx"},
+                {"op": "result", "worker": "w1", "index": 0,
+                 "token": "0.1.7", "status": "error", "error": "boom"},
+                {"op": "stats"},
+                {"op": "goodbye", "worker": "w1"}):
+            assert self.roundtrip(payload)["op"] == payload["op"]
+
+    @pytest.mark.parametrize("line", [
+        b"not json\n",
+        b"[1, 2]\n",
+        b'{"worker": "w"}\n',                       # no op
+        b'{"op": "launch-missiles"}\n',             # unknown op
+        b'{"op": "lease"}\n',                       # missing worker
+        b'{"op": "heartbeat", "worker": "w", "token": "t"}\n',
+        b'{"op": "heartbeat", "worker": "w", "index": true, '
+        b'"token": "t"}\n',                         # bool is not an index
+        b'{"op": "heartbeat", "worker": "w", "index": -1, '
+        b'"token": "t"}\n',
+        b'{"op": "heartbeat", "worker": "w", "index": 1, "token": ""}\n',
+        b'{"op": "result", "worker": "w", "index": 0, "token": "t", '
+        b'"status": "maybe"}\n',
+    ])
+    def test_malformed_messages_rejected(self, line):
+        with pytest.raises(DistribProtocolError):
+            parse_message(line, WireLimits())
+
+    def test_oversized_line_rejected(self):
+        limits = WireLimits(max_line_bytes=64)
+        with pytest.raises(DistribProtocolError, match="exceeds"):
+            parse_message(encode({"op": "hello", "worker": "w",
+                                  "pad": "x" * 200}), limits)
+
+    def test_overlong_worker_id_rejected(self):
+        with pytest.raises(DistribProtocolError, match="worker"):
+            parse_message(encode({"op": "hello", "worker": "w" * 300}),
+                          WireLimits())
+
+    def test_value_codec_roundtrips_numpy(self):
+        import numpy as np
+        value = {"rows": np.arange(6.0).reshape(2, 3), "label": "fig08"}
+        decoded = decode_value(encode_value(value))
+        assert decoded["label"] == "fig08"
+        assert np.array_equal(decoded["rows"], value["rows"])
+
+    def test_value_codec_rejects_garbage(self):
+        with pytest.raises(DistribProtocolError):
+            decode_value("!!!not-base64!!!")
+        with pytest.raises(DistribProtocolError):
+            decode_value("aGVsbG8=")  # valid base64, not a pickle
+
+
+# ----------------------------------------------------------------------
+# PlanState: the pure lease state machine (time injected)
+# ----------------------------------------------------------------------
+def _state(n=3, **kw) -> PlanState:
+    plan = _make_plan(n)
+    keys = [f"k{i}" for i in range(n)]
+    defaults = dict(lease_s=10.0, max_attempts=3, backoff=1.0,
+                    poison_after=3, session=99)
+    defaults.update(kw)
+    return PlanState(plan, keys, **defaults)
+
+
+class TestPlanState:
+    def test_grant_and_complete_happy_path(self):
+        state = _state(2)
+        verdict, rec = state.grant("w1", now=0.0)
+        assert verdict == "grant"
+        assert rec.index == 0 and rec.attempt == 1
+        assert rec.token == "0.1.99"
+        assert rec.lease_expires == 10.0
+        verdict, done = state.complete(0, rec.token, status="ok",
+                                       now=1.0, value={"v": 1}, wall_s=1.0)
+        assert verdict == "accepted" and done.status == OK
+        assert done.value == {"v": 1} and done.token is None
+
+    def test_all_leased_answers_wait(self):
+        state = _state(1)
+        state.grant("w1", now=0.0)
+        verdict, delay = state.grant("w2", now=0.0)
+        assert verdict == "wait" and 0 < delay <= state.lease_s
+
+    def test_done_when_terminal(self):
+        state = _state(1)
+        _, rec = state.grant("w1", now=0.0)
+        state.complete(0, rec.token, status="ok", now=0.5, value=1)
+        assert state.terminal
+        assert state.grant("w2", now=1.0) == ("done", None)
+
+    def test_heartbeat_renews_lease(self):
+        state = _state(1)
+        _, rec = state.grant("w1", now=0.0)
+        verdict, _ = state.heartbeat(0, rec.token, now=8.0)
+        assert verdict == "ok" and rec.lease_expires == 18.0
+        assert state.reap(now=17.0) == []  # renewed past the old expiry
+
+    def test_stale_heartbeat_and_result_discarded(self):
+        state = _state(1)
+        _, rec = state.grant("w1", now=0.0)
+        old_token = rec.token
+        assert state.reap(now=11.0) == [("lease_expired", rec)]
+        # The zombie's renewals and result no longer own the job.
+        assert state.heartbeat(0, old_token, now=11.5)[0] == "stale"
+        verdict, _ = state.complete(0, old_token, status="ok", now=12.0,
+                                    value=42)
+        assert verdict == "stale"
+        assert state.stale_results == 1 and state.stale_heartbeats == 1
+        # Exactly one result still lands, through the new token.
+        _, again = state.grant("w2", now=13.0)
+        assert again.index == 0 and again.token != old_token
+        assert state.complete(0, again.token, status="ok", now=14.0,
+                              value=7)[0] == "accepted"
+        assert state.jobs[0].value == 7
+
+    def test_lease_expiry_requeues_with_backoff(self):
+        state = _state(1, backoff=2.0)
+        _, rec = state.grant("w1", now=0.0)
+        state.reap(now=11.0)
+        assert rec.status == PENDING and rec.deaths == 1
+        assert rec.ready_at == 11.0 + 2.0  # backoff * 2**(attempt-1)
+        verdict, delay = state.grant("w2", now=11.5)
+        assert verdict == "wait" and delay == pytest.approx(1.5)
+        assert state.grant("w2", now=13.5)[0] == "grant"
+
+    def test_hard_timeout_revokes_heartbeating_attempt(self):
+        state = _state(1, job_timeout=5.0)
+        _, rec = state.grant("w1", now=0.0)
+        # Heartbeats keep arriving, but the attempt outlived its budget.
+        assert state.heartbeat(0, rec.token, now=4.0)[0] == "ok"
+        verdict, revoked = state.heartbeat(0, rec.token, now=6.0)
+        assert verdict == "revoked" and revoked is rec
+        assert rec.status == PENDING and rec.deaths == 1
+
+    def test_reap_revokes_past_attempt_deadline(self):
+        state = _state(1, job_timeout=3.0)
+        _, rec = state.grant("w1", now=0.0)
+        assert state.reap(now=4.0) == [("revoked", rec)]
+        assert rec.deaths == 1
+
+    def test_disconnect_releases_only_that_workers_leases(self):
+        state = _state(3)
+        _, a = state.grant("w1", now=0.0)
+        _, b = state.grant("w2", now=0.0)
+        transitions = state.release_worker("w1", now=1.0)
+        assert transitions == [("disconnect", a)]
+        assert a.status == PENDING and b.status == "leased"
+
+    def test_poison_after_repeated_worker_deaths(self):
+        state = _state(1, poison_after=2, max_attempts=10)
+        for round_no in range(2):
+            _, rec = state.grant(f"w{round_no}", now=float(100 * round_no))
+            state.release_worker(f"w{round_no}",
+                                 now=float(100 * round_no + 1))
+        assert rec.status == POISONED
+        assert rec.error_type == "PoisonJob"
+        assert "quarantined as poison after 2 worker death(s)" in rec.error
+        assert "disconnect" in rec.error  # evidence lines
+
+    def test_structured_errors_never_poison(self):
+        """A job that *returns* errors is retried, then failed — the
+        workers survived, so it is not poison evidence."""
+        state = _state(1, max_attempts=3, poison_after=2, backoff=0.0)
+        for n in range(3):
+            _, rec = state.grant("w1", now=float(10 * n))
+            state.complete(rec.index, rec.token, status="error",
+                           now=float(10 * n + 1), error="Traceback ...",
+                           error_type="ValueError")
+        assert rec.status == FAILED and rec.deaths == 0
+        assert rec.error_type == "ValueError"
+
+    def test_attempts_exhausted_by_deaths_fails_with_evidence(self):
+        state = _state(1, max_attempts=2, poison_after=5)
+        for n in range(2):
+            _, rec = state.grant("w1", now=float(100 * n))
+            state.reap(now=float(100 * n) + 11.0)
+        assert rec.status == FAILED
+        assert rec.error_type == "WorkerDeath"
+
+    def test_mark_cached_resolves_without_attempts(self):
+        state = _state(2)
+        rec = state.mark_cached(1, {"seed": 1})
+        assert rec.status == OK and rec.cache_hit and rec.attempt == 0
+
+    def test_restore_replays_queue_state_exactly(self):
+        state = _state(4, max_attempts=3)
+        state.restore([
+            {"event": "lease", "index": 0, "attempt": 2, "key": "k0"},
+            {"event": "requeue", "index": 0, "attempt": 2, "deaths": 1},
+            {"event": "job", "index": 1, "status": "ok", "attempts": 1},
+            {"event": "job", "index": 2, "status": "failed",
+             "attempts": 3, "error_type": "ValueError"},
+            {"event": "poison", "index": 3, "deaths": 3,
+             "error": "quarantined"},
+            {"event": "from-the-future", "index": 0},   # unknown: ignored
+            {"event": "lease", "index": 99, "attempt": 1},  # bad index
+            {"event": "lease"},                          # missing fields
+        ])
+        # In-flight attempt stays consumed; the job itself is pending.
+        assert state.jobs[0].status == PENDING
+        assert state.jobs[0].attempt == 2 and state.jobs[0].deaths == 1
+        # "ok" is NOT trusted from the journal — the cache is the
+        # authority on recoverable values; this job re-executes.
+        assert state.jobs[1].status == PENDING
+        assert state.jobs[2].status == FAILED
+        assert state.jobs[2].error_type == "ValueError"
+        assert state.jobs[3].status == POISONED
+
+    def test_counts_shape(self):
+        state = _state(2)
+        state.grant("w1", now=0.0)
+        counts = state.counts()
+        assert counts["jobs"] == 2 and counts["leased"] == 1
+        assert counts["pending"] == 1
+        for key in ("ok", "failed", "poisoned", "requeues",
+                    "stale_results", "stale_heartbeats"):
+            assert counts[key] == 0
+
+
+# ----------------------------------------------------------------------
+# Broker + worker subprocesses
+# ----------------------------------------------------------------------
+def _worker_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), str(REPO_ROOT),
+                    env.get("PYTHONPATH", "")) if p)
+    return env
+
+
+def _spawn_worker(port, *, cache=None, retries=3, env=None):
+    cmd = [sys.executable, "-m", "repro.runtime.distrib", "worker",
+           "--connect", f"127.0.0.1:{port}",
+           "--connect-retries", str(retries)]
+    if cache is not None:
+        cmd += ["--cache-dir", str(cache)]
+    return subprocess.Popen(cmd, env=env or _worker_env(), cwd=REPO_ROOT,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+
+def _start_broker(plan, **kwargs):
+    broker = SweepBroker(plan, **kwargs)
+    box = {}
+
+    def serve():
+        box["result"] = broker.run()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert broker.started.wait(15), "broker never bound its listener"
+    return broker, thread, box
+
+
+def _finish(thread, box, workers=(), timeout=90):
+    thread.join(timeout)
+    assert not thread.is_alive(), "broker did not finish"
+    codes = []
+    for proc in workers:
+        try:
+            codes.append(proc.wait(timeout=30))
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            codes.append(None)
+    return box["result"], codes
+
+
+class TestBrokerIntegration:
+    def test_two_workers_match_serial_run(self, tmp_path):
+        plan = _make_plan(8)
+        broker, thread, box = _start_broker(
+            plan, cache=tmp_path / "cache",
+            config=BrokerConfig(lease_s=5.0))
+        workers = [_spawn_worker(broker.port, cache=tmp_path / "cache")
+                   for _ in range(2)]
+        result, codes = _finish(thread, box, workers)
+        assert codes == [0, 0]
+        assert result.ok
+        serial = SweepRunner().run(_make_plan(8))
+        assert result.values == serial.values
+        assert all(o.worker for o in result.outcomes)
+        assert result.summary["jobs"] == 8
+
+    def test_cache_hits_resolve_before_any_worker(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        plan = _make_plan(4)
+        SweepRunner(cache=cache).run(_make_plan(4))  # warm every key
+        broker, thread, box = _start_broker(plan, cache=cache)
+        result, _ = _finish(thread, box)  # no workers needed at all
+        assert result.ok
+        assert all(o.cache_hit for o in result.outcomes)
+
+    def test_heartbeats_keep_a_long_job_leased(self, tmp_path):
+        # The job takes ~4 lease windows; heartbeats must renew it.
+        plan = _make_plan(2, sleep_s=2.0)
+        broker, thread, box = _start_broker(
+            plan, cache=tmp_path / "cache",
+            config=BrokerConfig(lease_s=0.5))
+        workers = [_spawn_worker(broker.port, cache=tmp_path / "cache")
+                   for _ in range(2)]
+        result, codes = _finish(thread, box, workers)
+        assert result.ok and codes == [0, 0]
+        assert broker.state.counts()["requeues"] == 0
+        assert all(o.attempts == 1 for o in result.outcomes)
+
+    def test_chaos_crash_requeues_and_still_matches_serial(self, tmp_path):
+        injector = FaultInjector(tmp_path / "chaos", seed=0)
+        injector.inject("sim/1", "crash", times=1)
+        plan = _make_plan(6)
+        journal = tmp_path / "run.jsonl"
+        broker, thread, box = _start_broker(
+            plan, cache=tmp_path / "cache", journal=journal,
+            fault_injector=injector,
+            config=BrokerConfig(lease_s=5.0, backoff=0.05))
+        workers = [_spawn_worker(broker.port, cache=tmp_path / "cache")
+                   for _ in range(2)]
+        result, codes = _finish(thread, box, workers)
+        assert result.ok
+        # One worker died to the injected crash (CRASH_EXIT_CODE)...
+        assert sorted(codes) == sorted([0, CRASH_EXIT_CODE])
+        assert broker.state.counts()["requeues"] >= 1
+        # ...and the merged values are still bitwise those of a clean run.
+        serial = SweepRunner().run(_make_plan(6))
+        assert result.values == serial.values
+        events = [json.loads(line)
+                  for line in journal.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert "lease" in kinds and "requeue" in kinds
+        requeue = next(e for e in events if e["event"] == "requeue")
+        assert requeue["reason"] == "disconnect"
+
+    def test_poison_job_quarantined_with_evidence(self, tmp_path):
+        injector = FaultInjector(tmp_path / "chaos", seed=0)
+        injector.inject("sim/0", "crash", times=10)  # kills every taker
+        plan = _make_plan(4)
+        broker, thread, box = _start_broker(
+            plan, cache=tmp_path / "cache", fault_injector=injector,
+            config=BrokerConfig(lease_s=5.0, backoff=0.05,
+                                poison_after=2, max_attempts=10))
+        # Two workers die to the poison job; a third finishes the rest.
+        first = _spawn_worker(broker.port, cache=tmp_path / "cache")
+        assert first.wait(timeout=30) == CRASH_EXIT_CODE
+        second = _spawn_worker(broker.port, cache=tmp_path / "cache")
+        assert second.wait(timeout=30) == CRASH_EXIT_CODE
+        third = _spawn_worker(broker.port, cache=tmp_path / "cache")
+        result, codes = _finish(thread, box, [third])
+        assert codes == [0]
+        poisoned = result.outcomes[0]
+        assert poisoned.status == "poisoned"
+        assert "quarantined as poison" in poisoned.error
+        assert all(o.ok for o in result.outcomes[1:])
+        assert not result.ok
+        assert broker.state.counts()["poisoned"] == 1
+
+    def test_hard_job_timeout_revokes_wedged_worker(self, tmp_path):
+        plan = _make_plan(1, sleep_s=30.0)
+        broker, thread, box = _start_broker(
+            plan, cache=tmp_path / "cache",
+            config=BrokerConfig(lease_s=0.4, job_timeout=1.0,
+                                max_attempts=1, backoff=0.0))
+        worker = _spawn_worker(broker.port, cache=tmp_path / "cache")
+        result, codes = _finish(thread, box, [worker])
+        # The heartbeat thread hard-exited the wedged worker process.
+        assert codes == [REVOKED_EXIT_CODE]
+        assert result.outcomes[0].status == "failed"
+        assert result.outcomes[0].error_type == "WorkerDeath"
+
+    def test_stats_op_over_the_wire(self, tmp_path):
+        import socket as socket_mod
+        plan = _make_plan(2, sleep_s=1.5)
+        broker, thread, box = _start_broker(plan, cache=tmp_path / "cache")
+        worker = _spawn_worker(broker.port, cache=tmp_path / "cache")
+        time.sleep(0.5)  # let it lease something
+        with socket_mod.create_connection(("127.0.0.1", broker.port),
+                                          timeout=10) as sock:
+            sock.sendall(encode({"op": "stats"}))
+            stats = json.loads(sock.makefile("rb").readline())
+        assert stats["op"] == "stats"
+        assert stats["jobs"] == 2
+        assert stats["plan"] == plan.name
+        assert "distrib_grants" in stats["metrics"].replace(".", "_") \
+            or "distrib" in stats["metrics"]
+        _finish(thread, box, [worker])
+
+
+# ----------------------------------------------------------------------
+# Acceptance: chaos grid across 3 workers, broker SIGKILLed mid-plan,
+# resumed elastically with 2 — merged result bitwise-identical to a
+# single-host serial run.
+# ----------------------------------------------------------------------
+def _spawn_broker_subprocess(tmp_path, *, resume, env):
+    cmd = [sys.executable, "-m", "repro.runtime.distrib", "broker",
+           "--plan", "tests.test_distrib:make_chaos_plan",
+           "--chaos", "tests.test_distrib:make_chaos_injector",
+           "--cache-dir", str(tmp_path / "cache"),
+           "--journal", str(tmp_path / "run.jsonl"),
+           "--lease", "5", "--backoff", "0.05", "--max-attempts", "4",
+           "--poison-after", "4"]
+    if resume:
+        cmd.append("--resume")
+    return subprocess.Popen(cmd, env=env, cwd=REPO_ROOT,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+
+
+def _read_broker_port(proc, timeout=60):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError("broker exited before announcing a port: "
+                                 + proc.stderr.read())
+        if line.startswith("BROKER_PORT="):
+            return int(line.split("=", 1)[1])
+    raise AssertionError("timed out waiting for BROKER_PORT")
+
+
+def _journal_ok_count(journal: Path) -> int:
+    if not journal.exists():
+        return 0
+    count = 0
+    for line in journal.read_text().splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if record.get("event") == "job" and record.get("status") == "ok":
+            count += 1
+    return count
+
+
+@pytest.mark.slow
+class TestChaosAcceptance:
+    def test_killed_broker_resumes_bitwise_identical(self, tmp_path):
+        env = _worker_env()
+        env["DISTRIB_CHAOS_DIR"] = str(tmp_path / "chaos")
+        journal = tmp_path / "run.jsonl"
+
+        # --- Phase 1: 3 workers, crash faults firing, broker SIGKILLed.
+        broker1 = _spawn_broker_subprocess(tmp_path, resume=False, env=env)
+        try:
+            port = _read_broker_port(broker1)
+            phase1_workers = [_spawn_worker(port, cache=tmp_path / "cache",
+                                            retries=1, env=env)
+                              for _ in range(3)]
+            deadline = time.monotonic() + 120
+            while _journal_ok_count(journal) < 3:
+                assert time.monotonic() < deadline, (
+                    "phase 1 never completed 3 jobs")
+                assert broker1.poll() is None, (
+                    "broker died early: " + broker1.stderr.read())
+                time.sleep(0.1)
+            os.kill(broker1.pid, signal.SIGKILL)
+            broker1.wait(timeout=30)
+        finally:
+            if broker1.poll() is None:
+                broker1.kill()
+        for proc in phase1_workers:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        done_before = _journal_ok_count(journal)
+        assert done_before >= 3
+
+        # --- Phase 2: resume with a *different* worker count (2), run
+        # under a tiny supervisor — leftover crash faults may still
+        # kill workers, and elasticity means replacements just join.
+        broker2 = _spawn_broker_subprocess(tmp_path, resume=True, env=env)
+        retired: list[int] = []
+        try:
+            port = _read_broker_port(broker2)
+            stdout_box: dict = {}
+            drainer = threading.Thread(
+                target=lambda: stdout_box.update(
+                    out=broker2.stdout.read()), daemon=True)
+            drainer.start()
+            live = [_spawn_worker(port, cache=tmp_path / "cache",
+                                  retries=3, env=env) for _ in range(2)]
+            deadline = time.monotonic() + 180
+            while broker2.poll() is None:
+                assert time.monotonic() < deadline, "phase 2 stalled"
+                for i, proc in enumerate(live):
+                    code = proc.poll()
+                    if code is not None and broker2.poll() is None \
+                            and len(retired) < 8:
+                        retired.append(code)
+                        live[i] = _spawn_worker(
+                            port, cache=tmp_path / "cache", retries=3,
+                            env=env)
+                time.sleep(0.2)
+            assert broker2.wait(timeout=30) == 0, broker2.stderr.read()
+            drainer.join(timeout=30)
+            out = stdout_box["out"]
+        finally:
+            if broker2.poll() is None:
+                broker2.kill()
+            for proc in live:
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        # Mid-phase exits are chaos crashes or clean done-drain exits
+        # (a worker can finish while the broker lingers), nothing else.
+        assert all(code in (0, CRASH_EXIT_CODE) for code in retired)
+
+        digest_line = next(line for line in out.splitlines()
+                           if line.startswith("RESULT_SHA256="))
+        distributed_digest = digest_line.split("=", 1)[1]
+
+        # --- The proof: bitwise-identical to a single-host serial run
+        # (per-value pickle digests, chained — see values_digest).
+        serial = SweepRunner().run(make_chaos_plan())
+        assert distributed_digest == values_digest(serial.values)
+
+        # --- Journal forensics: chaos requeues happened, the second
+        # session resumed prior work, and every job is terminal ok.
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        headers = [r for r in records if r.get("event") == "plan"]
+        assert len(headers) == 2
+        assert headers[1]["resumed"] >= 3
+        requeues = [r for r in records if r.get("event") == "requeue"]
+        assert requeues, "injected crashes never produced a requeue"
+        assert _journal_ok_count(journal) >= CHAOS_PLAN_JOBS

@@ -468,3 +468,77 @@ class TestRunJournal:
     def test_fingerprint_is_order_sensitive(self):
         assert plan_fingerprint(self.KEYS) != \
             plan_fingerprint(list(reversed(self.KEYS)))
+
+    def test_torn_tail_mid_queue_event_still_resumes(self, tmp_path):
+        """The broker dying mid-append of a *queue* event must not cost
+        any recorded progress."""
+        path = tmp_path / "run.journal"
+        journal = RunJournal(path)
+        journal.begin("plan-a", self.KEYS)
+        journal.record(index=0, key=self.KEYS[0], tag="job/0", status="ok")
+        journal.record_event("lease", index=1, key=self.KEYS[1],
+                             worker="w1", attempt=1, token="1.1.9")
+        journal.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"event": "requeue", "index": 1, "rea')  # SIGKILL
+        reopened = RunJournal(path, resume=True)
+        done = reopened.begin("plan-a", self.KEYS)
+        assert done == {self.KEYS[0]}
+        reopened.close()
+        # load() after the new session header sees only that session.
+        header, _ = RunJournal(path).load()
+        assert header["resumed"] == 1
+
+    def test_load_returns_queue_events_in_order(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = RunJournal(path)
+        journal.begin("plan-a", self.KEYS)
+        journal.record_event("lease", index=0, attempt=1)
+        journal.record_event("requeue", index=0, reason="disconnect",
+                             attempt=1, deaths=1)
+        journal.record(index=0, key=self.KEYS[0], tag="job/0",
+                       status="failed", error_type="WorkerDeath")
+        journal.close()
+        _, records = RunJournal(path).load()
+        assert [r["event"] for r in records] == ["lease", "requeue", "job"]
+
+    def test_mixed_version_records_tolerated(self, tmp_path):
+        """Unknown event kinds, missing optional fields, and non-object
+        JSON lines from another producer version are all skipped or
+        passed through — never fatal."""
+        path = tmp_path / "run.journal"
+        self._write_session(path, ["ok"])
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"event": "gpu_migration", "index": 2}\n')  # future
+            fh.write('{"event": "job", "key": "%s", "status": "ok"}\n'
+                     % self.KEYS[1])  # no attempts/cache fields
+            fh.write('[1, 2, 3]\n')                   # non-object line
+            fh.write('"just a string"\n')
+            fh.write('{"no_event_field": true}\n')
+        journal = RunJournal(path, resume=True)
+        done = journal.begin("plan-a", self.KEYS)
+        assert done == {self.KEYS[0], self.KEYS[1]}
+        journal.close()
+        _, records = RunJournal(path).load()
+        kinds = {r["event"] for r in records}
+        assert "gpu_migration" not in kinds  # new session, old one gone
+
+    def test_ok_for_foreign_key_not_trusted(self, tmp_path):
+        """A journal 'ok' whose key is not in this plan never resumes."""
+        path = tmp_path / "run.journal"
+        journal = RunJournal(path)
+        journal.begin("plan-a", self.KEYS)
+        journal.record(index=0, key="f" * 64, tag="alien", status="ok")
+        journal.close()
+        reopened = RunJournal(path, resume=True)
+        assert reopened.begin("plan-a", self.KEYS) == set()
+        reopened.close()
+
+    def test_record_event_reserves_structural_kinds(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.journal")
+        journal.begin("plan-a", self.KEYS)
+        with pytest.raises(ValueError, match="reserved"):
+            journal.record_event("plan", plan="sneaky")
+        with pytest.raises(ValueError, match="reserved"):
+            journal.record_event("job", index=0)
+        journal.close()

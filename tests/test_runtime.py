@@ -10,6 +10,8 @@ from __future__ import annotations
 import json
 import os
 import signal
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -17,6 +19,7 @@ import pytest
 
 from repro.core import EnhanceConfig, SwordfishConfig
 from repro.runtime import (
+    CircuitOpenError,
     Job,
     JsonlSink,
     ResultCache,
@@ -70,6 +73,10 @@ def _suicide() -> None:
 
 def _unpicklable():
     return lambda x: x
+
+
+def _always_fails(x: int) -> None:
+    raise RuntimeError(f"doomed design point {x}")
 
 
 # ----------------------------------------------------------------------
@@ -165,6 +172,39 @@ class TestResultCache:
         cache.path_for(key).write_bytes(b"not a pickle")
         hit, value = cache.lookup(key)
         assert not hit and value is None
+
+    def test_concurrent_same_key_writes_from_two_processes(self, tmp_path):
+        """Two processes hammering put()+lookup() on the same key (the
+        shared-cache-dir distributed-worker scenario) must never
+        produce a miss, a wrong value, or a quarantined entry."""
+        key = "ee" + "3" * 62
+        script = (
+            "import sys\n"
+            "from repro.runtime import ResultCache\n"
+            "cache = ResultCache(sys.argv[1])\n"
+            "value = {'rows': [1.5, 2.5], 'label': 'shared'}\n"
+            "for _ in range(60):\n"
+            "    cache.put(%r, value)\n"
+            "    hit, got = cache.lookup(%r)\n"
+            "    assert hit, 'concurrent lookup missed'\n"
+            "    assert got == value, got\n"
+            "assert cache.quarantined == 0\n" % (key, key))
+        env = dict(os.environ)
+        repo_root = Path(__file__).resolve().parents[1]
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(repo_root / "src"),
+                        env.get("PYTHONPATH", "")) if p)
+        procs = [subprocess.Popen([sys.executable, "-c", script,
+                                   str(tmp_path)],
+                                  env=env, stderr=subprocess.PIPE)
+                 for _ in range(2)]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+        cache = ResultCache(tmp_path)
+        assert cache.get(key) == {"rows": [1.5, 2.5], "label": "shared"}
+        assert cache.quarantined == 0
+        assert not list(cache.quarantine_dir.glob("*.bad"))
 
 
 # ----------------------------------------------------------------------
@@ -453,3 +493,87 @@ class TestFigureIntegration:
         record = json.loads(saved.read_text())
         assert record["experiment_id"] == "fig14_throughput"
         assert (tmp_path / "run.jsonl").exists()
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker: abort a doomed grid early
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def _doomed_plan(self, n: int, good: int = 0) -> SweepPlan:
+        jobs = [Job(fn="tests.test_runtime:_square", kwargs={"x": i},
+                    tag=f"sq/{i}") for i in range(good)]
+        jobs += [Job(fn="tests.test_runtime:_always_fails",
+                     kwargs={"x": i}, tag=f"doom/{i}")
+                 for i in range(n - good)]
+        return SweepPlan("doomed", jobs)
+
+    def test_trips_with_structured_summary(self):
+        events = []
+        telemetry = Telemetry()
+        telemetry.subscribe(events.append)
+        runner = SweepRunner(retries=0, max_failure_rate=0.5,
+                             telemetry=telemetry)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            runner.run(self._doomed_plan(10))
+        summary = excinfo.value.summary
+        assert summary["plan"] == "doomed"
+        assert summary["executed_failed"] == 3  # tripped at the floor
+        assert summary["failure_rate"] > 0.5
+        assert summary["max_failure_rate"] == 0.5
+        assert summary["first_errors"][0]["error_type"] == "RuntimeError"
+        assert any(e["event"] == "circuit_open" for e in events)
+
+    def test_is_a_sweep_error(self):
+        runner = SweepRunner(retries=0, max_failure_rate=0.1)
+        with pytest.raises(SweepError):
+            runner.run(self._doomed_plan(4))
+
+    def test_never_trips_below_minimum_failures(self):
+        """A 100% failure rate on 2 jobs stays below the 3-failure
+        floor — a barely-started grid is never aborted."""
+        runner = SweepRunner(retries=0, max_failure_rate=0.01)
+        result = runner.run(self._doomed_plan(2))
+        assert all(o.status == "failed" for o in result.outcomes)
+
+    def test_healthy_rate_never_trips(self):
+        runner = SweepRunner(retries=0, max_failure_rate=0.9)
+        result = runner.run(self._doomed_plan(8, good=4))
+        assert sum(o.status == "failed" for o in result.outcomes) == 4
+
+    def test_cache_hits_do_not_dilute_the_rate(self, tmp_path):
+        """9 cache hits + 3 executed failures is a 100% *executed*
+        failure rate — the breaker must still trip."""
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache, salt="cb").run(
+            SweepPlan("warm", [Job(fn="tests.test_runtime:_square",
+                                   kwargs={"x": i}, tag=f"sq/{i}")
+                               for i in range(9)]))
+        plan = SweepPlan("mixed", [
+            Job(fn="tests.test_runtime:_square", kwargs={"x": i},
+                tag=f"sq/{i}") for i in range(9)
+        ] + [Job(fn="tests.test_runtime:_always_fails", kwargs={"x": i},
+                 tag=f"doom/{i}") for i in range(3)])
+        runner = SweepRunner(cache=cache, salt="cb", retries=0,
+                             max_failure_rate=0.5)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            runner.run(plan)
+        assert excinfo.value.summary["executed"] == 3
+        assert excinfo.value.summary["failure_rate"] == 1.0
+
+    def test_breaker_works_in_parallel_mode(self):
+        runner = SweepRunner(workers=2, retries=0, max_failure_rate=0.5)
+        with pytest.raises(CircuitOpenError):
+            runner.run(self._doomed_plan(10))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="max_failure_rate"):
+            SweepRunner(max_failure_rate=0.0)
+        with pytest.raises(ValueError, match="max_failure_rate"):
+            SweepRunner(max_failure_rate=1.5)
+
+    def test_worker_attribution_on_outcomes(self):
+        serial = SweepRunner(workers=1).run(self._doomed_plan(2, good=2))
+        assert all(o.worker == "in-process" for o in serial.outcomes)
+        parallel = SweepRunner(workers=2).run(self._doomed_plan(4, good=4))
+        assert all(o.worker and o.worker.startswith("pid:")
+                   for o in parallel.outcomes)

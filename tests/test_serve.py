@@ -710,3 +710,213 @@ class TestCli:
         loaded = build_model(args)
         for key, value in model.state_dict().items():
             np.testing.assert_array_equal(loaded.state_dict()[key], value)
+
+
+# ----------------------------------------------------------------------
+# ServeClient bounded retry
+# ----------------------------------------------------------------------
+
+class _ScriptedServer:
+    """Minimal NDJSON server whose behavior is scripted per connection.
+
+    Behaviors, consumed in accept order (the last one repeats):
+
+    - ``"ok"``       — answer every request with ``{"status": "ok"}``.
+    - ``"draining"`` — answer every request with the server's drain
+      refusal (the exact shape ``BasecallServer`` emits).
+    - ``"reset"``    — hard-close the connection immediately (RST via
+      ``SO_LINGER 0``), before any request is read.
+    - ``"other"``    — answer with a non-retryable error response.
+    """
+
+    def __init__(self, behaviors: list[str]):
+        import socket
+
+        self.behaviors = list(behaviors)
+        self.connections = 0
+        self.requests: list[dict] = []
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            index = min(self.connections, len(self.behaviors) - 1)
+            behavior = self.behaviors[index]
+            self.connections += 1
+            threading.Thread(target=self._handle, args=(conn, behavior),
+                             daemon=True).start()
+
+    def _handle(self, conn, behavior: str) -> None:
+        import socket
+        import struct
+
+        try:
+            if behavior == "reset":
+                conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+                return
+            fh = conn.makefile("rb")
+            for line in fh:
+                request = json.loads(line)
+                self.requests.append(request)
+                if behavior == "draining":
+                    reply = error_response(request.get("id"), "draining",
+                                           "server is shutting down")
+                elif behavior == "other":
+                    reply = error_response(request.get("id"), "malformed",
+                                           "bad request")
+                else:
+                    reply = {"status": "ok", "op": request.get("op"),
+                             "id": request.get("id")}
+                conn.sendall((json.dumps(reply) + "\n").encode("ascii"))
+        except (OSError, ValueError):
+            pass
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+class TestServeClientRetry:
+    """Satellite: bounded, deterministic retry in :class:`ServeClient`."""
+
+    def _client(self, server: _ScriptedServer, retries: int = 0,
+                backoff: float = 0.0) -> ServeClient:
+        return ServeClient("127.0.0.1", server.port, timeout=5.0,
+                           retries=retries, retry_backoff=backoff)
+
+    def test_retries_through_draining_then_succeeds(self):
+        server = _ScriptedServer(["draining", "ok"])
+        try:
+            with self._client(server, retries=2) as client:
+                response = client.ping()
+            assert response["status"] == "ok"
+            # The draining refusal forced a reconnect: two connections,
+            # one request served on each.
+            assert server.connections == 2
+        finally:
+            server.close()
+
+    def test_retries_through_connection_reset_then_succeeds(self):
+        server = _ScriptedServer(["reset", "reset", "ok"])
+        try:
+            with self._client(server, retries=3) as client:
+                response = client.ping()
+            assert response["status"] == "ok"
+            assert server.connections == 3
+        finally:
+            server.close()
+
+    def test_backoff_schedule_is_deterministic(self):
+        server = _ScriptedServer(["reset", "reset", "ok"])
+        try:
+            sleeps: list[float] = []
+            import repro.serve.client as client_mod
+            original = client_mod.time.sleep
+
+            class _Clock:
+                def __getattr__(self, name):
+                    return getattr(time, name)
+
+                @staticmethod
+                def sleep(delay):
+                    sleeps.append(delay)
+                    original(0)
+
+            client_mod.time, saved = _Clock(), client_mod.time
+            try:
+                with self._client(server, retries=3,
+                                  backoff=0.25) as client:
+                    assert client.ping()["status"] == "ok"
+            finally:
+                client_mod.time = saved
+            # retry n sleeps retry_backoff * 2**(n-1): 0.25, 0.5, ...
+            assert sleeps == [0.25, 0.5]
+        finally:
+            server.close()
+
+    def test_zero_retries_returns_draining_response_untouched(self):
+        server = _ScriptedServer(["draining"])
+        try:
+            with self._client(server, retries=0) as client:
+                response = client.ping()
+            assert response["status"] == "error"
+            assert response["error"]["code"] == "draining"
+            assert server.connections == 1
+        finally:
+            server.close()
+
+    def test_zero_retries_raises_fast_on_reset(self):
+        server = _ScriptedServer(["reset"])
+        try:
+            client = self._client(server, retries=0)
+            with pytest.raises(ServeClientError,
+                               match=r"after 1 attempt\(s\)"):
+                client.ping()
+            client.abort()
+        finally:
+            server.close()
+
+    def test_exhausted_retries_raise_with_attempt_count(self):
+        server = _ScriptedServer(["reset"])
+        try:
+            client = self._client(server, retries=2)
+            with pytest.raises(ServeClientError,
+                               match=r"after 3 attempt\(s\)"):
+                client.ping()
+            client.abort()
+            assert server.connections == 3
+        finally:
+            server.close()
+
+    def test_non_draining_errors_are_not_retried(self):
+        server = _ScriptedServer(["other", "ok"])
+        try:
+            with self._client(server, retries=3) as client:
+                response = client.ping()
+            assert response["status"] == "error"
+            assert response["error"]["code"] == "malformed"
+            # No retry happened: one connection, one request.
+            assert server.connections == 1
+            assert len(server.requests) == 1
+        finally:
+            server.close()
+
+    def test_retry_against_real_draining_server(self, harness):
+        """A client with retries rides out a server drain refusal.
+
+        ``ping`` is answered inline even while draining, so this uses a
+        real read submission — the op the refusal actually guards.
+        """
+        harness.call(lambda: setattr(harness.server, "_draining", True))
+        try:
+            client = harness.client()
+            client.retries = 3
+            client.retry_backoff = 0.15
+
+            def undrain():
+                time.sleep(0.1)
+                harness.call(
+                    lambda: setattr(harness.server, "_draining", False))
+
+            helper = threading.Thread(target=undrain)
+            helper.start()
+            try:
+                response = client.basecall("retry-read", SIGNALS[0])
+            finally:
+                helper.join()
+                client.close()
+            assert response["status"] == "ok"
+            assert response["id"] == "retry-read"
+        finally:
+            harness.call(
+                lambda: setattr(harness.server, "_draining", False))
