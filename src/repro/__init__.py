@@ -17,7 +17,7 @@ Subpackages
                       harness, sweep journals, checkpoint/resume glue.
 """
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 from . import nn, genomics, basecaller, crossbar, arch, core, runtime
 from . import reliability

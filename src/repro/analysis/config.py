@@ -18,17 +18,26 @@ __all__ = ["AnalysisConfig", "DEFAULT_CONFIG", "CACHE_EXCLUDED_FIELDS"]
 # violation, so this list cannot silently rot.
 CACHE_EXCLUDED_FIELDS: dict[str, dict[str, str]] = {
     "SwordfishConfig": {
-        # Backends are bitwise-equivalent on identical seeds (the PR 2
-        # loop≡batched contract); letting the backend into the key
-        # would split the result cache for identical physics.
-        "vmm_backend": "execution backend is numerically equivalent; "
-                       "must not split the result cache",
+        # The literal backend string must not reach the key: exact
+        # backends (loop/batched) are bitwise-identical and must share
+        # entries.  Result identity instead carries the backend's
+        # *salt group* — runtime.cache.job_key folds
+        # BACKEND_CACHE_SALTS[resolved backend] into every key, which
+        # is what separates approximate (surrogate) results from exact
+        # ones without splitting the exact cache.
+        "vmm_backend": "cache identity carries the resolved backend's "
+                       "salt group (job_key's vmm component), not the "
+                       "literal backend string",
     },
     "CrossbarConfig": {
         # Same contract one level down: CrossbarConfig.backend selects
-        # the tile-engine execution path, never the modeled physics.
-        "backend": "execution backend is numerically equivalent; "
-                   "must not split the result cache",
+        # the tile-engine execution path; result identity is handled by
+        # the backend salt group, and the design-point key must stay
+        # backend-free so surrogate bundles train for a *design*, not
+        # an execution path.
+        "backend": "cache identity carries the resolved backend's salt "
+                   "group; the design-point key is execution-agnostic "
+                   "by contract",
     },
 }
 
@@ -40,6 +49,7 @@ class AnalysisConfig:
     # SWD002: dataclasses whose fields must reach to_dict/cache_key.
     config_classes: tuple[str, ...] = (
         "SwordfishConfig", "CrossbarConfig", "BonitoConfig", "EnhanceConfig",
+        "SurrogateMeta",
     )
     cache_excluded_fields: dict[str, dict[str, str]] = field(
         default_factory=lambda: CACHE_EXCLUDED_FIELDS)

@@ -1,0 +1,154 @@
+"""SWD014 — backend cache-salt policy coverage.
+
+VMM backends registered in ``repro.crossbar.engine.BACKENDS`` produce
+results that land in the content-addressed result cache; whether two
+backends may share cache entries is a *semantic* promise (bitwise
+identity), not an implementation detail.  That promise lives in
+``BACKEND_CACHE_SALTS`` — so a backend registered without a salt entry
+is a latent cache-poisoning bug: its results would either crash salt
+lookup or, worse, silently inherit another backend's entries.
+
+This rule makes the pairing mechanical at the registration site.  In
+any module that registers backends (a ``BACKENDS`` dict literal or
+``BACKENDS["name"] = ...`` subscript store):
+
+* every registered backend name must have an entry in a
+  ``BACKEND_CACHE_SALTS`` literal (or subscript store) in the same
+  module;
+* stale salt entries naming no registered backend are flagged, so the
+  policy table cannot rot;
+* dynamically computed registration keys are flagged as unverifiable —
+  the policy must be auditable from the source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, Rule, SourceModule
+
+__all__ = ["BackendSaltRule"]
+
+_REGISTRY_NAME = "BACKENDS"
+_SALTS_NAME = "BACKEND_CACHE_SALTS"
+
+
+def _target_names(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return node.targets
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        return [node.target]
+    return []
+
+
+def _literal_dict_keys(value: ast.expr) -> tuple[set[str], list[ast.expr]]:
+    """String keys of a dict literal + any non-literal key nodes."""
+    keys: set[str] = set()
+    opaque: list[ast.expr] = []
+    if isinstance(value, ast.Dict):
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+            elif key is not None:  # None key = ** expansion
+                opaque.append(key)
+            else:
+                opaque.append(value)
+    return keys, opaque
+
+
+class _RegistrySites:
+    """Names registered into one dict (literal + subscript stores)."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+        self.nodes: dict[str, ast.AST] = {}
+        self.opaque: list[ast.AST] = []
+        self.present = False
+
+    def add_literal(self, node: ast.AST, value: ast.expr) -> None:
+        self.present = True
+        keys, opaque = _literal_dict_keys(value)
+        for key in keys:
+            self.names.add(key)
+            self.nodes.setdefault(key, node)
+        self.opaque.extend(opaque)
+
+    def add_subscript(self, node: ast.Subscript) -> None:
+        self.present = True
+        sl = node.slice
+        if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+            self.names.add(sl.value)
+            self.nodes.setdefault(sl.value, node)
+        else:
+            self.opaque.append(node)
+
+
+def _collect(tree: ast.AST, registry: str) -> _RegistrySites:
+    sites = _RegistrySites()
+    for node in ast.walk(tree):
+        for target in _target_names(node) if isinstance(node, ast.stmt) \
+                else []:
+            if isinstance(target, ast.Name) and target.id == registry:
+                value = node.value
+                if isinstance(value, ast.Dict):
+                    sites.add_literal(node, value)
+                else:
+                    sites.present = True
+                    sites.opaque.append(node)
+            elif isinstance(target, ast.Subscript) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == registry:
+                sites.add_subscript(target)
+    return sites
+
+
+class BackendSaltRule(Rule):
+    id = "SWD014"
+    name = "backend-cache-salt-policy"
+    severity = "error"
+    hint = ("every backend registered in BACKENDS must carry an entry in "
+            "BACKEND_CACHE_SALTS in the same module (share 'exact' only "
+            "for bitwise-identical backends); remove stale salt entries "
+            "and keep registration keys literal")
+
+    def check(self, module: SourceModule, context) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        backends = _collect(module.tree, _REGISTRY_NAME)
+        if not backends.present:
+            return
+        salts = _collect(module.tree, _SALTS_NAME)
+
+        for node in backends.opaque:
+            yield self.finding(
+                module, node,
+                f"{_REGISTRY_NAME} registration with a non-literal key or "
+                f"value: the cache-salt policy cannot be verified from "
+                f"source")
+        for node in salts.opaque:
+            yield self.finding(
+                module, node,
+                f"{_SALTS_NAME} entry with a non-literal key: the "
+                f"cache-salt policy cannot be verified from source")
+
+        if not salts.present and backends.names:
+            names = ", ".join(sorted(backends.names))
+            yield self.finding(
+                module, backends.nodes[sorted(backends.names)[0]],
+                f"module registers VMM backends ({names}) but declares no "
+                f"{_SALTS_NAME} policy: results from different backends "
+                f"could share result-cache entries")
+            return
+
+        for name in sorted(backends.names - salts.names):
+            yield self.finding(
+                module, backends.nodes[name],
+                f"backend {name!r} is registered in {_REGISTRY_NAME} "
+                f"without a {_SALTS_NAME} entry — its cached results "
+                f"have no declared identity policy")
+        for name in sorted(salts.names - backends.names):
+            yield self.finding(
+                module, salts.nodes[name],
+                f"{_SALTS_NAME} names {name!r}, which is not a registered "
+                f"backend — remove the stale entry")

@@ -20,6 +20,7 @@ from .core import (
     iter_python_files,
 )
 from .rules_alias import AliasHazardRule
+from .rules_backend import BackendSaltRule
 from .rules_concurrency import (
     AsyncBlockingRule,
     CoroutineMisuseRule,
@@ -51,6 +52,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ResourceLifecycleRule,
     ForkSafetyRule,
     CoroutineMisuseRule,
+    BackendSaltRule,
 )
 
 

@@ -16,7 +16,7 @@ from dataclasses import asdict, dataclass, field
 
 from ..arch import ArchConfig, GPUConfig
 from ..basecaller import BonitoConfig, BonitoModel, default_model
-from ..crossbar import BACKENDS
+from ..crossbar import BACKENDS, BackendResolutionError, available_backends
 from ..nn import QuantizedModel, get_quant_config
 from .enhance import EnhanceConfig, EnhancedDesign, TECHNIQUES, build_design
 from .evaluator import DesignMetrics, SystemEvaluator
@@ -41,9 +41,11 @@ class SwordfishConfig:
     seed: int = 0
     model: BonitoConfig = field(default_factory=BonitoConfig)
     enhance: EnhanceConfig = field(default_factory=EnhanceConfig)
-    #: VMM execution backend for the deployed banks ("loop"/"batched");
-    #: None defers to SWORDFISH_VMM_BACKEND.  Results are
-    #: backend-independent, so this is a performance knob only.
+    #: VMM execution backend for the deployed banks
+    #: ("loop"/"batched"/"surrogate"); None defers to
+    #: SWORDFISH_VMM_BACKEND.  The exact backends are bitwise-identical
+    #: (a performance knob only); "surrogate" is approximate and salts
+    #: the result cache so its outputs never mix with exact ones.
     vmm_backend: str | None = None
 
     def __post_init__(self) -> None:
@@ -53,10 +55,9 @@ class SwordfishConfig:
         if self.technique not in TECHNIQUES:
             raise ValueError(f"unknown technique {self.technique!r}")
         if self.vmm_backend is not None and self.vmm_backend not in BACKENDS:
-            raise ValueError(
-                f"unknown VMM backend {self.vmm_backend!r}; "
-                f"available: {sorted(BACKENDS)}"
-            )
+            raise BackendResolutionError(
+                self.vmm_backend, "SwordfishConfig.vmm_backend",
+                available_backends())
 
     # ------------------------------------------------------------------
     # Serialization (run provenance, runtime cache keys, cross-process

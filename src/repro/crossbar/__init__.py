@@ -27,15 +27,28 @@ from .drift import DriftConfig, apply_retention_drift, RefreshPolicy
 from .crossbar import CrossbarConfig, CrossbarTile, CrossbarBank
 from .engine import (
     BACKENDS,
+    BACKEND_CACHE_SALTS,
+    BackendResolutionError,
     DEFAULT_BACKEND,
     ENV_BACKEND,
+    EXACT_CACHE_SALT,
     TileEngine,
     TileStacks,
     available_backends,
+    backend_cache_salt,
     iter_tile_blocks,
     resolve_backend,
     spawn_generators,
     tile_grid,
+)
+from .surrogate import (
+    SurrogateBundle,
+    SurrogateError,
+    SurrogateMeta,
+    SurrogateUnavailableError,
+    SurrogateValidationError,
+    train_surrogate,
+    validate as validate_surrogate,
 )
 from .library import MeasurementLibrary
 
@@ -50,8 +63,12 @@ __all__ = [
     "ProgrammingScheme", "SetResetProgramming", "WriteReadVerify",
     "DriftConfig", "apply_retention_drift", "RefreshPolicy",
     "CrossbarConfig", "CrossbarTile", "CrossbarBank",
-    "BACKENDS", "DEFAULT_BACKEND", "ENV_BACKEND",
-    "TileEngine", "TileStacks", "available_backends",
+    "BACKENDS", "BACKEND_CACHE_SALTS", "BackendResolutionError",
+    "DEFAULT_BACKEND", "ENV_BACKEND", "EXACT_CACHE_SALT",
+    "TileEngine", "TileStacks", "available_backends", "backend_cache_salt",
     "iter_tile_blocks", "resolve_backend", "spawn_generators", "tile_grid",
+    "SurrogateBundle", "SurrogateError", "SurrogateMeta",
+    "SurrogateUnavailableError", "SurrogateValidationError",
+    "train_surrogate", "validate_surrogate",
     "MeasurementLibrary",
 ]

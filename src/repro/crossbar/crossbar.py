@@ -35,7 +35,9 @@ from .device import (
 )
 from .engine import (
     BACKENDS,
+    BackendResolutionError,
     TileEngine,
+    available_backends,
     iter_tile_blocks,
     spawn_generators,
     tile_grid,
@@ -57,9 +59,11 @@ class CrossbarConfig:
     """Complete description of one crossbar design point.
 
     ``backend`` selects the bank-level VMM execution engine: ``"loop"``
-    (per-tile reference path) or ``"batched"`` (vectorized, default).
-    ``None`` defers to the ``SWORDFISH_VMM_BACKEND`` environment
-    variable, falling back to ``"batched"``.
+    (per-tile reference path), ``"batched"`` (vectorized, default), or
+    ``"surrogate"`` (learned approximation — needs a trained bundle,
+    see :mod:`repro.crossbar.surrogate`).  ``None`` defers to the
+    ``SWORDFISH_VMM_BACKEND`` environment variable, falling back to
+    ``"batched"``.
     """
 
     size: int = 64
@@ -74,10 +78,8 @@ class CrossbarConfig:
         if self.size < 2:
             raise ValueError("crossbar size must be >= 2")
         if self.backend is not None and self.backend not in BACKENDS:
-            raise ValueError(
-                f"unknown VMM backend {self.backend!r}; "
-                f"available: {sorted(BACKENDS)}"
-            )
+            raise BackendResolutionError(
+                self.backend, "CrossbarConfig.backend", available_backends())
 
     # ------------------------------------------------------------------
     # Serialization.  Fields are enumerated explicitly (not

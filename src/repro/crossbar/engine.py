@@ -17,9 +17,21 @@ Two backends are registered:
 * ``"batched"`` — the vectorized default.  Numerically equivalent to
   the loop backend (same per-tile RNG streams, same operation order per
   element; see ``tests/test_engine.py`` for the tolerance contract).
+* ``"surrogate"`` — a GENIEx-style learned emulator of the non-ideal
+  chain (:mod:`repro.crossbar.surrogate`): approximate, deterministic,
+  and much faster.  Requires a trained, validated
+  :class:`~repro.crossbar.surrogate.SurrogateBundle` for the bank's
+  design point.
 
 Selection: ``CrossbarConfig.backend`` wins when set; otherwise the
 ``SWORDFISH_VMM_BACKEND`` environment variable; otherwise ``"batched"``.
+
+Cache identity: backends are grouped by *result semantics* through
+``BACKEND_CACHE_SALTS``.  ``loop`` and ``batched`` share the ``exact``
+salt (bitwise-identical on the same seeds); ``surrogate`` carries its
+own, so approximate results can never be served or replayed as exact
+ones.  Every backend registered in ``BACKENDS`` must name a salt —
+analysis rule SWD014 enforces this at the registration site.
 
 Equivalence rests on per-tile RNG streams: each tile owns an
 independent :class:`numpy.random.Generator` spawned from the bank's
@@ -46,11 +58,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "BACKENDS",
+    "BACKEND_CACHE_SALTS",
+    "BackendResolutionError",
     "DEFAULT_BACKEND",
     "ENV_BACKEND",
+    "EXACT_CACHE_SALT",
     "TileEngine",
     "TileStacks",
     "available_backends",
+    "backend_cache_salt",
     "iter_tile_blocks",
     "resolve_backend",
     "spawn_generators",
@@ -152,21 +168,62 @@ def spawn_generators(rng, n: int) -> list[np.random.Generator]:
 # Backend selection
 # ----------------------------------------------------------------------
 
+class BackendResolutionError(ValueError):
+    """A backend preference named no registered backend.
+
+    Structured so callers (CLI, serve, cache) can render the offending
+    value, where it came from, and the valid choices without parsing
+    the message.  Subclasses :class:`ValueError` for compatibility with
+    pre-existing ``except ValueError`` call sites.
+    """
+
+    def __init__(self, requested: object, source: str,
+                 available: tuple[str, ...]):
+        self.requested = requested
+        self.source = source
+        self.available = available
+        super().__init__(
+            f"unknown VMM backend {requested!r} (from {source}); "
+            f"available backends: {', '.join(available)}")
+
+
 def resolve_backend(preference: str | None = None) -> str:
-    """Resolve a backend name: explicit config > env var > default."""
+    """Resolve a backend name: explicit config > env var > default.
+
+    Fails fast with :class:`BackendResolutionError` on any unknown
+    name — including a garbage ``SWORDFISH_VMM_BACKEND`` value, which
+    previously survived until deep inside ``execute``.
+    """
     name = preference
+    source = "explicit configuration"
     if name is None:
-        name = os.environ.get(ENV_BACKEND) or DEFAULT_BACKEND
+        env_value = os.environ.get(ENV_BACKEND)
+        if env_value:
+            name = env_value
+            source = f"the {ENV_BACKEND} environment variable"
+        else:
+            name = DEFAULT_BACKEND
+            source = "the built-in default"
+    if not isinstance(name, str):
+        raise BackendResolutionError(name, source, available_backends())
     name = name.strip().lower()
     if name not in BACKENDS:
-        raise ValueError(
-            f"unknown VMM backend {name!r}; available: {sorted(BACKENDS)}"
-        )
+        raise BackendResolutionError(name, source, available_backends())
     return name
 
 
 def available_backends() -> tuple[str, ...]:
     return tuple(sorted(BACKENDS))
+
+
+def backend_cache_salt(preference: str | None = None) -> str:
+    """Cache salt for the backend ``preference`` would resolve to.
+
+    Backends with bitwise-identical results share a salt (``loop`` and
+    ``batched`` are both ``"exact"``); approximate backends get their
+    own, so their cached results can never shadow exact ones.
+    """
+    return BACKEND_CACHE_SALTS[resolve_backend(preference)]
 
 
 # ----------------------------------------------------------------------
@@ -441,6 +498,11 @@ class TileEngine:
         self._fs_base: np.ndarray | None = None
         self._rows3: np.ndarray | None = None
         self._traced = False
+        # Surrogate-backend state: an explicitly attached bundle (None →
+        # resolve via registry/SWORDFISH_SURROGATE_DIR on first use) and
+        # the per-engine runtime derived from it + the current stacks.
+        self._surrogate_bundle = None
+        self._surrogate_runtime = None
 
     # ------------------------------------------------------------------
     # Stack maintenance
@@ -492,6 +554,7 @@ class TileEngine:
             st.sram[t, :tile.rows, :tile.cols] = tile.sram_mask
             st.ideal[t, :tile.rows, :tile.cols] = tile.ideal_weights
         st.refresh_derived()
+        self._surrogate_runtime = None
 
     def sync_effective(self) -> None:
         """Pull reprogrammed/drifted effective weights into the stacks."""
@@ -501,10 +564,40 @@ class TileEngine:
         for t, tile in enumerate(self.tiles):
             st.effective[t, :tile.rows, :tile.cols] = tile.effective_weights
         st.refresh_derived()
+        self._surrogate_runtime = None
 
     def set_backend(self, backend: str | None) -> None:
         """Re-resolve the execution backend (None → env/default)."""
         self.backend = resolve_backend(backend)
+
+    # ------------------------------------------------------------------
+    # Surrogate backend state
+    # ------------------------------------------------------------------
+    def attach_surrogate(self, bundle) -> None:
+        """Pin a trained :class:`SurrogateBundle` to this engine.
+
+        Overrides registry/directory resolution; the bundle must match
+        this bank's design point (checked when the runtime is built).
+        """
+        self._surrogate_bundle = bundle
+        self._surrogate_runtime = None
+
+    def surrogate_runtime(self):
+        """The lazily-built per-engine surrogate execution state.
+
+        Resolution: an attached bundle, else the process registry /
+        ``SWORDFISH_SURROGATE_DIR`` via
+        :func:`repro.crossbar.surrogate.resolve_bundle`.  Raises
+        ``SurrogateUnavailableError`` when no bundle exists — the
+        surrogate backend never silently falls back to an exact one.
+        """
+        if self._surrogate_runtime is None:
+            from .surrogate import SurrogateRuntime, resolve_bundle
+            bundle = self._surrogate_bundle
+            if bundle is None:
+                bundle = resolve_bundle(self.config)
+            self._surrogate_runtime = SurrogateRuntime(self, bundle)
+        return self._surrogate_runtime
 
     # ------------------------------------------------------------------
     # Fused-pass state
@@ -751,7 +844,30 @@ def _execute_batched(engine: TileEngine, x: np.ndarray) -> np.ndarray:
         return ws.out_full[:true_batch, :cols_total].copy()
 
 
+def _execute_surrogate(engine: TileEngine, x: np.ndarray) -> np.ndarray:
+    """Dispatch wrapper for the learned surrogate backend.
+
+    The implementation lives in :mod:`repro.crossbar.surrogate` (which
+    imports this module); the late import keeps the cycle one-way at
+    module load time.
+    """
+    from .surrogate import execute_surrogate
+    return execute_surrogate(engine, x)
+
+
 BACKENDS: dict[str, Callable[[TileEngine, np.ndarray], np.ndarray]] = {
     "loop": _execute_loop,
     "batched": _execute_batched,
+    "surrogate": _execute_surrogate,
+}
+
+#: Cache-salt policy, one entry per registered backend (SWD014 checks
+#: the two dicts stay in lockstep).  Backends sharing a salt promise
+#: bitwise-identical results on identical seeds; a distinct salt walls
+#: a backend's cached results off from every other salt group.
+EXACT_CACHE_SALT = "exact"
+BACKEND_CACHE_SALTS: dict[str, str] = {
+    "loop": EXACT_CACHE_SALT,       # reference physics
+    "batched": EXACT_CACHE_SALT,    # bitwise-identical to loop
+    "surrogate": "surrogate",       # approximate: never mixes with exact
 }

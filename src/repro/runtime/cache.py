@@ -72,14 +72,50 @@ def default_salt() -> str:
     return f"repro-{__version__}"
 
 
+def _vmm_salt(kwargs: Any) -> tuple[Any, str]:
+    """Normalize backend selection out of rendered kwargs, return salt.
+
+    The ``vmm_backend`` knob (top-level kwarg or inside a rendered
+    config dict) must not split the cache between bitwise-identical
+    backends (explicit ``loop`` vs ``batched`` vs unset-with-default
+    all share the ``exact`` salt), but approximate backends MUST key
+    differently — a surrogate sweep's results can never be replayed as
+    exact ones.  So the literal backend string is stripped from the
+    hashed rendering and replaced by its resolved cache-salt group.
+    A job that names no backend resolves through the environment
+    (``SWORDFISH_VMM_BACKEND``), which also fail-fasts on garbage env
+    values at key-computation time — before any work is scheduled.
+    """
+    from ..crossbar.engine import backend_cache_salt
+
+    preference = None
+    if isinstance(kwargs, dict):
+        explicit = kwargs.pop("vmm_backend", None)
+        if explicit is not None:
+            preference = explicit
+        for rendered in kwargs.values():
+            if isinstance(rendered, dict) and "vmm_backend" in rendered:
+                nested = rendered.pop("vmm_backend")
+                if preference is None and nested is not None:
+                    preference = nested
+    return kwargs, backend_cache_salt(preference)
+
+
 def job_key(job, salt: str | None = None) -> str:
-    """Content address of one job (stable across processes and runs)."""
+    """Content address of one job (stable across processes and runs).
+
+    The payload carries the code-version ``salt``, the job spec, and a
+    ``vmm`` component naming the resolved backend's cache-salt group
+    (see :data:`repro.crossbar.engine.BACKEND_CACHE_SALTS`).
+    """
     if getattr(job, "key", None):
         return job.key
+    kwargs, vmm = _vmm_salt(_jsonable(job.kwargs))
     payload = canonical_json({
         "fn": job.fn,
-        "kwargs": job.kwargs,
+        "kwargs": kwargs,
         "salt": salt if salt is not None else default_salt(),
+        "vmm": vmm,
     })
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

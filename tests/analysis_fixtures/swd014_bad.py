@@ -1,0 +1,20 @@
+"""SWD014 fixture: backends registered without a matching salt policy."""
+
+
+def _run_fast(engine, x):
+    return x
+
+
+def _run_approx(engine, x):
+    return x
+
+
+BACKENDS = {
+    "fast": _run_fast,
+    "approx": _run_approx,  # no salt entry: undeclared cache identity
+}
+
+BACKEND_CACHE_SALTS = {
+    "fast": "exact",
+    "retired": "exact",  # stale: names no registered backend
+}

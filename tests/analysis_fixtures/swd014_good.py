@@ -1,0 +1,22 @@
+"""SWD014 fixture: registry and salt policy in lockstep."""
+
+
+def _run_ref(engine, x):
+    return x
+
+
+def _run_fast(engine, x):
+    return x
+
+
+BACKENDS = {
+    "ref": _run_ref,
+    "fast": _run_fast,
+}
+BACKENDS["extra"] = _run_ref
+
+BACKEND_CACHE_SALTS = {
+    "ref": "exact",
+    "fast": "exact",
+}
+BACKEND_CACHE_SALTS["extra"] = "approx"

@@ -1,0 +1,454 @@
+"""Tests for the learned surrogate VMM backend and backend-salted caching.
+
+Covers the ISSUE-10 contract:
+
+* the accuracy-vs-reference validation gate (loose tolerance passes,
+  tight tolerance refuses; serving refuses unvalidated bundles),
+* ``vmm_backend="surrogate"`` selectable through all five selection
+  surfaces,
+* structured fail-fast backend resolution (including garbage
+  ``SWORDFISH_VMM_BACKEND`` values),
+* backend-salted result-cache keys: exact backends (loop/batched)
+  share entries, surrogate results never mix with exact ones,
+* ``SurrogateBundle.cache_key()`` covering weights *and* non-weight
+  metadata, and
+* a hypothesis property that surrogate error stays within the
+  declared tolerance envelope across ragged bank shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SwordfishConfig, deploy
+from repro.core.nonidealities import get_bundle
+from repro.crossbar import (
+    BACKENDS,
+    BACKEND_CACHE_SALTS,
+    BackendResolutionError,
+    CrossbarBank,
+    CrossbarConfig,
+    EXACT_CACHE_SALT,
+    available_backends,
+    backend_cache_salt,
+    resolve_backend,
+)
+from repro.crossbar import surrogate as sg
+from repro.crossbar.engine import ENV_BACKEND, _execute_batched
+from repro.runtime import ResultCache, SweepRunner
+from repro.runtime.cache import job_key
+from repro.runtime.job import Job, SweepPlan
+
+SIZE = 16
+WRITE_VARIATION = 0.10
+LOOSE_TOL = 0.25
+TIGHT_TOL = 1e-6
+
+
+def _echo(x, vmm_backend=None):
+    """Sweep job target; the backend kwarg only shapes the cache key."""
+    return x
+
+
+@pytest.fixture(autouse=True)
+def _clean_surrogate_registry():
+    yield
+    sg.clear_registry()
+
+
+@pytest.fixture(scope="module")
+def combined16() -> CrossbarConfig:
+    return get_bundle("combined").crossbar_config(SIZE, WRITE_VARIATION)
+
+
+@pytest.fixture(scope="module")
+def trained16(combined16) -> sg.SurrogateBundle:
+    """A tiny surrogate trained for the combined@16 design point."""
+    return sg.train_surrogate(combined16, tiles=12, samples=24,
+                              epochs=200, seed=3)
+
+
+@pytest.fixture(scope="module")
+def probe_bank(combined16) -> CrossbarBank:
+    rng = np.random.default_rng(11)
+    return CrossbarBank(rng.standard_normal((3 * SIZE, 2 * SIZE + 5)),
+                        replace(combined16, backend="batched"), 11,
+                        name="probe")
+
+
+@pytest.fixture(scope="module")
+def validated16(trained16, probe_bank) -> sg.SurrogateBundle:
+    report = sg.validate(probe_bank, LOOSE_TOL, bundle=trained16, seed=5)
+    return trained16.with_validation(report)
+
+
+# ----------------------------------------------------------------------
+# Validation gate
+# ----------------------------------------------------------------------
+class TestValidationGate:
+    def test_loose_tolerance_passes(self, trained16, probe_bank):
+        report = sg.validate(probe_bank, LOOSE_TOL, bundle=trained16, seed=5)
+        assert report.passed
+        assert report.quantiles["p95"] <= LOOSE_TOL
+        assert set(report.quantiles) == {"p50", "p90", "p95", "p99", "max"}
+        assert report.per_stage  # one row per VMM stage
+        for row in report.per_stage.values():
+            assert set(row) == set(report.quantiles)
+
+    def test_tight_tolerance_refuses(self, trained16, probe_bank):
+        report = sg.validate(probe_bank, TIGHT_TOL, bundle=trained16, seed=5)
+        assert not report.passed
+        with pytest.raises(sg.SurrogateValidationError) as err:
+            trained16.with_validation(report)
+        assert err.value.report is report
+
+    def test_with_validation_stamps_metadata(self, trained16, validated16):
+        assert not trained16.validated
+        assert validated16.validated
+        assert validated16.meta.tolerance == LOOSE_TOL
+        assert validated16.meta.quantiles["p95"] <= LOOSE_TOL
+        # The source bundle is untouched (frozen meta, copied weights).
+        assert trained16.meta.quantiles == {}
+
+    def test_deployed_model_per_stage_rows(self, validated16, tiny_model,
+                                           combined16):
+        sg.register_bundle(validated16)
+        deployed = deploy(tiny_model, get_bundle("combined"),
+                          crossbar_size=SIZE, seed=0, backend="batched")
+        try:
+            report = sg.validate(deployed, LOOSE_TOL, samples=8, seed=2)
+        finally:
+            deployed.release()
+        # One error row per deployed bank stage (conv/lstm/linear...).
+        assert len(report.per_stage) >= 2
+        assert report.passed
+
+    def test_validate_rejects_unknown_target(self, trained16):
+        with pytest.raises(TypeError):
+            sg.validate(object(), LOOSE_TOL, bundle=trained16)
+
+
+# ----------------------------------------------------------------------
+# Bundle identity + persistence
+# ----------------------------------------------------------------------
+class TestBundleIdentity:
+    def test_roundtrip_preserves_key(self, validated16, tmp_path):
+        path = validated16.save(tmp_path / "b.npz")
+        loaded = sg.SurrogateBundle.load(path)
+        assert loaded.cache_key() == validated16.cache_key()
+        assert loaded.meta == validated16.meta
+        for name in validated16.weights:
+            np.testing.assert_array_equal(loaded.weights[name],
+                                          validated16.weights[name])
+
+    def test_cache_key_covers_weights(self, trained16):
+        tweaked_weights = {k: v.copy() for k, v in trained16.weights.items()}
+        tweaked_weights["w2"][0, 0] += 1e-9
+        tweaked = sg.SurrogateBundle(tweaked_weights, trained16.meta)
+        assert tweaked.cache_key() != trained16.cache_key()
+
+    @pytest.mark.parametrize("change", [
+        {"tolerance": 0.123},
+        {"train_seed": 99},
+        {"reference_version": "0.0.0-other"},
+        {"validated": True},
+    ])
+    def test_cache_key_covers_nonweight_metadata(self, trained16, change):
+        tweaked = sg.SurrogateBundle(trained16.weights,
+                                     replace(trained16.meta, **change))
+        assert tweaked.cache_key() != trained16.cache_key()
+
+    def test_missing_file_is_structured(self, tmp_path):
+        with pytest.raises(sg.SurrogateUnavailableError):
+            sg.SurrogateBundle.load(tmp_path / "missing.npz")
+
+    def test_resolution_order(self, validated16, combined16, tmp_path,
+                              monkeypatch):
+        key = combined16.cache_key()
+        with pytest.raises(sg.SurrogateUnavailableError):
+            sg.resolve_bundle(combined16)
+        # Directory resolution, then the in-process registry wins.
+        validated16.save(sg.SurrogateBundle.path_for(tmp_path, key))
+        monkeypatch.setenv(sg.ENV_SURROGATE_DIR, str(tmp_path))
+        assert sg.resolve_bundle(combined16).cache_key() == \
+            validated16.cache_key()
+
+
+# ----------------------------------------------------------------------
+# Selection surfaces
+# ----------------------------------------------------------------------
+class TestSelectionSurfaces:
+    def test_registry_and_salts(self):
+        assert "surrogate" in BACKENDS
+        assert "surrogate" in available_backends()
+        assert resolve_backend("surrogate") == "surrogate"
+        assert set(BACKEND_CACHE_SALTS) == set(BACKENDS)
+        assert BACKEND_CACHE_SALTS["loop"] == EXACT_CACHE_SALT
+        assert BACKEND_CACHE_SALTS["batched"] == EXACT_CACHE_SALT
+        assert BACKEND_CACHE_SALTS["surrogate"] != EXACT_CACHE_SALT
+
+    def test_crossbar_config_surface(self, combined16, validated16):
+        config = replace(combined16, backend="surrogate")
+        sg.register_bundle(validated16)
+        rng = np.random.default_rng(4)
+        bank = CrossbarBank(rng.standard_normal((SIZE, SIZE)), config, 4,
+                            name="b")
+        out = bank.vmm(rng.standard_normal((3, SIZE)))
+        assert out.shape == (3, SIZE)
+        assert np.isfinite(out).all()
+
+    def test_env_surface(self, combined16, validated16, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "surrogate")
+        sg.register_bundle(validated16)
+        rng = np.random.default_rng(4)
+        bank = CrossbarBank(rng.standard_normal((SIZE, SIZE)), combined16, 4,
+                            name="b")
+        assert bank.backend == "surrogate"
+        assert np.isfinite(bank.vmm(rng.standard_normal((2, SIZE)))).all()
+
+    def test_deploy_surface(self, tiny_model, validated16):
+        deployed = deploy(tiny_model, get_bundle("combined"),
+                          crossbar_size=SIZE, seed=0, backend="surrogate")
+        try:
+            deployed.attach_surrogate(validated16)
+            for engines in deployed.engines.values():
+                for engine in engines:
+                    assert engine.backend == "surrogate"
+            signal = np.random.default_rng(0).standard_normal((1, 128))
+            from repro.nn import no_grad
+            with no_grad():
+                out = tiny_model.forward(signal)
+            assert np.isfinite(out.data).all()
+        finally:
+            deployed.release()
+
+    def test_swordfish_config_surface(self):
+        config = SwordfishConfig(vmm_backend="surrogate")
+        assert config.vmm_backend == "surrogate"
+        # The literal backend never splits the design-point cache key.
+        assert config.cache_key() == \
+            SwordfishConfig(vmm_backend="batched").cache_key()
+
+    def test_attach_beats_registry(self, combined16, trained16, validated16):
+        config = replace(combined16, backend="surrogate")
+        sg.register_bundle(trained16)
+        rng = np.random.default_rng(4)
+        bank = CrossbarBank(rng.standard_normal((SIZE, SIZE)), config, 4,
+                            name="b")
+        bank.engine.attach_surrogate(validated16)
+        assert bank.engine.surrogate_runtime().bundle is validated16
+
+    def test_design_point_mismatch_refused(self, validated16):
+        other = get_bundle("combined").crossbar_config(2 * SIZE,
+                                                       WRITE_VARIATION)
+        rng = np.random.default_rng(4)
+        bank = CrossbarBank(rng.standard_normal((2 * SIZE, SIZE)),
+                            replace(other, backend="surrogate"), 4, name="b")
+        bank.engine.attach_surrogate(validated16)
+        with pytest.raises(sg.SurrogateError, match="design point"):
+            bank.vmm(rng.standard_normal((2, 2 * SIZE)))
+
+
+# ----------------------------------------------------------------------
+# Structured backend resolution
+# ----------------------------------------------------------------------
+class TestBackendResolution:
+    def test_explicit_garbage(self):
+        with pytest.raises(BackendResolutionError) as err:
+            resolve_backend("vectorized")
+        assert err.value.requested == "vectorized"
+        assert err.value.source == "explicit configuration"
+        assert err.value.available == available_backends()
+
+    def test_env_garbage_fails_fast(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "gpu")
+        with pytest.raises(BackendResolutionError) as err:
+            resolve_backend()
+        assert ENV_BACKEND in err.value.source
+        # Still a ValueError for pre-existing call sites.
+        assert isinstance(err.value, ValueError)
+
+    def test_config_surfaces_raise_structured(self):
+        with pytest.raises(BackendResolutionError):
+            CrossbarConfig(backend="nope")
+        with pytest.raises(BackendResolutionError):
+            SwordfishConfig(vmm_backend="nope")
+
+
+# ----------------------------------------------------------------------
+# Backend-salted cache keys
+# ----------------------------------------------------------------------
+class TestCacheSalting:
+    def _key(self, monkeypatch, env=None, **kwargs):
+        if env is None:
+            monkeypatch.delenv(ENV_BACKEND, raising=False)
+        else:
+            monkeypatch.setenv(ENV_BACKEND, env)
+        return job_key(Job(fn="tests.test_surrogate:_echo", kwargs=kwargs),
+                       salt="t")
+
+    def test_exact_backends_share_one_key(self, monkeypatch):
+        default = self._key(monkeypatch, x=1)
+        assert self._key(monkeypatch, x=1, vmm_backend="loop") == default
+        assert self._key(monkeypatch, x=1, vmm_backend="batched") == default
+        assert self._key(monkeypatch, env="loop", x=1) == default
+
+    def test_surrogate_never_shares_exact_keys(self, monkeypatch):
+        exact = self._key(monkeypatch, x=1)
+        approx = self._key(monkeypatch, x=1, vmm_backend="surrogate")
+        assert approx != exact
+        assert self._key(monkeypatch, env="surrogate", x=1) == approx
+
+    def test_nested_config_backend_is_normalized(self, monkeypatch):
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        base = SwordfishConfig()
+        keys = {job_key(Job(fn="f", kwargs={"config": cfg}), salt="t")
+                for cfg in (base, replace(base, vmm_backend="loop"),
+                            replace(base, vmm_backend="batched"))}
+        assert len(keys) == 1
+        surrogate_key = job_key(
+            Job(fn="f",
+                kwargs={"config": replace(base, vmm_backend="surrogate")}),
+            salt="t")
+        assert surrogate_key not in keys
+
+    def test_env_garbage_fails_at_key_time(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "garbage")
+        with pytest.raises(BackendResolutionError):
+            job_key(Job(fn="f", kwargs={"x": 1}), salt="t")
+
+    def test_sweep_across_backends_gets_zero_hits(self, tmp_path,
+                                                  monkeypatch):
+        """The cache-poisoning regression: surrogate results must never
+        be replayed as exact ones (and vice versa), while the two exact
+        backends keep sharing entries."""
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        cache = ResultCache(tmp_path / "cache")
+
+        def run(backend):
+            plan = SweepPlan(f"sweep_{backend}", [
+                Job(fn="tests.test_surrogate:_echo",
+                    kwargs={"x": i, "vmm_backend": backend})
+                for i in range(4)
+            ])
+            return SweepRunner(workers=1, cache=cache, salt="t").run(plan)
+
+        first = run("surrogate")
+        assert first.summary["cache_hits"] == 0
+        exact = run("batched")
+        assert exact.summary["cache_hits"] == 0  # no surrogate reuse
+        again = run("loop")
+        assert again.summary["cache_hits"] == 4  # exact backends share
+        approx_again = run("surrogate")
+        assert approx_again.summary["cache_hits"] == 4
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: tolerance envelope across ragged shapes
+# ----------------------------------------------------------------------
+class TestToleranceEnvelope:
+    @settings(max_examples=10, deadline=None)
+    @given(rows=st.integers(2, 2 * SIZE), cols=st.integers(1, 2 * SIZE),
+           seed=st.integers(0, 2 ** 16))
+    def test_error_within_declared_tolerance(self, validated16, combined16,
+                                             rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        bank = CrossbarBank(rng.standard_normal((rows, cols)),
+                            replace(combined16, backend="batched"),
+                            seed, name="ragged")
+        bank.engine.attach_surrogate(validated16)
+        x = rng.standard_normal((6, rows))
+        x[3:] *= 10.0
+        exact = _execute_batched(bank.engine, x)
+        approx = sg.execute_surrogate(bank.engine, x)
+        st_ = bank.engine.stacks()
+        full_scale = (rows * max(float(st_.w_max.max()), 1e-9)
+                      * np.maximum(np.abs(x).max(axis=1, keepdims=True),
+                                   1e-12))
+        err = np.abs(approx - exact) / full_scale
+        assert err.max() <= validated16.meta.tolerance
+
+
+# ----------------------------------------------------------------------
+# Per-stage observability spans
+# ----------------------------------------------------------------------
+class TestSurrogateSpans:
+    def test_surrogate_vmm_emits_stage_spans(self, validated16, combined16,
+                                             monkeypatch, tmp_path):
+        from repro.observability import ENV_TRACE, get_tracer, \
+            load_span_events
+        trace = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(ENV_TRACE, str(trace))
+        tracer = get_tracer()
+        tracer.close()
+        tracer.drain()
+        try:
+            rng = np.random.default_rng(0)
+            bank = CrossbarBank(rng.standard_normal((SIZE, SIZE)),
+                                replace(combined16, backend="surrogate"),
+                                0, name="traced")
+            bank.engine.attach_surrogate(validated16)
+            bank.engine.execute(rng.standard_normal((2, SIZE)))
+        finally:
+            tracer.close()
+            tracer.drain()
+            monkeypatch.delenv(ENV_TRACE, raising=False)
+        names = {event["name"] for event in load_span_events(trace)}
+        assert {"vmm", "vmm.surrogate.gather", "vmm.surrogate.linear",
+                "vmm.surrogate.mlp", "vmm.digital"} <= names
+
+
+# ----------------------------------------------------------------------
+# Serve gate: approximate backends must arrive validated
+# ----------------------------------------------------------------------
+class TestServeGate:
+    @pytest.fixture()
+    def serve_config(self):
+        from repro.serve import EngineConfig
+        return EngineConfig(bundle="combined", crossbar_size=SIZE,
+                            write_variation=WRITE_VARIATION,
+                            backend="surrogate")
+
+    @pytest.fixture()
+    def demo_model(self):
+        from repro.basecaller import BonitoModel
+        from repro.serve.cli import DEMO_CONFIG
+        model = BonitoModel(DEMO_CONFIG)
+        model.eval()
+        return model
+
+    def test_missing_bundle_refused(self, serve_config, demo_model):
+        from repro.serve import BasecallEngine, ProtocolError
+        with pytest.raises(ProtocolError) as err:
+            BasecallEngine(demo_model, serve_config)
+        assert err.value.code == "backend_unvalidated"
+
+    def test_unvalidated_bundle_refused(self, serve_config, demo_model,
+                                        trained16):
+        from repro.serve import BasecallEngine, ProtocolError
+        sg.register_bundle(trained16)
+        with pytest.raises(ProtocolError) as err:
+            BasecallEngine(demo_model, serve_config)
+        assert err.value.code == "backend_unvalidated"
+
+    def test_validated_bundle_serves_with_salted_keys(self, serve_config,
+                                                      demo_model,
+                                                      validated16):
+        from dataclasses import replace as dc_replace
+
+        from repro.serve import BasecallEngine
+        sg.register_bundle(validated16)
+        engine = BasecallEngine(demo_model, serve_config)
+        exact = BasecallEngine(demo_model,
+                               dc_replace(serve_config, backend="batched"))
+        assert ":vmm=surrogate:" in engine._key_prefix
+        assert validated16.cache_key() in engine._key_prefix
+        assert engine._key_prefix != exact._key_prefix
+        signal = np.random.default_rng(7).normal(size=96)
+        result = engine.basecall(signal)
+        assert result.frames > 0
